@@ -1,0 +1,194 @@
+//! Logarithmic histograms and CDFs for the paper's distribution figures.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over power-of-two buckets: bucket *k* covers values in
+/// `[2^(k-1)+1, 2^k]` (bucket 0 holds exactly the value 0, bucket 1 holds 1).
+///
+/// All the paper's distribution plots (Figures 2, 6, 7) use log-scaled x
+/// axes, so this is the shared representation.
+///
+/// # Example
+///
+/// ```
+/// use ltc_analysis::LogHistogram;
+///
+/// let mut h = LogHistogram::new();
+/// h.record(1);
+/// h.record(3);
+/// h.record(1000);
+/// assert_eq!(h.total(), 3);
+/// // Two of three samples are <= 4.
+/// assert!((h.cdf_at(4) - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    buckets: Vec<u64>,
+    total: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram { buckets: vec![0; 65], total: 0 }
+    }
+
+    #[inline]
+    fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (64 - value.leading_zeros()) as usize
+        }
+    }
+
+    /// Upper bound of bucket `k`.
+    pub fn bucket_bound(k: usize) -> u64 {
+        if k == 0 {
+            0
+        } else if k >= 64 {
+            u64::MAX
+        } else {
+            1u64 << (k - 1)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.total += 1;
+    }
+
+    /// Records `n` samples of the same value.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        self.buckets[Self::bucket_of(value)] += n;
+        self.total += n;
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of samples with value `<= bound` (bucket-granular: `bound`
+    /// is rounded up to its bucket's upper edge).
+    pub fn cdf_at(&self, bound: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let k = Self::bucket_of(bound);
+        let cum: u64 = self.buckets[..=k].iter().sum();
+        cum as f64 / self.total as f64
+    }
+
+    /// The full CDF as `(bucket upper bound, cumulative fraction)` pairs,
+    /// ending at the last non-empty bucket.
+    pub fn cdf(&self) -> Vec<(u64, f64)> {
+        let mut out = Vec::new();
+        if self.total == 0 {
+            return out;
+        }
+        let last = self.buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
+        let mut cum = 0u64;
+        for k in 0..=last {
+            cum += self.buckets[k];
+            out.push((Self::bucket_bound(k), cum as f64 / self.total as f64));
+        }
+        out
+    }
+
+    /// Smallest bucket bound at which the CDF reaches `p` (0..=1).
+    pub fn quantile(&self, p: f64) -> u64 {
+        let mut cum = 0u64;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if self.total > 0 && cum as f64 / self.total as f64 >= p {
+                return Self::bucket_bound(k);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_power_of_two_edges() {
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 1);
+        assert_eq!(LogHistogram::bucket_of(2), 2);
+        assert_eq!(LogHistogram::bucket_of(3), 2);
+        assert_eq!(LogHistogram::bucket_of(4), 3);
+        assert_eq!(LogHistogram::bucket_of(1024), 11);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_reaches_one() {
+        let mut h = LogHistogram::new();
+        for v in [1u64, 5, 9, 200, 10_000] {
+            h.record(v);
+        }
+        let cdf = h.cdf();
+        for w in cdf.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_matches_cdf() {
+        let mut h = LogHistogram::new();
+        for _ in 0..90 {
+            h.record(4);
+        }
+        for _ in 0..10 {
+            h.record(1 << 20);
+        }
+        assert_eq!(h.quantile(0.5), 4);
+        assert_eq!(h.quantile(0.95), 1 << 20);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = LogHistogram::new();
+        assert_eq!(h.cdf_at(100), 0.0);
+        assert!(h.cdf().is_empty());
+        assert_eq!(h.quantile(0.5), u64::MAX);
+    }
+
+    #[test]
+    fn merge_sums_counts() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.record(2);
+        b.record(2);
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert!((a.cdf_at(2) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_n_weights_bucket() {
+        let mut h = LogHistogram::new();
+        h.record_n(8, 5);
+        assert_eq!(h.total(), 5);
+        assert!((h.cdf_at(8) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,239 @@
+//! Temporal correlation distance of cache misses (Section 5.1, Figure 6).
+
+use std::collections::HashMap;
+
+use ltc_cache::{Hierarchy, HierarchyConfig};
+use ltc_trace::{Addr, Pc, TraceSource};
+
+use crate::cdf::LogHistogram;
+
+/// A cache-miss label per the paper's footnote 1: `(miss PC, miss block
+/// address, evicted block address)`; the previous occurrence of a miss is
+/// the nearest preceding miss with the same label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct MissLabel {
+    pc: Pc,
+    block: Addr,
+    evicted: Addr,
+}
+
+/// Results of the temporal-correlation study over one trace.
+#[derive(Debug, Clone, Default)]
+pub struct CorrelationAnalysis {
+    /// Histogram of absolute temporal correlation distances (Figure 6 left).
+    pub distances: LogHistogram,
+    /// Misses whose label (or predecessor's) had no previous occurrence.
+    pub uncorrelated: u64,
+    /// Total misses observed.
+    pub misses: u64,
+    /// Misses with perfect (+1) correlation.
+    pub perfect: u64,
+    /// Lengths of runs of correlated misses (Figure 6 right).
+    pub sequence_lengths: SequenceLengths,
+}
+
+/// Correlated-sequence length accounting (Figure 6 right): consecutive
+/// misses whose absolute correlation distance stays within ±`window` form a
+/// sequence; each sequence contributes its length, weighted by length, to
+/// the histogram (the figure plots the CDF of *correlated misses* by the
+/// length of the sequence they belong to).
+#[derive(Debug, Clone)]
+pub struct SequenceLengths {
+    /// Maximum |distance| treated as "correlated" (the paper uses ±16).
+    pub window: u64,
+    /// Histogram of sequence lengths, weighted by length.
+    pub lengths: LogHistogram,
+    current_run: u64,
+}
+
+impl Default for SequenceLengths {
+    fn default() -> Self {
+        SequenceLengths { window: 16, lengths: LogHistogram::new(), current_run: 0 }
+    }
+}
+
+impl SequenceLengths {
+    fn observe(&mut self, correlated: bool) {
+        if correlated {
+            self.current_run += 1;
+        } else {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.current_run > 0 {
+            self.lengths.record_n(self.current_run, self.current_run);
+            self.current_run = 0;
+        }
+    }
+}
+
+impl CorrelationAnalysis {
+    /// Runs the study: simulates the baseline L1D over up to `limit`
+    /// accesses and computes the correlation distance of every miss.
+    ///
+    /// The distance between consecutive misses `A` then `B` is
+    /// `pos(prev occurrence of B) - pos(prev occurrence of A)`: +1 means the
+    /// pair recurred in identical order, -1 means it recurred reversed.
+    pub fn run<S: TraceSource>(source: &mut S, limit: u64) -> Self {
+        let mut analysis = CorrelationAnalysis::default();
+        let mut hierarchy = Hierarchy::new(HierarchyConfig::paper());
+        // label -> last position in the miss sequence.
+        let mut last_pos: HashMap<MissLabel, u64> = HashMap::new();
+        let mut miss_index = 0u64;
+        // Previous occurrence (before its own last) of the predecessor miss.
+        let mut prev_miss_old_pos: Option<u64> = None;
+        let mut prev_seen = false;
+
+        for _ in 0..limit {
+            let Some(a) = source.next_access() else { break };
+            let out = hierarchy.access(a.addr, a.kind);
+            if out.l1.hit {
+                continue;
+            }
+            let label = MissLabel {
+                pc: a.pc,
+                block: a.addr.line(64),
+                evicted: out.l1.evicted.map(|e| e.addr).unwrap_or(Addr(0)),
+            };
+            analysis.misses += 1;
+            let this_old_pos = last_pos.insert(label, miss_index);
+            if prev_seen {
+                match (prev_miss_old_pos, this_old_pos) {
+                    (Some(pa), Some(pb)) => {
+                        let d = pb as i64 - pa as i64;
+                        analysis.distances.record(d.unsigned_abs().max(1));
+                        analysis.perfect += u64::from(d == 1);
+                        analysis
+                            .sequence_lengths
+                            .observe(d.unsigned_abs() <= analysis.sequence_lengths.window);
+                    }
+                    _ => {
+                        analysis.uncorrelated += 1;
+                        analysis.sequence_lengths.observe(false);
+                    }
+                }
+            } else {
+                analysis.uncorrelated += 1;
+            }
+            prev_miss_old_pos = this_old_pos;
+            prev_seen = true;
+            miss_index += 1;
+        }
+        analysis.sequence_lengths.flush();
+        analysis
+    }
+
+    /// Fraction of all misses with |distance| ≤ `bound` (the Figure 6 left
+    /// y axis; uncorrelated misses never enter the CDF, so it saturates
+    /// below 1 for hash-driven codes).
+    pub fn cdf_at(&self, bound: u64) -> f64 {
+        if self.misses == 0 {
+            return 0.0;
+        }
+        let within = self.distances.cdf_at(bound) * self.distances.total() as f64;
+        within / self.misses as f64
+    }
+
+    /// Fraction of misses with perfect (+1) correlation.
+    pub fn perfect_fraction(&self) -> f64 {
+        if self.misses == 0 {
+            0.0
+        } else {
+            self.perfect as f64 / self.misses as f64
+        }
+    }
+
+    /// Fraction of misses that had any previous occurrence.
+    pub fn correlated_fraction(&self) -> f64 {
+        if self.misses == 0 {
+            0.0
+        } else {
+            1.0 - self.uncorrelated as f64 / self.misses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltc_trace::{MemoryAccess, Replay};
+
+    /// A trace looping over `n` distinct lines (every access misses once the
+    /// lines conflict, and the miss order repeats exactly).
+    fn looping_trace(n: u64, passes: usize) -> Replay {
+        let mut v = Vec::new();
+        for _ in 0..passes {
+            for i in 0..n {
+                // Large spacing so every line conflicts in the L1 set space.
+                v.push(MemoryAccess::load(Pc(0x400), Addr(i * 512 * 64 * 4)));
+            }
+        }
+        Replay::once(v)
+    }
+
+    #[test]
+    fn repeating_misses_are_perfectly_correlated() {
+        let mut t = looping_trace(64, 20);
+        let a = CorrelationAnalysis::run(&mut t, u64::MAX);
+        assert!(a.misses > 64 * 19, "every access should miss");
+        assert!(
+            a.perfect_fraction() > 0.8,
+            "repeating loop should be nearly perfectly correlated, got {}",
+            a.perfect_fraction()
+        );
+    }
+
+    #[test]
+    fn random_misses_are_uncorrelated() {
+        let mut v = Vec::new();
+        let mut x = 99u64;
+        for _ in 0..5000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            v.push(MemoryAccess::load(Pc(0x1), Addr((x >> 16) & 0x7fff_ffc0)));
+        }
+        let mut t = Replay::once(v);
+        let a = CorrelationAnalysis::run(&mut t, u64::MAX);
+        assert!(a.misses > 1000);
+        assert!(
+            a.correlated_fraction() < 0.2,
+            "random misses should be uncorrelated, got {}",
+            a.correlated_fraction()
+        );
+    }
+
+    #[test]
+    fn reversal_yields_distance_one_not_perfect() {
+        // Pattern: A B ... B A — the pair (B, A) recurs reversed (d = -1).
+        // Use 4 conflicting groups so every access misses.
+        let span = 512 * 64 * 4;
+        let seq = [0u64, 1, 2, 3, 0, 1, 3, 2, 0, 1, 2, 3, 0, 1, 3, 2];
+        let v: Vec<_> = seq
+            .iter()
+            .cycle()
+            .take(seq.len() * 10)
+            .map(|&i| MemoryAccess::load(Pc(0x1), Addr(i * span)))
+            .collect();
+        let mut t = Replay::once(v);
+        let a = CorrelationAnalysis::run(&mut t, u64::MAX);
+        // Still strongly correlated at |d| <= 2 even though not all +1.
+        assert!(a.cdf_at(4) > 0.7, "local reorder stays near distance 1");
+    }
+
+    #[test]
+    fn sequence_lengths_track_run_length() {
+        let mut t = looping_trace(256, 10);
+        let a = CorrelationAnalysis::run(&mut t, u64::MAX);
+        // One long correlated run: the p50 sequence length must be large.
+        assert!(a.sequence_lengths.lengths.quantile(0.5) >= 256);
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let mut t = Replay::once(vec![]);
+        let a = CorrelationAnalysis::run(&mut t, 100);
+        assert_eq!(a.misses, 0);
+        assert_eq!(a.cdf_at(16), 0.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Cache-block dead-time measurement (Figure 2).
+
+use std::collections::HashMap;
+
+use ltc_cache::{Hierarchy, HierarchyConfig};
+use ltc_trace::TraceSource;
+
+use crate::cdf::LogHistogram;
+
+/// Measures block dead times: the interval between a block's last touch and
+/// its eviction (Figure 2 plots the CDF in cycles and notes that over 85 %
+/// of dead times exceed the memory access latency, which is what gives
+/// last-touch prefetching its lookahead).
+///
+/// Dead times are recorded in *instructions* (accesses plus their gaps);
+/// EXPERIMENTS.md converts to cycles using each benchmark's measured
+/// baseline IPC when reproducing the figure's memory-latency marker.
+#[derive(Debug, Clone, Default)]
+pub struct DeadTimeTracker {
+    /// Histogram of dead times in instructions.
+    pub dead_times: LogHistogram,
+    /// Evictions measured.
+    pub evictions: u64,
+}
+
+impl DeadTimeTracker {
+    /// Runs the baseline hierarchy over up to `limit` accesses, measuring
+    /// L1D dead times.
+    pub fn run<S: TraceSource>(source: &mut S, limit: u64) -> Self {
+        let mut tracker = DeadTimeTracker::default();
+        let mut hierarchy = Hierarchy::new(HierarchyConfig::paper());
+        // line -> instruction count at its most recent touch.
+        let mut last_touch: HashMap<u64, u64> = HashMap::new();
+        let mut instructions = 0u64;
+        for _ in 0..limit {
+            let Some(a) = source.next_access() else { break };
+            instructions += a.instructions();
+            let out = hierarchy.access(a.addr, a.kind);
+            let line = a.addr.line(64).0;
+            if let Some(ev) = out.l1.evicted {
+                if let Some(t) = last_touch.remove(&ev.addr.0) {
+                    tracker.dead_times.record(instructions - t);
+                    tracker.evictions += 1;
+                }
+            }
+            last_touch.insert(line, instructions);
+        }
+        tracker
+    }
+
+    /// Fraction of dead times longer than `bound` instructions.
+    pub fn fraction_longer_than(&self, bound: u64) -> f64 {
+        1.0 - self.dead_times.cdf_at(bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltc_trace::{Addr, MemoryAccess, Pc, Replay};
+
+    #[test]
+    fn streaming_blocks_have_long_dead_times() {
+        // A long streaming loop: each block is touched once and then sits
+        // dead until the loop wraps into its set again.
+        let mut v = Vec::new();
+        for _ in 0..4 {
+            for i in 0..4096u64 {
+                v.push(MemoryAccess::load(Pc(1), Addr(i * 64)).with_gap(3));
+            }
+        }
+        let mut t = Replay::once(v);
+        let d = DeadTimeTracker::run(&mut t, u64::MAX);
+        assert!(d.evictions > 1000);
+        // Dead time ~ one full pass (4096 * 4 instructions); far above 200.
+        assert!(
+            d.fraction_longer_than(200) > 0.85,
+            "dead times should dwarf the memory latency, got {}",
+            d.fraction_longer_than(200)
+        );
+    }
+
+    #[test]
+    fn hot_blocks_die_quickly() {
+        // Blocks re-touched right up to eviction: conflict misses in one set
+        // with immediate re-access give short dead times.
+        let span = 512 * 64;
+        let mut v = Vec::new();
+        for round in 0..500u64 {
+            for alias in 0..3u64 {
+                let addr = Addr((round % 2) * 64 + alias * span);
+                v.push(MemoryAccess::load(Pc(1), Addr(addr.0)));
+            }
+        }
+        let mut t = Replay::once(v);
+        let d = DeadTimeTracker::run(&mut t, u64::MAX);
+        assert!(d.evictions > 100);
+        assert!(d.dead_times.quantile(0.5) <= 16, "rotation is tight");
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let mut t = Replay::once(vec![]);
+        let d = DeadTimeTracker::run(&mut t, 10);
+        assert_eq!(d.evictions, 0);
+        assert_eq!(d.fraction_longer_than(100), 1.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Criterion benches: one per paper table/figure, at reduced scale.
+//!
+//! `cargo bench` regenerates every experiment (the printed rows come from
+//! the `src/bin/` binaries; these benches time the same kernels so the
+//! harness exercises each of them end to end).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ltc_bench::figures::*;
+use ltc_bench::Scale;
+
+fn scale() -> Scale {
+    Scale::bench()
+}
+
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2_baseline", |b| b.iter(|| table2::run(scale())));
+}
+
+fn bench_fig02(c: &mut Criterion) {
+    c.bench_function("fig02_deadtime", |b| b.iter(|| fig02::run(scale())));
+}
+
+fn bench_fig04(c: &mut Criterion) {
+    // One representative point of the sweep per iteration.
+    use ltc_sim::experiment::{run_coverage, PredictorKind};
+    c.bench_function("fig04_dbcp_size_point", |b| {
+        b.iter(|| {
+            run_coverage(
+                "galgel",
+                PredictorKind::DbcpBytes(2 << 20),
+                scale().coverage_accesses,
+                1,
+            )
+        })
+    });
+}
+
+fn bench_fig06(c: &mut Criterion) {
+    use ltc_sim::analysis::CorrelationAnalysis;
+    use ltc_sim::trace::suite;
+    c.bench_function("fig06_correlation_point", |b| {
+        b.iter(|| {
+            let mut src = suite::by_name("galgel").unwrap().build(1);
+            CorrelationAnalysis::run(&mut src, scale().coverage_accesses)
+        })
+    });
+}
+
+fn bench_fig07(c: &mut Criterion) {
+    use ltc_sim::analysis::LastTouchOrderAnalysis;
+    use ltc_sim::trace::suite;
+    c.bench_function("fig07_ordering_point", |b| {
+        b.iter(|| {
+            let mut src = suite::by_name("galgel").unwrap().build(1);
+            LastTouchOrderAnalysis::run(&mut src, scale().coverage_accesses)
+        })
+    });
+}
+
+fn bench_fig08(c: &mut Criterion) {
+    use ltc_sim::experiment::{run_coverage, PredictorKind};
+    c.bench_function("fig08_coverage_point", |b| {
+        b.iter(|| run_coverage("galgel", PredictorKind::LtCords, scale().coverage_accesses, 1))
+    });
+}
+
+fn bench_fig09(c: &mut Criterion) {
+    use ltc_sim::core::LtCordsConfig;
+    use ltc_sim::experiment::{run_coverage, PredictorKind};
+    c.bench_function("fig09_sigcache_point", |b| {
+        b.iter(|| {
+            run_coverage(
+                "galgel",
+                PredictorKind::LtCordsWith(LtCordsConfig::fig9_sweep(4096)),
+                scale().coverage_accesses,
+                1,
+            )
+        })
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    use ltc_sim::core::LtCordsConfig;
+    use ltc_sim::experiment::{run_coverage, PredictorKind};
+    c.bench_function("fig10_offchip_point", |b| {
+        b.iter(|| {
+            run_coverage(
+                "art",
+                PredictorKind::LtCordsWith(LtCordsConfig::fig10_sweep(2 << 20)),
+                scale().coverage_accesses,
+                1,
+            )
+        })
+    });
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    c.bench_function("fig11_multiprog_bar", |b| {
+        b.iter(|| fig11::coverage_bar("galgel", Some("gzip"), scale().coverage_accesses))
+    });
+}
+
+fn bench_table3(c: &mut Criterion) {
+    use ltc_sim::experiment::{run_timing, PredictorKind};
+    c.bench_function("table3_speedup_point", |b| {
+        b.iter(|| run_timing("mcf", PredictorKind::LtCords, scale().timing_accesses, 1))
+    });
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    use ltc_sim::experiment::{run_timing, PredictorKind};
+    c.bench_function("fig12_bandwidth_point", |b| {
+        b.iter(|| {
+            run_timing("swim", PredictorKind::LtCords, scale().timing_accesses, 1).bandwidth
+        })
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table2, bench_fig02, bench_fig04, bench_fig06, bench_fig07,
+              bench_fig08, bench_fig09, bench_fig10, bench_fig11, bench_table3,
+              bench_fig12
+}
+criterion_main!(figures);

@@ -1,0 +1,104 @@
+//! Microbenchmarks of the core data structures.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ltc_sim::cache::{Cache, CacheConfig};
+use ltc_sim::core::{LtCords, LtCordsConfig, SignatureCache};
+use ltc_sim::lasttouch::{HistoryTable, Signature, SignatureRecord, SignatureScheme};
+use ltc_sim::predictors::Prefetcher;
+use ltc_sim::trace::{suite, AccessKind, Addr, Pc, TraceSource};
+
+fn bench_cache_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("l1_access_10k", |b| {
+        let mut cache = Cache::new(CacheConfig::l1d());
+        let mut i = 0u64;
+        b.iter(|| {
+            for _ in 0..10_000 {
+                i = i.wrapping_mul(6364136223846793005).wrapping_add(1);
+                cache.access(Addr((i >> 30) & 0xff_ffc0), AccessKind::Load);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_signature_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("signature_cache");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("insert_lookup_10k", |b| {
+        let mut sc = SignatureCache::new(32 << 10, 2);
+        let ptr = ltc_sim::core::storage::SigPtr { frame: 0, offset: 0 };
+        b.iter(|| {
+            for i in 0..10_000u32 {
+                sc.insert(SignatureRecord::new(Signature(i * 2654435761), Addr(64)), ptr);
+                let _ = sc.lookup(Signature(i.wrapping_mul(40503)));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_history_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("history");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("record_access_10k", |b| {
+        let mut h = HistoryTable::new(CacheConfig::l1d(), SignatureScheme::trace_mode());
+        let mut i = 0u64;
+        b.iter(|| {
+            for _ in 0..10_000 {
+                i = i.wrapping_add(0x9e3779b97f4a7c15);
+                let _ = h.record_access(Addr((i >> 20) & 0xfff_ffc0), Pc(0x400));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_generator_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.throughput(Throughput::Elements(100_000));
+    for name in ["swim", "mcf", "gcc"] {
+        group.bench_function(format!("{name}_100k"), |b| {
+            b.iter(|| {
+                let mut src = suite::by_name(name).unwrap().build(1);
+                let mut sink = 0u64;
+                for _ in 0..100_000 {
+                    sink ^= src.next_access().unwrap().addr.0;
+                }
+                sink
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ltcords_pipeline(c: &mut Criterion) {
+    use ltc_sim::cache::{Hierarchy, HierarchyConfig};
+    let mut group = c.benchmark_group("ltcords");
+    group.throughput(Throughput::Elements(50_000));
+    group.bench_function("on_access_50k", |b| {
+        b.iter(|| {
+            let mut src = suite::by_name("galgel").unwrap().build(1);
+            let mut lt = LtCords::new(LtCordsConfig::paper());
+            let mut h = Hierarchy::new(HierarchyConfig::paper());
+            let mut out = Vec::new();
+            for _ in 0..50_000 {
+                let a = src.next_access().unwrap();
+                let o = h.access(a.addr, a.kind);
+                lt.on_access(&a, &o, &mut out);
+                out.clear();
+            }
+            lt.metrics().signatures_recorded
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cache_access, bench_signature_cache, bench_history_table,
+              bench_generator_throughput, bench_ltcords_pipeline
+}
+criterion_main!(micro);

@@ -1,0 +1,8 @@
+//! Prints the LT-cords design-choice ablation grid.
+use ltc_bench::{figures::ablations, Scale};
+fn main() {
+    let scale = Scale::from_args();
+    println!("Ablations: LT-cords design choices (coverage / early evictions)\n");
+    let points = ablations::run(scale);
+    print!("{}", ablations::render(&points));
+}

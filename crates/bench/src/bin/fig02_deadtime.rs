@@ -1,0 +1,8 @@
+//! Prints Figure 2 (CDF of cache-block dead times).
+use ltc_bench::{figures::fig02, Scale};
+fn main() {
+    let scale = Scale::from_args();
+    println!("Figure 2: cumulative distribution of block dead times\n");
+    let d = fig02::run(scale);
+    print!("{}", fig02::render(&d));
+}

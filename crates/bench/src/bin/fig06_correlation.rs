@@ -1,0 +1,8 @@
+//! Prints Figure 6 (temporal correlation distance + sequence lengths).
+use ltc_bench::{figures::fig06, Scale};
+fn main() {
+    let scale = Scale::from_args();
+    println!("Figure 6: temporal correlation of L1D misses\n");
+    let rows = fig06::run(scale);
+    print!("{}", fig06::render(&rows));
+}

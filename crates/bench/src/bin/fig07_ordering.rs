@@ -1,0 +1,8 @@
+//! Prints Figure 7 (last-touch to miss order correlation distance).
+use ltc_bench::{figures::fig07, Scale};
+fn main() {
+    let scale = Scale::from_args();
+    println!("Figure 7: last-touch to cache-miss correlation distance\n");
+    let o = fig07::run(scale);
+    print!("{}", fig07::render(&o));
+}

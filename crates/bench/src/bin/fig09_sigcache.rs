@@ -1,0 +1,8 @@
+//! Prints Figure 9 (coverage vs signature cache size).
+use ltc_bench::{figures::fig09, Scale};
+fn main() {
+    let scale = Scale::from_args();
+    println!("Figure 9: coverage sensitivity to signature cache size\n");
+    let s = fig09::run(scale);
+    print!("{}", fig09::render(&s));
+}

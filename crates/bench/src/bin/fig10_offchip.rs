@@ -1,0 +1,8 @@
+//! Prints Figure 10 (off-chip sequence storage demand).
+use ltc_bench::{figures::fig10, Scale};
+fn main() {
+    let scale = Scale::from_args();
+    println!("Figure 10: off-chip storage needed to reach coverage\n");
+    let d = fig10::run(scale);
+    print!("{}", fig10::render(&d));
+}

@@ -1,0 +1,8 @@
+//! Prints Figure 11 (multi-programmed coverage).
+use ltc_bench::{figures::fig11, Scale};
+fn main() {
+    let scale = Scale::from_args();
+    println!("Figure 11: LT-cords coverage in a multi-programmed environment\n");
+    let bars = fig11::run(scale);
+    print!("{}", fig11::render(&bars));
+}

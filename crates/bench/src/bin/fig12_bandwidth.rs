@@ -1,0 +1,8 @@
+//! Prints Figure 12 (memory bus utilization breakdown).
+use ltc_bench::{figures::fig12, Scale};
+fn main() {
+    let scale = Scale::from_args();
+    println!("Figure 12: memory bus utilization (bytes/instruction)\n");
+    let rows = fig12::run(scale);
+    print!("{}", fig12::render(&rows));
+}

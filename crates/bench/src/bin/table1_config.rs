@@ -1,0 +1,5 @@
+//! Prints Table 1 (system configuration).
+fn main() {
+    println!("Table 1: system configuration\n");
+    print!("{}", ltc_bench::figures::table1::render());
+}

@@ -1,0 +1,8 @@
+//! Prints Table 2 (benchmarks, base miss rates and IPCs).
+use ltc_bench::{figures::table2, Scale};
+fn main() {
+    let scale = Scale::from_args();
+    println!("Table 2: benchmarks, baseline miss rates and IPCs\n");
+    let rows = table2::run(scale);
+    print!("{}", table2::render(&rows));
+}

@@ -1,0 +1,8 @@
+//! Prints Table 3 (percent speedup over the baseline).
+use ltc_bench::{figures::table3, Scale};
+fn main() {
+    let scale = Scale::from_args();
+    println!("Table 3: percent performance improvement over the baseline\n");
+    let rows = table3::run(scale);
+    print!("{}", table3::render(&rows));
+}

@@ -1,0 +1,69 @@
+//! Figure 2 — cumulative distribution of block dead times.
+
+use ltc_sim::analysis::{DeadTimeTracker, LogHistogram};
+use ltc_sim::experiment::sweep_bounded;
+use ltc_sim::report::Table;
+use ltc_sim::trace::suite;
+
+use crate::scale::Scale;
+
+/// The suite-average dead-time distribution.
+#[derive(Debug, Clone)]
+pub struct DeadTimes {
+    /// Merged histogram across all benchmarks (instructions).
+    pub merged: LogHistogram,
+    /// Fraction of dead times exceeding the ~memory-latency equivalent
+    /// (the paper reports over 85 % exceed the 200-cycle latency).
+    pub beyond_memory_latency: f64,
+}
+
+/// Instructions roughly equivalent to the 200-cycle memory latency at the
+/// suite's typical baseline IPC (~1.5).
+pub const MEMORY_LATENCY_INSTRUCTIONS: u64 = 300;
+
+/// Measures dead times over the whole suite on the baseline hierarchy.
+pub fn run(scale: Scale) -> DeadTimes {
+    let names: Vec<&'static str> = suite::benchmarks().iter().map(|e| e.name).collect();
+    let parts = sweep_bounded(names, scale.threads, |name| {
+        let mut src = suite::by_name(name).expect("suite name").build(1);
+        DeadTimeTracker::run(&mut src, scale.coverage_accesses / 4)
+    });
+    let mut merged = LogHistogram::new();
+    for p in &parts {
+        merged.merge(&p.dead_times);
+    }
+    let beyond = 1.0 - merged.cdf_at(MEMORY_LATENCY_INSTRUCTIONS);
+    DeadTimes { merged, beyond_memory_latency: beyond }
+}
+
+/// Renders the CDF series (the Figure 2 curve).
+pub fn render(d: &DeadTimes) -> String {
+    let mut t = Table::new(vec!["dead time <= (instructions)", "CDF of blocks"]);
+    for (bound, frac) in d.merged.cdf() {
+        t.row(vec![bound.to_string(), format!("{:.1}%", frac * 100.0)]);
+    }
+    let mut s = t.render();
+    s.push_str(&format!(
+        "\ndead times beyond the memory-latency equivalent (~{} instructions): {:.1}%\n",
+        MEMORY_LATENCY_INSTRUCTIONS,
+        d.beyond_memory_latency * 100.0
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn most_dead_times_are_long() {
+        let d = run(Scale::bench());
+        assert!(d.merged.total() > 10_000);
+        assert!(
+            d.beyond_memory_latency > 0.5,
+            "long dead times are the paper's premise, got {:.2}",
+            d.beyond_memory_latency
+        );
+        assert!(render(&d).contains("CDF"));
+    }
+}

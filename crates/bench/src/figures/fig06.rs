@@ -1,0 +1,92 @@
+//! Figure 6 — temporal correlation distance and correlated-sequence lengths.
+
+use ltc_sim::analysis::CorrelationAnalysis;
+use ltc_sim::experiment::sweep_bounded;
+use ltc_sim::report::Table;
+use ltc_sim::trace::suite;
+
+use crate::scale::Scale;
+
+/// Per-benchmark correlation summary.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Fraction of misses with perfect (+1) correlation.
+    pub perfect: f64,
+    /// CDF of |distance| at selected bounds (1, 16, 256).
+    pub cdf_1: f64,
+    /// CDF at 16.
+    pub cdf_16: f64,
+    /// CDF at 256.
+    pub cdf_256: f64,
+    /// Fraction of misses never seen before (uncorrelated).
+    pub uncorrelated: f64,
+    /// Median correlated-sequence length (misses), for the right-hand plot.
+    pub median_seq_len: u64,
+}
+
+/// Runs the Figure 6 study over the whole suite.
+pub fn run(scale: Scale) -> Vec<Row> {
+    let names: Vec<&'static str> = suite::benchmarks().iter().map(|e| e.name).collect();
+    sweep_bounded(names, scale.threads, |name| {
+        let mut src = suite::by_name(name).expect("suite name").build(1);
+        let a = CorrelationAnalysis::run(&mut src, scale.coverage_accesses / 2);
+        Row {
+            name,
+            perfect: a.perfect_fraction(),
+            cdf_1: a.cdf_at(1),
+            cdf_16: a.cdf_at(16),
+            cdf_256: a.cdf_at(256),
+            uncorrelated: 1.0 - a.correlated_fraction(),
+            median_seq_len: a.sequence_lengths.lengths.quantile(0.5),
+        }
+    })
+}
+
+/// Renders both panels of Figure 6.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(vec![
+        "benchmark",
+        "perfect(+1)",
+        "|d|<=1",
+        "|d|<=16",
+        "|d|<=256",
+        "uncorrelated",
+        "median seq len",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.name.to_string(),
+            format!("{:.0}%", r.perfect * 100.0),
+            format!("{:.0}%", r.cdf_1 * 100.0),
+            format!("{:.0}%", r.cdf_16 * 100.0),
+            format!("{:.0}%", r.cdf_256 * 100.0),
+            format!("{:.0}%", r.uncorrelated * 100.0),
+            if r.uncorrelated > 0.05 && r.median_seq_len != u64::MAX {
+                r.median_seq_len.to_string()
+            } else {
+                "-".into()
+            },
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_codes_beat_hash_codes() {
+        // Use a small-footprint pair so the bench budget sees recurrences.
+        let scale = Scale { coverage_accesses: 1_500_000, ..Scale::bench() };
+        let rows = run(scale);
+        let get = |n: &str| rows.iter().find(|r| r.name == n).unwrap().clone();
+        assert!(
+            get("galgel").perfect > get("twolf").perfect,
+            "recurring sweeps must out-correlate random probes"
+        );
+        assert!(get("twolf").uncorrelated > 0.5);
+    }
+}

@@ -1,0 +1,80 @@
+//! Figure 9 — coverage sensitivity to signature cache size.
+
+use ltc_sim::core::LtCordsConfig;
+use ltc_sim::experiment::{run_coverage, sweep_bounded, PredictorKind};
+use ltc_sim::report::Table;
+
+use crate::scale::Scale;
+
+/// Signature cache sizes swept (entries), as in the paper's x axis.
+pub const SIZES: [usize; 11] =
+    [128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072];
+
+/// Benchmarks used for the sweep: a representative mix of recurring codes
+/// whose footprints let the budget cover several passes.
+pub const BENCHMARKS: [&str; 6] = ["galgel", "art", "mcf", "em3d", "gcc", "facerec"];
+
+/// Normalized coverage per signature cache size.
+#[derive(Debug, Clone)]
+pub struct Sensitivity {
+    /// `(entries, average coverage normalized to the largest size)`.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// Runs the sweep with the paper's Figure 9 methodology: effectively
+/// unlimited 512-signature fragments, 8-way signature cache.
+pub fn run(scale: Scale) -> Sensitivity {
+    let jobs: Vec<(usize, &str)> = SIZES
+        .iter()
+        .flat_map(|&s| BENCHMARKS.iter().map(move |&b| (s, b)))
+        .collect();
+    let coverages = sweep_bounded(jobs.clone(), scale.threads, |&(entries, bench)| {
+        let cfg = LtCordsConfig::fig9_sweep(entries);
+        run_coverage(bench, PredictorKind::LtCordsWith(cfg), scale.coverage_accesses, 1)
+            .coverage()
+    });
+    // Normalize per benchmark to the largest size.
+    let mut points = Vec::new();
+    for (si, &entries) in SIZES.iter().enumerate() {
+        let mut sum = 0.0;
+        for (bi, _) in BENCHMARKS.iter().enumerate() {
+            let this = coverages[si * BENCHMARKS.len() + bi];
+            let best = coverages[(SIZES.len() - 1) * BENCHMARKS.len() + bi].max(1e-9);
+            sum += (this / best).clamp(0.0, 1.0);
+        }
+        points.push((entries, sum / BENCHMARKS.len() as f64));
+    }
+    Sensitivity { points }
+}
+
+/// Renders the Figure 9 curve.
+pub fn render(s: &Sensitivity) -> String {
+    let mut t = Table::new(vec!["signature cache (entries)", "% of achievable coverage"]);
+    for &(entries, frac) in &s.points {
+        t.row(vec![entries.to_string(), format!("{:.0}%", frac * 100.0)]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigger_caches_do_not_hurt_much() {
+        let scale = Scale { coverage_accesses: 1_000_000, ..Scale::bench() };
+        let small = run_coverage(
+            "galgel",
+            PredictorKind::LtCordsWith(LtCordsConfig::fig9_sweep(128)),
+            scale.coverage_accesses,
+            1,
+        );
+        let large = run_coverage(
+            "galgel",
+            PredictorKind::LtCordsWith(LtCordsConfig::fig9_sweep(32 << 10)),
+            scale.coverage_accesses,
+            1,
+        );
+        assert!(large.coverage() > small.coverage(), "capacity must matter");
+    }
+}

@@ -1,0 +1,140 @@
+//! Figure 11 — LT-cords coverage in a multi-programmed environment.
+
+use ltc_sim::analysis::CoverageConfig;
+use ltc_sim::cache::Hierarchy;
+use ltc_sim::core::{LtCords, LtCordsConfig};
+use ltc_sim::experiment::sweep_bounded;
+use ltc_sim::predictors::{Prefetcher, PrefetchLevel};
+use ltc_sim::report::Table;
+use ltc_sim::trace::{suite, MultiProgram};
+
+use crate::scale::Scale;
+
+/// The paper's Figure 11 pairings: each focus benchmark standalone and with
+/// three partners (lucas pairs with the two other storage-hungry codes).
+pub const PAIRINGS: [(&str, &[&str]); 5] = [
+    ("gcc", &["mcf", "gzip", "swim"]),
+    ("mcf", &["gcc", "vortex", "fma3d"]),
+    ("swim", &["fma3d", "mesa", "gcc"]),
+    ("fma3d", &["swim", "facerec", "mcf"]),
+    ("lucas", &["applu", "mgrid"]),
+];
+
+/// One measured bar of Figure 11.
+#[derive(Debug, Clone)]
+pub struct Bar {
+    /// Focus benchmark.
+    pub focus: &'static str,
+    /// Partner, or `None` for the standalone bar.
+    pub with: Option<&'static str>,
+    /// Focus program's coverage.
+    pub coverage: f64,
+}
+
+/// Scaled quanta/fragments preserving the paper's quantum:fragment ratio
+/// (see `tests/multiprog.rs` for the rationale).
+fn config() -> LtCordsConfig {
+    LtCordsConfig { fragment_len: 1 << 10, frames: 1 << 13, ..LtCordsConfig::paper() }
+}
+
+fn quantum(name: &str) -> u64 {
+    if suite::by_name(name).map(|e| e.is_fp()).unwrap_or(false) {
+        1_200_000
+    } else {
+        600_000
+    }
+}
+
+/// Runs one bar: focus coverage, alone or context-switched with a partner.
+pub fn coverage_bar(focus: &'static str, with: Option<&'static str>, accesses: u64) -> Bar {
+    let ef = suite::by_name(focus).expect("focus exists");
+    let mut lt = LtCords::new(config());
+    let cfg = CoverageConfig::paper(accesses);
+    let mut base = Hierarchy::new(cfg.hierarchy);
+    let mut pf = Hierarchy::new(cfg.hierarchy);
+    let mut requests = Vec::new();
+    let (mut misses, mut eliminated) = (0u64, 0u64);
+
+    let mut run = |multi: &mut MultiProgram, total: u64| {
+        for _ in 0..total {
+            let Some((prog, acc)) = multi.next_tagged() else { break };
+            let b_out = base.access(acc.addr, acc.kind);
+            let p_out = pf.access(acc.addr, acc.kind);
+            if prog == 0 {
+                misses += u64::from(!b_out.l1.hit);
+                eliminated += u64::from(!b_out.l1.hit && p_out.l1.hit);
+            }
+            lt.on_access(&acc, &p_out, &mut requests);
+            for req in requests.drain(..) {
+                if req.level == PrefetchLevel::L1 && !pf.l1().contains(req.target) {
+                    let (out, src) = pf.prefetch_into_l1(req.target, req.victim);
+                    lt.on_prefetch_applied(&req, &out, src);
+                }
+            }
+        }
+    };
+
+    match with {
+        None => {
+            let mut multi = MultiProgram::new(vec![(ef.build(1), quantum(focus), 0)]);
+            run(&mut multi, accesses);
+        }
+        Some(partner) => {
+            let ep = suite::by_name(partner).expect("partner exists");
+            let mut multi = MultiProgram::new(vec![
+                (ef.build(1), quantum(focus), 0),
+                (ep.build(2), quantum(partner), 1 << 40),
+            ]);
+            // Double the budget so the focus program sees a comparable
+            // number of its own accesses.
+            run(&mut multi, accesses * 2);
+        }
+    }
+    Bar { focus, with, coverage: if misses == 0 { 0.0 } else { eliminated as f64 / misses as f64 } }
+}
+
+/// Runs all Figure 11 bars.
+pub fn run(scale: Scale) -> Vec<Bar> {
+    let mut jobs: Vec<(&'static str, Option<&'static str>)> = Vec::new();
+    for (focus, partners) in PAIRINGS {
+        jobs.push((focus, None));
+        for &p in partners {
+            jobs.push((focus, Some(p)));
+        }
+    }
+    sweep_bounded(jobs, scale.threads, |&(focus, with)| {
+        coverage_bar(focus, with, scale.coverage_accesses)
+    })
+}
+
+/// Renders the Figure 11 bars.
+pub fn render(bars: &[Bar]) -> String {
+    let mut t = Table::new(vec!["configuration", "focus coverage"]);
+    for b in bars {
+        let label = match b.with {
+            None => format!("{} standalone", b.focus),
+            Some(w) => format!("{} w/ {}", b.focus, w),
+        };
+        t.row(vec![label, format!("{:.0}%", b.coverage * 100.0)]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standalone_bar_matches_pairing_shape() {
+        let alone = coverage_bar("galgel", None, 1_500_000);
+        let paired = coverage_bar("galgel", Some("gzip"), 1_500_000);
+        assert!(alone.coverage > 0.3, "galgel must train, got {:.2}", alone.coverage);
+        assert!(
+            paired.coverage > alone.coverage * 0.5,
+            "pairing must not destroy coverage: {:.2} vs {:.2}",
+            paired.coverage,
+            alone.coverage
+        );
+        assert!(render(&[alone, paired]).contains("galgel"));
+    }
+}

@@ -1,0 +1,31 @@
+//! One module per paper table/figure.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`table1`] | Table 1 — system configuration |
+//! | [`table2`] | Table 2 — benchmarks, base miss rates and IPCs |
+//! | [`fig02`] | Figure 2 — CDF of block dead times |
+//! | [`fig04`] | Figure 4 — DBCP coverage vs on-chip table size |
+//! | [`fig06`] | Figure 6 — temporal correlation distance + sequence lengths |
+//! | [`fig07`] | Figure 7 — last-touch to miss order distance |
+//! | [`fig08`] | Figure 8 — LT-cords vs unlimited DBCP coverage breakdown |
+//! | [`fig09`] | Figure 9 — coverage vs signature cache size |
+//! | [`fig10`] | Figure 10 — coverage vs off-chip sequence storage |
+//! | [`fig11`] | Figure 11 — multi-programmed coverage |
+//! | [`table3`] | Table 3 — speedup comparison |
+//! | [`fig12`] | Figure 12 — memory bus utilization breakdown |
+//! | [`ablations`] | design-choice ablations beyond the paper's figures |
+
+pub mod ablations;
+pub mod fig02;
+pub mod fig04;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod table1;
+pub mod table2;
+pub mod table3;

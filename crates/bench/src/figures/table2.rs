@@ -1,0 +1,59 @@
+//! Table 2 — benchmarks, base miss rates and IPCs.
+
+use ltc_sim::experiment::{run_timing, sweep_bounded, PredictorKind};
+use ltc_sim::report::Table;
+use ltc_sim::trace::suite;
+
+use crate::scale::Scale;
+
+/// One Table 2 row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Baseline L1D miss rate (0..1).
+    pub l1_miss: f64,
+    /// Baseline L2 local miss rate (0..1).
+    pub l2_miss: f64,
+    /// Baseline IPC.
+    pub ipc: f64,
+}
+
+/// Runs the baseline machine over the whole suite.
+pub fn run(scale: Scale) -> Vec<Row> {
+    let names: Vec<&'static str> = suite::benchmarks().iter().map(|e| e.name).collect();
+    sweep_bounded(names, scale.threads, |name| {
+        let r = run_timing(name, PredictorKind::Baseline, scale.timing_accesses, 1);
+        Row { name, l1_miss: r.l1_miss_rate(), l2_miss: r.l2_miss_rate(), ipc: r.ipc() }
+    })
+}
+
+/// Renders rows in the paper's format.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(vec!["benchmark", "L1 miss %", "L2 miss %", "IPC"]);
+    for r in rows {
+        t.row(vec![
+            r.name.to_string(),
+            format!("{:.0}", r.l1_miss * 100.0),
+            format!("{:.0}", r.l2_miss * 100.0),
+            format!("{:.2}", r.ipc),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_entire_suite_and_orders_extremes() {
+        let rows = run(Scale::bench());
+        assert_eq!(rows.len(), 28);
+        let get = |n: &str| rows.iter().find(|r| r.name == n).unwrap().clone();
+        // Table 2's defining contrasts.
+        assert!(get("mcf").ipc < get("crafty").ipc);
+        assert!(get("art").l1_miss > get("gzip").l1_miss);
+        assert!(render(&rows).contains("mcf"));
+    }
+}

@@ -1,0 +1,17 @@
+//! Benchmark harness regenerating every table and figure of the paper.
+//!
+//! Each module in [`figures`] computes the data for one paper table or
+//! figure and renders it as the same rows/series the paper reports. The
+//! binaries in `src/bin/` print them; the Criterion benches in `benches/`
+//! run the same kernels at reduced scale so `cargo bench` regenerates
+//! everything.
+//!
+//! Absolute numbers differ from the paper (the substrate is a synthetic
+//! trace simulator, not SimpleScalar/Alpha on SPEC2000 — see DESIGN.md §1);
+//! the *shape* — who wins, by what factor, where crossovers fall — is the
+//! reproduction target, recorded in EXPERIMENTS.md.
+
+pub mod figures;
+pub mod scale;
+
+pub use scale::Scale;

@@ -1,0 +1,540 @@
+//! The set-associative cache model.
+
+use ltc_trace::{AccessKind, Addr};
+
+use crate::config::{CacheConfig, ReplacementPolicy};
+use crate::stats::CacheStats;
+
+/// A block evicted by a fill.
+///
+/// Evictions drive last-touch training: the eviction of `addr` means its
+/// most recent access was that block's *last touch*, and the address that
+/// replaced it is the prediction target (paper Section 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedBlock {
+    /// Line base address of the evicted block.
+    pub addr: Addr,
+    /// Whether the block was dirty (write-back traffic).
+    pub dirty: bool,
+    /// Whether the block was filled by a prefetch and never demand-touched
+    /// (a useless prefetch).
+    pub prefetched_unused: bool,
+    /// Cache access sequence number at which the block was filled.
+    pub fill_seq: u64,
+    /// Sequence number of the block's last demand access (its last touch).
+    pub last_touch_seq: u64,
+}
+
+/// Result of a demand access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// Hit on a prefetched block that had not been demand-touched yet —
+    /// i.e. this access is the one that makes the prefetch *useful*.
+    pub first_use_of_prefetch: bool,
+    /// Block evicted by the fill, if the access missed and displaced a
+    /// valid block.
+    pub evicted: Option<EvictedBlock>,
+    /// Set index of the access (used by predictors).
+    pub set: u64,
+}
+
+/// Result of a prefetch fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefetchOutcome {
+    /// The block was already resident; nothing changed.
+    AlreadyPresent,
+    /// The block was installed.
+    Filled {
+        /// Block displaced by the prefetch, if any.
+        evicted: Option<EvictedBlock>,
+        /// Whether the displaced block was the predictor's intended victim.
+        replaced_intended_victim: bool,
+    },
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Block {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Filled by prefetch and not yet demand-accessed.
+    prefetched_pending: bool,
+    fill_seq: u64,
+    last_touch_seq: u64,
+}
+
+/// A set-associative cache with LRU or FIFO replacement.
+///
+/// The cache maintains an internal access sequence counter used for LRU
+/// ordering and for dead-time measurement (Figure 2 of the paper measures
+/// the time between a block's last touch and its eviction).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    blocks: Vec<Block>,
+    ways: usize,
+    set_mask: u64,
+    line_shift: u32,
+    set_shift: u32,
+    seq: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`CacheConfig::validate`]).
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.validate();
+        let sets = cfg.sets();
+        let ways = cfg.ways as usize;
+        Cache {
+            cfg,
+            blocks: vec![Block::default(); (sets as usize) * ways],
+            ways,
+            set_mask: sets - 1,
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            set_shift: sets.trailing_zeros(),
+            seq: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Current access sequence number (advances on every demand access).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    #[inline]
+    fn set_and_tag(&self, addr: Addr) -> (u64, u64) {
+        let line = addr.0 >> self.line_shift;
+        (line & self.set_mask, line >> self.set_shift)
+    }
+
+    #[inline]
+    fn set_slice(&mut self, set: u64) -> &mut [Block] {
+        let start = (set as usize) * self.ways;
+        &mut self.blocks[start..start + self.ways]
+    }
+
+    /// Performs a demand access, filling on miss.
+    pub fn access(&mut self, addr: Addr, kind: AccessKind) -> AccessOutcome {
+        self.seq += 1;
+        let seq = self.seq;
+        let (set, tag) = self.set_and_tag(addr);
+        let is_store = !kind.is_load();
+        let ways = self.ways;
+        let line_bytes = self.cfg.line_bytes;
+        let set_shift = self.set_shift;
+        let line_shift = self.line_shift;
+
+        let policy = self.cfg.policy;
+        let blocks = self.set_slice(set);
+        // Hit path.
+        for b in blocks.iter_mut() {
+            if b.valid && b.tag == tag {
+                let first_use = b.prefetched_pending;
+                b.prefetched_pending = false;
+                b.last_touch_seq = seq;
+                b.dirty |= is_store;
+                self.stats.accesses += 1;
+                self.stats.stores += u64::from(is_store);
+                self.stats.prefetch_hits += u64::from(first_use);
+                return AccessOutcome { hit: true, first_use_of_prefetch: first_use, evicted: None, set };
+            }
+        }
+        // Miss: select a victim and fill.
+        let victim_way = select_victim(blocks, policy, ways);
+        let victim = &mut blocks[victim_way];
+        let evicted = evicted_info(victim, set, set_shift, line_shift, line_bytes);
+        *victim = Block {
+            tag,
+            valid: true,
+            dirty: is_store,
+            prefetched_pending: false,
+            fill_seq: seq,
+            last_touch_seq: seq,
+        };
+        self.stats.accesses += 1;
+        self.stats.stores += u64::from(is_store);
+        self.stats.misses += 1;
+        self.stats.evictions += u64::from(evicted.is_some());
+        if let Some(ev) = &evicted {
+            self.stats.useless_prefetches += u64::from(ev.prefetched_unused);
+        }
+        AccessOutcome { hit: false, first_use_of_prefetch: false, evicted, set }
+    }
+
+    /// Installs `addr` as a prefetched block.
+    ///
+    /// If `intended_victim` names a resident block in the same set, that
+    /// block is displaced (the DBCP/LT-cords policy of replacing the
+    /// predicted-dead block, Section 2); otherwise the normal replacement
+    /// policy chooses. Returns what happened.
+    pub fn fill_prefetch(
+        &mut self,
+        addr: Addr,
+        intended_victim: Option<Addr>,
+    ) -> PrefetchOutcome {
+        let (set, tag) = self.set_and_tag(addr);
+        let seq = self.seq;
+        let ways = self.ways;
+        let policy = self.cfg.policy;
+        let line_bytes = self.cfg.line_bytes;
+        let set_shift = self.set_shift;
+        let line_shift = self.line_shift;
+
+        let victim_tag = intended_victim.and_then(|v| {
+            let (vset, vtag) = self.set_and_tag(v);
+            (vset == set).then_some(vtag)
+        });
+        let blocks = self.set_slice(set);
+        if blocks.iter().any(|b| b.valid && b.tag == tag) {
+            self.stats.prefetch_already_present += 1;
+            return PrefetchOutcome::AlreadyPresent;
+        }
+        let (victim_way, replaced_intended) = match victim_tag {
+            Some(vt) => match blocks.iter().position(|b| b.valid && b.tag == vt) {
+                Some(w) => (w, true),
+                None => (select_victim(blocks, policy, ways), false),
+            },
+            None => (select_victim(blocks, policy, ways), false),
+        };
+        let victim = &mut blocks[victim_way];
+        let evicted = evicted_info(victim, set, set_shift, line_shift, line_bytes);
+        *victim = Block {
+            tag,
+            valid: true,
+            dirty: false,
+            prefetched_pending: true,
+            // A prefetched block should not look freshly used to LRU: it
+            // inherits the current sequence as its fill time.
+            fill_seq: seq,
+            last_touch_seq: seq,
+        };
+        self.stats.prefetch_fills += 1;
+        if let Some(ev) = &evicted {
+            self.stats.useless_prefetches += u64::from(ev.prefetched_unused);
+        }
+        PrefetchOutcome::Filled { evicted, replaced_intended_victim: replaced_intended }
+    }
+
+    /// Whether the line containing `addr` is resident (non-perturbing).
+    pub fn contains(&self, addr: Addr) -> bool {
+        let (set, tag) = self.set_and_tag_ref(addr);
+        let start = (set as usize) * self.ways;
+        self.blocks[start..start + self.ways].iter().any(|b| b.valid && b.tag == tag)
+    }
+
+    /// Whether `addr` is resident as a never-demand-touched prefetch.
+    pub fn is_pending_prefetch(&self, addr: Addr) -> bool {
+        let (set, tag) = self.set_and_tag_ref(addr);
+        let start = (set as usize) * self.ways;
+        self.blocks[start..start + self.ways]
+            .iter()
+            .any(|b| b.valid && b.tag == tag && b.prefetched_pending)
+    }
+
+    /// The address the replacement policy would evict for a fill of `addr`,
+    /// if the set is full (non-perturbing).
+    pub fn peek_victim(&self, addr: Addr) -> Option<Addr> {
+        let (set, _) = self.set_and_tag_ref(addr);
+        let start = (set as usize) * self.ways;
+        let blocks = &self.blocks[start..start + self.ways];
+        if blocks.iter().any(|b| !b.valid) {
+            return None;
+        }
+        let way = match self.cfg.policy {
+            ReplacementPolicy::Lru => blocks
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, b)| b.last_touch_seq)
+                .map(|(i, _)| i)?,
+            ReplacementPolicy::Fifo => blocks
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, b)| b.fill_seq)
+                .map(|(i, _)| i)?,
+        };
+        let b = &blocks[way];
+        Some(self.line_addr(set, b.tag))
+    }
+
+    /// Enumerates resident line addresses (diagnostics and invariants).
+    pub fn resident_lines(&self) -> Vec<Addr> {
+        let mut v = Vec::new();
+        for set in 0..=self.set_mask {
+            let start = (set as usize) * self.ways;
+            for b in &self.blocks[start..start + self.ways] {
+                if b.valid {
+                    v.push(self.line_addr(set, b.tag));
+                }
+            }
+        }
+        v
+    }
+
+    #[inline]
+    fn set_and_tag_ref(&self, addr: Addr) -> (u64, u64) {
+        let line = addr.0 >> self.line_shift;
+        (line & self.set_mask, line >> self.set_shift)
+    }
+
+    #[inline]
+    fn line_addr(&self, set: u64, tag: u64) -> Addr {
+        Addr(((tag << self.set_shift) | set) << self.line_shift)
+    }
+}
+
+fn select_victim(blocks: &[Block], policy: ReplacementPolicy, ways: usize) -> usize {
+    // Prefer an invalid way.
+    if let Some(w) = blocks.iter().position(|b| !b.valid) {
+        return w;
+    }
+    match policy {
+        ReplacementPolicy::Lru => {
+            let mut best = 0;
+            for w in 1..ways {
+                if blocks[w].last_touch_seq < blocks[best].last_touch_seq {
+                    best = w;
+                }
+            }
+            best
+        }
+        ReplacementPolicy::Fifo => {
+            let mut best = 0;
+            for w in 1..ways {
+                if blocks[w].fill_seq < blocks[best].fill_seq {
+                    best = w;
+                }
+            }
+            best
+        }
+    }
+}
+
+fn evicted_info(
+    victim: &Block,
+    set: u64,
+    set_shift: u32,
+    line_shift: u32,
+    _line_bytes: u64,
+) -> Option<EvictedBlock> {
+    if !victim.valid {
+        return None;
+    }
+    Some(EvictedBlock {
+        addr: Addr(((victim.tag << set_shift) | set) << line_shift),
+        dirty: victim.dirty,
+        prefetched_unused: victim.prefetched_pending,
+        fill_seq: victim.fill_seq,
+        last_touch_seq: victim.last_touch_seq,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways x 64-byte lines = 256 bytes.
+        Cache::new(CacheConfig {
+            total_bytes: 256,
+            ways: 2,
+            line_bytes: 64,
+            policy: ReplacementPolicy::Lru,
+        })
+    }
+
+    /// Addresses mapping to set 0 of the tiny cache: multiples of 128.
+    fn set0(n: u64) -> Addr {
+        Addr(n * 128)
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(Addr(0), AccessKind::Load).hit);
+        assert!(c.access(Addr(8), AccessKind::Load).hit, "same line hits");
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().accesses, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        c.access(set0(0), AccessKind::Load);
+        c.access(set0(1), AccessKind::Load);
+        c.access(set0(0), AccessKind::Load); // 0 is now MRU
+        let out = c.access(set0(2), AccessKind::Load);
+        let ev = out.evicted.expect("full set must evict");
+        assert_eq!(ev.addr, set0(1), "LRU victim is block 1");
+        assert!(c.contains(set0(0)));
+        assert!(c.contains(set0(2)));
+        assert!(!c.contains(set0(1)));
+    }
+
+    #[test]
+    fn eviction_reports_last_touch_seq() {
+        let mut c = tiny();
+        c.access(set0(0), AccessKind::Load); // seq 1
+        c.access(set0(1), AccessKind::Load); // seq 2
+        c.access(set0(0), AccessKind::Load); // seq 3: last touch of block 0
+        c.access(set0(2), AccessKind::Load); // seq 4: evicts block 1 (LRU)
+        let out = c.access(set0(3), AccessKind::Load); // seq 5: evicts block 0
+        let ev = out.evicted.unwrap();
+        assert_eq!(ev.addr, set0(0));
+        assert_eq!(ev.last_touch_seq, 3);
+        assert_eq!(ev.fill_seq, 1);
+    }
+
+    #[test]
+    fn store_marks_dirty_and_eviction_reports_it() {
+        let mut c = tiny();
+        c.access(set0(0), AccessKind::Store);
+        c.access(set0(1), AccessKind::Load);
+        c.access(set0(2), AccessKind::Load); // evicts 0 (LRU)
+        // block 0 was LRU (accessed at seq 1).
+        let resident = c.resident_lines();
+        assert!(!resident.contains(&set0(0)));
+        // Re-fill and check the dirty bit came through the eviction.
+        let mut c = tiny();
+        c.access(set0(0), AccessKind::Store);
+        c.access(set0(1), AccessKind::Load);
+        let ev = c.access(set0(2), AccessKind::Load).evicted.unwrap();
+        assert_eq!(ev.addr, set0(0));
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn prefetch_fill_replaces_intended_victim() {
+        let mut c = tiny();
+        c.access(set0(0), AccessKind::Load);
+        c.access(set0(1), AccessKind::Load);
+        // Predict block 1 dead; bring in block 2 over it even though block 0
+        // is the LRU choice.
+        let out = c.fill_prefetch(set0(2), Some(set0(1)));
+        match out {
+            PrefetchOutcome::Filled { evicted, replaced_intended_victim } => {
+                assert!(replaced_intended_victim);
+                assert_eq!(evicted.unwrap().addr, set0(1));
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert!(c.contains(set0(0)), "the non-victim way is untouched");
+        assert!(c.contains(set0(2)));
+    }
+
+    #[test]
+    fn prefetch_fill_falls_back_to_policy_when_victim_absent() {
+        let mut c = tiny();
+        c.access(set0(0), AccessKind::Load);
+        c.access(set0(1), AccessKind::Load);
+        let out = c.fill_prefetch(set0(3), Some(set0(7)));
+        match out {
+            PrefetchOutcome::Filled { evicted, replaced_intended_victim } => {
+                assert!(!replaced_intended_victim);
+                assert_eq!(evicted.unwrap().addr, set0(0), "LRU fallback victim");
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prefetch_of_resident_block_is_noop() {
+        let mut c = tiny();
+        c.access(set0(0), AccessKind::Load);
+        assert_eq!(c.fill_prefetch(set0(0), None), PrefetchOutcome::AlreadyPresent);
+        assert_eq!(c.stats().prefetch_fills, 0);
+        assert_eq!(c.stats().prefetch_already_present, 1);
+    }
+
+    #[test]
+    fn first_demand_touch_of_prefetch_is_flagged_once() {
+        let mut c = tiny();
+        c.fill_prefetch(set0(2), None);
+        assert!(c.is_pending_prefetch(set0(2)));
+        let first = c.access(set0(2), AccessKind::Load);
+        assert!(first.hit && first.first_use_of_prefetch);
+        assert!(!c.is_pending_prefetch(set0(2)));
+        let second = c.access(set0(2), AccessKind::Load);
+        assert!(second.hit && !second.first_use_of_prefetch);
+        assert_eq!(c.stats().prefetch_hits, 1);
+    }
+
+    #[test]
+    fn useless_prefetch_counted_on_eviction() {
+        let mut c = tiny();
+        c.fill_prefetch(set0(9), None);
+        c.access(set0(0), AccessKind::Load);
+        c.access(set0(1), AccessKind::Load); // evicts the pending prefetch (it is LRU-oldest)
+        assert!(c.stats().useless_prefetches >= 1);
+    }
+
+    #[test]
+    fn peek_victim_matches_next_eviction() {
+        let mut c = tiny();
+        c.access(set0(0), AccessKind::Load);
+        c.access(set0(1), AccessKind::Load);
+        let predicted = c.peek_victim(set0(5)).unwrap();
+        let ev = c.access(set0(5), AccessKind::Load).evicted.unwrap();
+        assert_eq!(predicted, ev.addr);
+    }
+
+    #[test]
+    fn peek_victim_none_when_set_has_room() {
+        let mut c = tiny();
+        c.access(set0(0), AccessKind::Load);
+        assert!(c.peek_victim(set0(5)).is_none());
+    }
+
+    #[test]
+    fn fifo_policy_ignores_recency() {
+        let mut c = Cache::new(CacheConfig {
+            total_bytes: 256,
+            ways: 2,
+            line_bytes: 64,
+            policy: ReplacementPolicy::Fifo,
+        });
+        c.access(set0(0), AccessKind::Load);
+        c.access(set0(1), AccessKind::Load);
+        c.access(set0(0), AccessKind::Load); // touch 0 again — FIFO does not care
+        let ev = c.access(set0(2), AccessKind::Load).evicted.unwrap();
+        assert_eq!(ev.addr, set0(0), "FIFO evicts the oldest fill");
+    }
+
+    #[test]
+    fn resident_lines_counts_valid_blocks() {
+        let mut c = tiny();
+        assert!(c.resident_lines().is_empty());
+        c.access(Addr(0), AccessKind::Load);
+        c.access(Addr(64), AccessKind::Load);
+        let mut lines = c.resident_lines();
+        lines.sort();
+        assert_eq!(lines, vec![Addr(0), Addr(64)]);
+    }
+
+    #[test]
+    fn different_sets_do_not_interfere() {
+        let mut c = tiny();
+        c.access(Addr(0), AccessKind::Load); // set 0
+        c.access(Addr(64), AccessKind::Load); // set 1
+        c.access(Addr(128), AccessKind::Load); // set 0
+        c.access(Addr(192), AccessKind::Load); // set 1
+        assert_eq!(c.stats().evictions, 0, "4 blocks fit in 2 sets x 2 ways");
+    }
+}

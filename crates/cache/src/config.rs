@@ -1,0 +1,170 @@
+//! Cache geometry and replacement configuration.
+
+use serde::{Deserialize, Serialize};
+
+use ltc_trace::Addr;
+
+/// Replacement policy within a set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplacementPolicy {
+    /// Least-recently-used (the hierarchy caches in Table 1).
+    Lru,
+    /// First-in-first-out (used by the LT-cords signature cache, Section 4.3).
+    Fifo,
+}
+
+/// Geometry of one cache level.
+///
+/// # Example
+///
+/// ```
+/// use ltc_cache::CacheConfig;
+///
+/// let l1 = CacheConfig::l1d();
+/// assert_eq!(l1.sets(), 512); // 64 KB / 64 B / 2 ways
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub total_bytes: u64,
+    /// Associativity.
+    pub ways: u32,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Replacement policy.
+    pub policy: ReplacementPolicy,
+}
+
+impl CacheConfig {
+    /// The paper's L1 data cache: 64 KB, 64-byte lines, 2-way, LRU (Table 1).
+    pub fn l1d() -> Self {
+        CacheConfig {
+            total_bytes: 64 << 10,
+            ways: 2,
+            line_bytes: 64,
+            policy: ReplacementPolicy::Lru,
+        }
+    }
+
+    /// The paper's unified L2: 1 MB, 64-byte lines, 8-way, LRU (Table 1).
+    pub fn l2() -> Self {
+        CacheConfig {
+            total_bytes: 1 << 20,
+            ways: 8,
+            line_bytes: 64,
+            policy: ReplacementPolicy::Lru,
+        }
+    }
+
+    /// The enlarged 4 MB L2 used as a baseline in Table 3 (same latency
+    /// assumed, conservatively favouring the big cache).
+    pub fn l2_4mb() -> Self {
+        CacheConfig { total_bytes: 4 << 20, ..CacheConfig::l2() }
+    }
+
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is not self-consistent (see
+    /// [`CacheConfig::validate`]).
+    pub fn sets(&self) -> u64 {
+        self.validate();
+        self.total_bytes / (self.line_bytes * u64::from(self.ways))
+    }
+
+    /// Checks the invariants of the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of: capacity, ways or line size is zero; line size or
+    /// set count is not a power of two; or capacity is not divisible by
+    /// `ways * line_bytes`.
+    pub fn validate(&self) {
+        assert!(self.total_bytes > 0 && self.ways > 0 && self.line_bytes > 0);
+        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        let denom = self.line_bytes * u64::from(self.ways);
+        assert!(self.total_bytes % denom == 0, "capacity must divide evenly into sets");
+        let sets = self.total_bytes / denom;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+    }
+
+    /// Set index for an address.
+    #[inline]
+    pub fn set_index(&self, addr: Addr) -> u64 {
+        let line = addr.line_number(self.line_bytes);
+        line & (self.sets() - 1)
+    }
+
+    /// Tag for an address (the line number bits above the set index).
+    #[inline]
+    pub fn tag(&self, addr: Addr) -> u64 {
+        addr.line_number(self.line_bytes) >> self.sets().trailing_zeros()
+    }
+
+    /// Reconstructs the line base address from a `(set, tag)` pair.
+    #[inline]
+    pub fn line_addr(&self, set: u64, tag: u64) -> Addr {
+        let line = (tag << self.sets().trailing_zeros()) | set;
+        Addr(line * self.line_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_l1_geometry() {
+        let c = CacheConfig::l1d();
+        assert_eq!(c.sets(), 512);
+        assert_eq!(c.line_bytes, 64);
+    }
+
+    #[test]
+    fn paper_l2_geometry() {
+        let c = CacheConfig::l2();
+        assert_eq!(c.sets(), 2048);
+        let big = CacheConfig::l2_4mb();
+        assert_eq!(big.sets(), 8192);
+    }
+
+    #[test]
+    fn set_index_and_tag_partition_the_address() {
+        let c = CacheConfig::l1d();
+        let a = Addr(0xdead_beef);
+        let set = c.set_index(a);
+        let tag = c.tag(a);
+        assert!(set < c.sets());
+        assert_eq!(c.line_addr(set, tag), a.line(64));
+    }
+
+    #[test]
+    fn adjacent_lines_map_to_adjacent_sets() {
+        let c = CacheConfig::l1d();
+        let s0 = c.set_index(Addr(0));
+        let s1 = c.set_index(Addr(64));
+        assert_eq!(s1, s0 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_odd_line_size() {
+        CacheConfig { line_bytes: 48, ..CacheConfig::l1d() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn rejects_uneven_capacity() {
+        CacheConfig { total_bytes: 100_000, ..CacheConfig::l1d() }.validate();
+    }
+
+    #[test]
+    fn same_set_aliases_differ_by_way_span() {
+        let c = CacheConfig::l1d();
+        // Two addresses one "cache way span" apart share a set.
+        let span = c.sets() * c.line_bytes;
+        assert_eq!(c.set_index(Addr(0x40)), c.set_index(Addr(0x40 + span)));
+        assert_ne!(c.tag(Addr(0x40)), c.tag(Addr(0x40 + span)));
+    }
+}

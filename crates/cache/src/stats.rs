@@ -1,0 +1,67 @@
+//! Per-cache counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by a [`crate::Cache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Demand accesses (loads + stores).
+    pub accesses: u64,
+    /// Demand stores.
+    pub stores: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Valid blocks displaced by demand fills.
+    pub evictions: u64,
+    /// Blocks installed by prefetch.
+    pub prefetch_fills: u64,
+    /// Prefetch requests that found the block already resident.
+    pub prefetch_already_present: u64,
+    /// First demand touches of prefetched blocks (useful prefetches).
+    pub prefetch_hits: u64,
+    /// Prefetched blocks evicted without ever being demand-touched.
+    pub useless_prefetches: u64,
+}
+
+impl CacheStats {
+    /// Demand miss rate in `[0, 1]`.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Fraction of prefetch fills that were eventually demand-touched.
+    pub fn prefetch_accuracy(&self) -> f64 {
+        if self.prefetch_fills == 0 {
+            0.0
+        } else {
+            self.prefetch_hits as f64 / self.prefetch_fills as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_rate_handles_zero_accesses() {
+        assert_eq!(CacheStats::default().miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn miss_rate_ratio() {
+        let s = CacheStats { accesses: 10, misses: 3, ..CacheStats::default() };
+        assert!((s.miss_rate() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefetch_accuracy_ratio() {
+        let s = CacheStats { prefetch_fills: 4, prefetch_hits: 3, ..CacheStats::default() };
+        assert!((s.prefetch_accuracy() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheStats::default().prefetch_accuracy(), 0.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based invariants of the cache model.
+
+use ltc_cache::{Cache, CacheConfig, ReplacementPolicy};
+use ltc_trace::{AccessKind, Addr};
+use proptest::prelude::*;
+
+fn small_cache() -> Cache {
+    Cache::new(CacheConfig {
+        total_bytes: 1024,
+        ways: 4,
+        line_bytes: 64,
+        policy: ReplacementPolicy::Lru,
+    })
+}
+
+fn addr_strategy() -> impl Strategy<Value = Addr> {
+    // 64 lines of address space: heavy aliasing into 4 sets x 4 ways.
+    (0u64..64).prop_map(|l| Addr(l * 64))
+}
+
+fn kind_strategy() -> impl Strategy<Value = AccessKind> {
+    prop_oneof![Just(AccessKind::Load), Just(AccessKind::Store)]
+}
+
+proptest! {
+    /// The most recently accessed line is always resident.
+    #[test]
+    fn mru_line_is_resident(accesses in prop::collection::vec((addr_strategy(), kind_strategy()), 1..200)) {
+        let mut c = small_cache();
+        for (addr, kind) in &accesses {
+            c.access(*addr, *kind);
+            prop_assert!(c.contains(*addr), "just-accessed line {addr} must be resident");
+        }
+    }
+
+    /// No set ever holds more lines than its associativity.
+    #[test]
+    fn residency_bounded_by_ways(accesses in prop::collection::vec(addr_strategy(), 1..300)) {
+        let mut c = small_cache();
+        for addr in &accesses {
+            c.access(*addr, AccessKind::Load);
+        }
+        let lines = c.resident_lines();
+        prop_assert!(lines.len() <= 16, "4 sets x 4 ways = 16 blocks max");
+        // Per-set bound.
+        let mut per_set = std::collections::HashMap::new();
+        for l in &lines {
+            *per_set.entry(c.config().set_index(*l)).or_insert(0u32) += 1;
+        }
+        for (&set, &count) in &per_set {
+            prop_assert!(count <= 4, "set {set} holds {count} > 4 lines");
+        }
+    }
+
+    /// Accessing the same line twice back to back always hits the second time.
+    #[test]
+    fn repeat_access_hits(addr in addr_strategy(), warm in prop::collection::vec(addr_strategy(), 0..50)) {
+        let mut c = small_cache();
+        for w in &warm {
+            c.access(*w, AccessKind::Load);
+        }
+        c.access(addr, AccessKind::Load);
+        let second = c.access(addr, AccessKind::Load);
+        prop_assert!(second.hit);
+    }
+
+    /// `peek_victim` always predicts exactly what the next fill evicts.
+    #[test]
+    fn peek_victim_is_accurate(warm in prop::collection::vec(addr_strategy(), 0..100), probe in addr_strategy()) {
+        let mut c = small_cache();
+        for w in &warm {
+            c.access(*w, AccessKind::Load);
+        }
+        if c.contains(probe) {
+            return Ok(()); // a hit evicts nothing
+        }
+        let predicted = c.peek_victim(probe);
+        let ev = c.access(probe, AccessKind::Load).evicted;
+        match predicted {
+            Some(p) => prop_assert_eq!(ev.map(|e| e.addr), Some(p)),
+            None => prop_assert!(ev.is_none(), "room in the set means no eviction"),
+        }
+    }
+
+    /// Counter identities hold after any access mix.
+    #[test]
+    fn stats_identities(accesses in prop::collection::vec((addr_strategy(), kind_strategy()), 0..300)) {
+        let mut c = small_cache();
+        for (addr, kind) in &accesses {
+            c.access(*addr, *kind);
+        }
+        let s = c.stats();
+        prop_assert!(s.misses <= s.accesses);
+        prop_assert!(s.evictions <= s.misses);
+        prop_assert!(s.stores <= s.accesses);
+        prop_assert_eq!(s.accesses as usize, accesses.len());
+        // Every resident line entered via a miss: misses >= resident count.
+        prop_assert!((s.misses as usize) >= c.resident_lines().len());
+    }
+
+    /// Eviction timestamps are consistent: fill <= last touch < eviction seq.
+    #[test]
+    fn eviction_timestamps_ordered(accesses in prop::collection::vec(addr_strategy(), 1..300)) {
+        let mut c = small_cache();
+        for addr in &accesses {
+            let seq_before = c.seq();
+            let out = c.access(*addr, AccessKind::Load);
+            if let Some(ev) = out.evicted {
+                prop_assert!(ev.fill_seq <= ev.last_touch_seq);
+                prop_assert!(ev.last_touch_seq <= seq_before, "last touch precedes the evicting access");
+            }
+        }
+    }
+
+    /// FIFO and LRU agree on cold fills (both use invalid ways first).
+    #[test]
+    fn policies_agree_when_cache_is_cold(lines in prop::collection::vec(0u64..16, 1..16)) {
+        let mk = |policy| Cache::new(CacheConfig {
+            total_bytes: 1024,
+            ways: 4,
+            line_bytes: 64,
+            policy,
+        });
+        let mut lru = mk(ReplacementPolicy::Lru);
+        let mut fifo = mk(ReplacementPolicy::Fifo);
+        let mut distinct = std::collections::HashSet::new();
+        for l in &lines {
+            distinct.insert(*l);
+            if distinct.len() > 4 {
+                break; // sets may overflow beyond this point
+            }
+            let a = Addr(l * 64);
+            let r1 = lru.access(a, AccessKind::Load);
+            let r2 = fifo.access(a, AccessKind::Load);
+            prop_assert_eq!(r1.hit, r2.hit);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! LT-cords configuration.
+
+use ltc_cache::{CacheConfig, ReplacementPolicy};
+use ltc_lasttouch::SignatureScheme;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of an [`crate::LtCords`] instance.
+///
+/// The defaults reproduce the paper's Section 5.6 configuration: 160 MB of
+/// off-chip sequence storage (4 K frames × 8 K signatures × 5 bytes), a
+/// 32 K-entry 2-way signature cache and a 10 KB sequence tag array, for a
+/// total on-chip budget of ~214 KB.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LtCordsConfig {
+    /// L1D geometry mirrored by the history table.
+    pub l1: CacheConfig,
+    /// Signature hashing scheme.
+    pub scheme: SignatureScheme,
+    /// Signature cache entries (total, across all sets).
+    pub sig_cache_entries: usize,
+    /// Signature cache associativity (FIFO replacement within a set).
+    pub sig_cache_ways: usize,
+    /// Number of off-chip frames (each holding one fragment).
+    pub frames: usize,
+    /// Signatures per fragment.
+    pub fragment_len: usize,
+    /// How many signatures the head precedes its fragment by ("several
+    /// hundred", Section 4.2, so that off-chip retrieval latency is hidden).
+    pub head_lookahead: usize,
+    /// Sliding-window span: how far past the most recently used signature
+    /// the stream runs (must cover the ±1 K reordering of Section 5.2).
+    pub stream_window: usize,
+    /// Signatures moved per off-chip transfer unit (write coalescing and
+    /// window advancement granularity, Section 4.1/4.3).
+    pub transfer_unit: usize,
+    /// Signature-cache replacement policy. The paper chooses FIFO
+    /// (Section 4.3) because streamed signatures age out naturally; the
+    /// ablation harness compares LRU.
+    pub sig_cache_policy: ReplacementPolicy,
+    /// Whether the 2-bit confidence counters gate predictions
+    /// (Section 4.4). Disabling them is an ablation: every signature-cache
+    /// hit predicts.
+    pub use_confidence: bool,
+}
+
+impl LtCordsConfig {
+    /// The paper's cycle-accurate configuration (Section 5.6), with the
+    /// trace-mode 32-bit signature hash used for coverage studies.
+    pub fn paper() -> Self {
+        LtCordsConfig {
+            l1: CacheConfig::l1d(),
+            scheme: SignatureScheme::trace_mode(),
+            sig_cache_entries: 32 << 10,
+            sig_cache_ways: 2,
+            frames: 4 << 10,
+            fragment_len: 8 << 10,
+            head_lookahead: 256,
+            stream_window: 1 << 10,
+            transfer_unit: 16,
+            sig_cache_policy: ReplacementPolicy::Fifo,
+            use_confidence: true,
+        }
+    }
+
+    /// The Figure 9 sensitivity configuration: an effectively unlimited
+    /// number of 512-signature fragments, 8-way signature cache.
+    pub fn fig9_sweep(sig_cache_entries: usize) -> Self {
+        LtCordsConfig {
+            sig_cache_entries,
+            sig_cache_ways: 8,
+            frames: 1 << 16,
+            fragment_len: 512,
+            ..LtCordsConfig::paper()
+        }
+    }
+
+    /// The Figure 10 sensitivity configuration: off-chip storage capped at
+    /// `total_signatures` (frames of 8 K signatures each).
+    pub fn fig10_sweep(total_signatures: usize) -> Self {
+        let fragment_len = 8 << 10;
+        LtCordsConfig {
+            frames: (total_signatures / fragment_len).max(1),
+            fragment_len,
+            ..LtCordsConfig::paper()
+        }
+    }
+
+    /// Total off-chip capacity in signatures.
+    pub fn offchip_signatures(&self) -> u64 {
+        self.frames as u64 * self.fragment_len as u64
+    }
+
+    /// Off-chip capacity in bytes (5 bytes per signature, Section 5.4).
+    pub fn offchip_bytes(&self) -> u64 {
+        self.offchip_signatures() * 5
+    }
+
+    /// Checks invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size is zero, not a power of two where required, or the
+    /// associativity exceeds the entry count.
+    pub fn validate(&self) {
+        self.l1.validate();
+        self.scheme.validate();
+        assert!(self.sig_cache_entries > 0, "signature cache cannot be empty");
+        assert!(self.sig_cache_ways > 0, "signature cache needs at least one way");
+        assert!(
+            self.sig_cache_entries % self.sig_cache_ways == 0,
+            "entries must divide into ways"
+        );
+        let sets = self.sig_cache_entries / self.sig_cache_ways;
+        assert!(sets.is_power_of_two(), "signature cache set count must be a power of two");
+        assert!(self.frames.is_power_of_two(), "frame count must be a power of two");
+        assert!(self.fragment_len > 0, "fragments must hold signatures");
+        assert!(self.transfer_unit > 0, "transfer unit must be non-zero");
+        assert!(self.stream_window > 0, "stream window must be non-zero");
+    }
+}
+
+impl Default for LtCordsConfig {
+    fn default() -> Self {
+        LtCordsConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_section_5_6() {
+        let c = LtCordsConfig::paper();
+        c.validate();
+        assert_eq!(c.offchip_signatures(), 32 << 20, "32M signatures");
+        assert_eq!(c.offchip_bytes(), 160 << 20, "160MB sequence storage");
+        assert_eq!(c.sig_cache_entries, 32 << 10);
+    }
+
+    #[test]
+    fn fig10_sweep_caps_offchip_storage() {
+        let c = LtCordsConfig::fig10_sweep(2 << 20);
+        c.validate();
+        assert_eq!(c.offchip_signatures(), 2 << 20);
+    }
+
+    #[test]
+    fn fig9_sweep_uses_512_sig_fragments() {
+        let c = LtCordsConfig::fig9_sweep(4096);
+        c.validate();
+        assert_eq!(c.fragment_len, 512);
+        assert_eq!(c.sig_cache_ways, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_odd_set_count() {
+        let mut c = LtCordsConfig::paper();
+        c.sig_cache_entries = 3 * c.sig_cache_ways;
+        c.validate();
+    }
+}

@@ -1,0 +1,48 @@
+//! Last-Touch Correlated Data Streaming (LT-cords).
+//!
+//! This crate implements the paper's primary contribution: a practical
+//! address-correlating prefetcher that records last-touch correlation data
+//! **off chip, in the order it is discovered** (cache-miss order), and
+//! **streams** it into a small on-chip signature cache shortly before it is
+//! needed (Sections 3 and 4 of the paper).
+//!
+//! The design comprises:
+//!
+//! * [`SequenceStorage`] — the off-chip (main-memory) store, divided into
+//!   *frames* each holding a *fragment* of consecutive last-touch signatures.
+//!   Fragments are keyed by a *head signature* that precedes them in the
+//!   global signature sequence, and map to frames direct-mapped by the head's
+//!   low-order bits (Section 4.2).
+//! * [`SequenceTagArray`] — the small on-chip array tracking, per frame, the
+//!   head hash and the current sliding-window position (Figure 5).
+//! * [`SignatureCache`] — a set-associative, FIFO-replacement on-chip cache
+//!   of signatures, each entry carrying a pointer to its own off-chip
+//!   location for confidence write-back (Sections 4.3 and 4.4).
+//! * [`LtCords`] — the predictor itself, wiring the shared last-touch
+//!   [`ltc_lasttouch::HistoryTable`] to the streaming machinery and
+//!   implementing [`ltc_predictors::Prefetcher`].
+//!
+//! # Example
+//!
+//! ```
+//! use ltcords::{LtCords, LtCordsConfig};
+//! use ltc_predictors::Prefetcher;
+//!
+//! let lt = LtCords::new(LtCordsConfig::paper());
+//! // The paper's configuration: ~214 KB of on-chip state.
+//! assert!(lt.storage_bytes() < 256 * 1024);
+//! ```
+
+pub mod config;
+pub mod metrics;
+pub mod predictor;
+pub mod sigcache;
+pub mod storage;
+pub mod tag_array;
+
+pub use config::LtCordsConfig;
+pub use metrics::LtCordsMetrics;
+pub use predictor::LtCords;
+pub use sigcache::SignatureCache;
+pub use storage::SequenceStorage;
+pub use tag_array::SequenceTagArray;

@@ -1,0 +1,54 @@
+//! LT-cords operation counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters describing an LT-cords run (beyond the generic cache stats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LtCordsMetrics {
+    /// Last-touch predictions issued (prefetch requests emitted).
+    pub predictions: u64,
+    /// Signature-cache hits that carried enough confidence to predict.
+    pub confident_hits: u64,
+    /// Signature-cache hits suppressed by low confidence.
+    pub low_confidence_hits: u64,
+    /// Fragment streams activated by head-signature matches.
+    pub head_activations: u64,
+    /// Signatures streamed from off-chip into the signature cache.
+    pub signatures_streamed: u64,
+    /// Signatures recorded (appended off chip).
+    pub signatures_recorded: u64,
+    /// Confidence write-backs performed.
+    pub confidence_updates: u64,
+}
+
+impl LtCordsMetrics {
+    /// Average signatures streamed per prediction (≈1 in steady state, per
+    /// the paper's Section 5.8 observation of one signature per L1D miss).
+    pub fn stream_per_prediction(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.signatures_streamed as f64 / self.predictions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_ratio_handles_zero() {
+        assert_eq!(LtCordsMetrics::default().stream_per_prediction(), 0.0);
+    }
+
+    #[test]
+    fn stream_ratio_divides() {
+        let m = LtCordsMetrics {
+            predictions: 4,
+            signatures_streamed: 8,
+            ..LtCordsMetrics::default()
+        };
+        assert!((m.stream_per_prediction() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,293 @@
+//! The on-chip signature cache (Sections 3.2 and 4.3).
+
+use ltc_cache::ReplacementPolicy;
+use ltc_lasttouch::{Confidence, Signature, SignatureRecord};
+use ltc_trace::Addr;
+
+use crate::storage::SigPtr;
+
+/// One signature-cache entry: 42 bits in the paper's Section 5.6 encoding
+/// (15-bit prediction tag + 2-bit confidence + 25-bit off-chip self-pointer).
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    valid: bool,
+    sig: Signature,
+    predicted: Addr,
+    confidence: Confidence,
+    ptr: SigPtr,
+    /// FIFO: insertion order; LRU: last-use order.
+    seq: u64,
+}
+
+impl Default for Entry {
+    fn default() -> Self {
+        Entry {
+            valid: false,
+            sig: Signature(0),
+            predicted: Addr(0),
+            confidence: Confidence::new(0),
+            ptr: SigPtr { frame: 0, offset: 0 },
+            seq: 0,
+        }
+    }
+}
+
+/// A hit returned by [`SignatureCache::lookup`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SigHit {
+    /// Predicted replacement address.
+    pub predicted: Addr,
+    /// Current confidence.
+    pub confidence: Confidence,
+    /// The signature's off-chip location (for window advance and
+    /// confidence write-back).
+    pub ptr: SigPtr,
+}
+
+/// Set-associative on-chip cache of streamed signatures, FIFO replacement.
+///
+/// The paper sizes this at 32 K entries, 2-way, with FIFO replacement within
+/// a set (Section 4.3): FIFO matches the streaming usage, where signatures
+/// arrive in sequence order and age out as the sliding windows advance.
+#[derive(Debug)]
+pub struct SignatureCache {
+    entries: Vec<Entry>,
+    ways: usize,
+    set_mask: u32,
+    policy: ReplacementPolicy,
+    clock: u64,
+    inserts: u64,
+    hits: u64,
+    lookups: u64,
+}
+
+impl SignatureCache {
+    /// Creates an empty signature cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes are zero, entries do not divide into ways, or the set
+    /// count is not a power of two.
+    pub fn new(entries: usize, ways: usize) -> Self {
+        SignatureCache::with_policy(entries, ways, ReplacementPolicy::Fifo)
+    }
+
+    /// Creates an empty signature cache with an explicit replacement policy
+    /// (the ablation harness compares the paper's FIFO choice against LRU).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`SignatureCache::new`].
+    pub fn with_policy(entries: usize, ways: usize, policy: ReplacementPolicy) -> Self {
+        assert!(entries > 0 && ways > 0, "signature cache sizes must be non-zero");
+        assert!(entries % ways == 0, "entries must divide into ways");
+        let sets = entries / ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        SignatureCache {
+            entries: vec![Entry::default(); entries],
+            ways,
+            set_mask: (sets - 1) as u32,
+            policy,
+            clock: 0,
+            inserts: 0,
+            hits: 0,
+            lookups: 0,
+        }
+    }
+
+    /// Total capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// On-chip size in bytes at the paper's 42 bits per entry.
+    pub fn storage_bytes(&self) -> u64 {
+        (self.entries.len() as u64 * 42).div_ceil(8)
+    }
+
+    /// Lookups performed.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Hits observed.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Insertions performed.
+    pub fn inserts(&self) -> u64 {
+        self.inserts
+    }
+
+    #[inline]
+    fn set_range(&self, sig: Signature) -> std::ops::Range<usize> {
+        let set = (sig.0 & self.set_mask) as usize;
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    /// Inserts a streamed signature (FIFO within its set). An existing entry
+    /// with the same signature is refreshed in place so a fragment re-stream
+    /// updates stale pointers instead of duplicating.
+    pub fn insert(&mut self, record: SignatureRecord, ptr: SigPtr) {
+        self.clock += 1;
+        self.inserts += 1;
+        let clock = self.clock;
+        let ways = self.ways;
+        let range = self.set_range(record.signature);
+        let slice = &mut self.entries[range];
+        let way = slice
+            .iter()
+            .position(|e| e.valid && e.sig == record.signature)
+            .or_else(|| slice.iter().position(|e| !e.valid))
+            .unwrap_or_else(|| {
+                // Victim: oldest insertion (FIFO) or least recent use (LRU —
+                // lookups refresh `seq` under that policy).
+                let mut best = 0;
+                for w in 1..ways {
+                    if slice[w].seq < slice[best].seq {
+                        best = w;
+                    }
+                }
+                best
+            });
+        slice[way] = Entry {
+            valid: true,
+            sig: record.signature,
+            predicted: record.predicted,
+            confidence: record.confidence,
+            ptr,
+            seq: clock,
+        };
+    }
+
+    /// Looks up a signature (non-destructive under FIFO; refreshes recency
+    /// under LRU).
+    pub fn lookup(&mut self, sig: Signature) -> Option<SigHit> {
+        self.lookups += 1;
+        self.clock += 1;
+        let clock = self.clock;
+        let lru = self.policy == ReplacementPolicy::Lru;
+        let range = self.set_range(sig);
+        let hit =
+            self.entries[range].iter_mut().find(|e| e.valid && e.sig == sig).map(|e| {
+                if lru {
+                    e.seq = clock;
+                }
+                SigHit { predicted: e.predicted, confidence: e.confidence, ptr: e.ptr }
+            });
+        self.hits += u64::from(hit.is_some());
+        hit
+    }
+
+    /// Updates the cached confidence for `sig` (the off-chip copy is updated
+    /// separately through the returned pointer). Returns the entry's pointer
+    /// if present.
+    pub fn update_confidence(&mut self, sig: Signature, correct: bool) -> Option<SigPtr> {
+        let range = self.set_range(sig);
+        self.entries[range].iter_mut().find(|e| e.valid && e.sig == sig).map(|e| {
+            e.confidence =
+                if correct { e.confidence.strengthen() } else { e.confidence.weaken() };
+            e.ptr
+        })
+    }
+
+    /// Live entry count (diagnostics).
+    pub fn len(&self) -> usize {
+        self.entries.iter().filter(|e| e.valid).count()
+    }
+
+    /// Whether no signatures are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(sig: u32, target: u64) -> SignatureRecord {
+        SignatureRecord::new(Signature(sig), Addr(target))
+    }
+
+    fn ptr(frame: u32, offset: u32) -> SigPtr {
+        SigPtr { frame, offset }
+    }
+
+    #[test]
+    fn insert_then_lookup() {
+        let mut c = SignatureCache::new(8, 2);
+        c.insert(rec(5, 640), ptr(1, 2));
+        let hit = c.lookup(Signature(5)).unwrap();
+        assert_eq!(hit.predicted, Addr(640));
+        assert_eq!(hit.ptr, ptr(1, 2));
+        assert!(hit.confidence.is_confident());
+    }
+
+    #[test]
+    fn miss_returns_none() {
+        let mut c = SignatureCache::new(8, 2);
+        assert!(c.lookup(Signature(1)).is_none());
+        assert_eq!(c.lookups(), 1);
+        assert_eq!(c.hits(), 0);
+    }
+
+    #[test]
+    fn fifo_evicts_oldest_in_set() {
+        // 4 sets x 2 ways; sigs 0, 4, 8 share set 0.
+        let mut c = SignatureCache::new(8, 2);
+        c.insert(rec(0, 1), ptr(0, 0));
+        c.insert(rec(4, 2), ptr(0, 1));
+        // Look up sig 0 (FIFO must ignore recency, unlike LRU).
+        let _ = c.lookup(Signature(0));
+        c.insert(rec(8, 3), ptr(0, 2));
+        assert!(c.lookup(Signature(0)).is_none(), "oldest insertion evicted");
+        assert!(c.lookup(Signature(4)).is_some());
+        assert!(c.lookup(Signature(8)).is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_in_place() {
+        let mut c = SignatureCache::new(8, 2);
+        c.insert(rec(4, 100), ptr(0, 0));
+        c.insert(rec(4, 200), ptr(9, 9));
+        assert_eq!(c.len(), 1, "same signature must not duplicate");
+        let hit = c.lookup(Signature(4)).unwrap();
+        assert_eq!(hit.predicted, Addr(200));
+        assert_eq!(hit.ptr, ptr(9, 9));
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c = SignatureCache::new(8, 2);
+        for s in 0..4u32 {
+            c.insert(rec(s, 1), ptr(0, s));
+            c.insert(rec(s + 4, 1), ptr(0, s + 4));
+        }
+        assert_eq!(c.len(), 8, "4 sets x 2 ways all occupied");
+    }
+
+    #[test]
+    fn confidence_update_returns_pointer() {
+        let mut c = SignatureCache::new(8, 2);
+        c.insert(rec(3, 64), ptr(7, 1));
+        let p = c.update_confidence(Signature(3), false).unwrap();
+        assert_eq!(p, ptr(7, 1));
+        assert!(!c.lookup(Signature(3)).unwrap().confidence.is_confident());
+        assert!(c.update_confidence(Signature(99), true).is_none());
+    }
+
+    #[test]
+    fn storage_matches_42_bit_entries() {
+        let c = SignatureCache::new(32 << 10, 2);
+        // 32K x 42 bits = 168 KB.
+        assert_eq!(c.storage_bytes(), (32 << 10) * 42 / 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2_sets() {
+        let _ = SignatureCache::new(12, 2);
+    }
+}

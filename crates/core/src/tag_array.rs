@@ -1,0 +1,199 @@
+//! The on-chip sequence tag array (Figure 5: "head hist-hash, win. pos.").
+
+use ltc_lasttouch::Signature;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct TagEntry {
+    head: Option<Signature>,
+    /// Next fragment offset to stream (the sliding-window frontier).
+    window_pos: u32,
+    /// Whether the fragment is actively streaming.
+    active: bool,
+    /// Lookup-clock timestamp of the last activation/advance.
+    last_use: u64,
+}
+
+/// Tracks, per off-chip frame, the head hash of the stored fragment and the
+/// current sliding-window position of any in-progress stream (Section 4.3).
+#[derive(Debug)]
+pub struct SequenceTagArray {
+    entries: Vec<TagEntry>,
+    activations: u64,
+}
+
+impl SequenceTagArray {
+    /// Creates a tag array for `frames` frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is zero.
+    pub fn new(frames: usize) -> Self {
+        assert!(frames > 0, "tag array needs at least one frame");
+        SequenceTagArray { entries: vec![TagEntry::default(); frames], activations: 0 }
+    }
+
+    /// Number of frames tracked.
+    pub fn frames(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Streams started over the run.
+    pub fn activations(&self) -> u64 {
+        self.activations
+    }
+
+    /// On-chip size in bytes: ~20 bits per frame (head hash excerpt plus a
+    /// window position), ~10 KB for the paper's 4 K frames (Section 5.6).
+    pub fn storage_bytes(&self) -> u64 {
+        (self.entries.len() as u64 * 20).div_ceil(8)
+    }
+
+    /// Registers the head for `frame` when (re)recording a fragment; resets
+    /// any in-progress window.
+    pub fn set_head(&mut self, frame: u32, head: Signature) {
+        let e = &mut self.entries[frame as usize];
+        e.head = Some(head);
+        e.window_pos = 0;
+        e.active = false;
+    }
+
+    /// Whether `sig` matches the head of `frame`.
+    pub fn head_matches(&self, frame: u32, sig: Signature) -> bool {
+        self.entries[frame as usize].head == Some(sig)
+    }
+
+    /// Begins streaming `frame`, returning the initial window `[0, to)` that
+    /// should be fetched. Re-activating an already-active stream rewinds it
+    /// (the sequence is recurring from its start again).
+    pub fn activate(&mut self, frame: u32, initial_window: u32, now: u64) -> (u32, u32) {
+        let e = &mut self.entries[frame as usize];
+        e.active = true;
+        e.window_pos = initial_window;
+        e.last_use = now;
+        self.activations += 1;
+        (0, initial_window)
+    }
+
+    /// Whether a head match on `frame` should (re)start its stream.
+    ///
+    /// Head signatures are also stored *inside* fragments and can recur
+    /// mid-stream (hot workloads re-touch them constantly); rewinding on
+    /// every match would re-stream the fragment endlessly. A restart is
+    /// genuine when the stream is not running or has sat idle past
+    /// `idle_threshold` lookups — a real outer-loop recurrence always
+    /// arrives after the previous pass's stream went quiet.
+    pub fn should_activate(&self, frame: u32, now: u64, idle_threshold: u64) -> bool {
+        let e = &self.entries[frame as usize];
+        !e.active || now.saturating_sub(e.last_use) > idle_threshold
+    }
+
+    /// Advances the window of `frame` so it covers up to `used_offset +
+    /// window`, returning the range of offsets that must now be streamed
+    /// (empty when the window already covers them).
+    ///
+    /// A hit far beyond the current window frontier *skips* the gap rather
+    /// than streaming it (the stale-signature skipping of Section 3.2): at
+    /// most `window` signatures move per advance.
+    pub fn advance(&mut self, frame: u32, used_offset: u32, window: u32, now: u64) -> (u32, u32) {
+        let e = &mut self.entries[frame as usize];
+        e.last_use = now;
+        if !e.active {
+            // A hit on a fragment whose stream was reset (e.g. overwritten
+            // head): treat as an implicit activation from this offset.
+            e.active = true;
+            e.window_pos = used_offset;
+        }
+        let target = used_offset.saturating_add(window);
+        if target <= e.window_pos {
+            return (e.window_pos, e.window_pos); // nothing new to fetch
+        }
+        let from = e.window_pos.max(used_offset);
+        e.window_pos = target;
+        (from, target)
+    }
+
+    /// Current window frontier for `frame` (diagnostics).
+    pub fn window_pos(&self, frame: u32) -> u32 {
+        self.entries[frame as usize].window_pos
+    }
+
+    /// Whether `frame` has an active stream.
+    pub fn is_active(&self, frame: u32) -> bool {
+        self.entries[frame as usize].active
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_registration_and_match() {
+        let mut t = SequenceTagArray::new(8);
+        t.set_head(3, Signature(42));
+        assert!(t.head_matches(3, Signature(42)));
+        assert!(!t.head_matches(3, Signature(43)));
+        assert!(!t.head_matches(2, Signature(42)));
+    }
+
+    #[test]
+    fn activation_returns_initial_window() {
+        let mut t = SequenceTagArray::new(8);
+        t.set_head(1, Signature(7));
+        assert_eq!(t.activate(1, 128, 0), (0, 128));
+        assert_eq!(t.window_pos(1), 128);
+        assert!(t.is_active(1));
+        assert_eq!(t.activations(), 1);
+    }
+
+    #[test]
+    fn advance_streams_only_new_offsets() {
+        let mut t = SequenceTagArray::new(8);
+        t.set_head(0, Signature(1));
+        t.activate(0, 64, 0);
+        // Using offset 10 with window 64 targets 74: fetch [64, 74).
+        assert_eq!(t.advance(0, 10, 64, 1), (64, 74));
+        // Using offset 5 next: target 69 < 74, nothing to fetch.
+        let (a, b) = t.advance(0, 5, 64, 2);
+        assert_eq!(a, b);
+        assert_eq!(t.window_pos(0), 74);
+    }
+
+    #[test]
+    fn advance_without_activation_starts_stream() {
+        let mut t = SequenceTagArray::new(8);
+        t.set_head(0, Signature(1));
+        let (from, to) = t.advance(0, 100, 32, 0);
+        assert_eq!((from, to), (100, 132));
+        assert!(t.is_active(0));
+    }
+
+    #[test]
+    fn set_head_resets_stream() {
+        let mut t = SequenceTagArray::new(8);
+        t.set_head(0, Signature(1));
+        t.activate(0, 64, 0);
+        t.set_head(0, Signature(2));
+        assert!(!t.is_active(0));
+        assert_eq!(t.window_pos(0), 0);
+    }
+
+    #[test]
+    fn activation_gate_blocks_mid_stream_rewinds() {
+        let mut t = SequenceTagArray::new(8);
+        t.set_head(0, Signature(1));
+        assert!(t.should_activate(0, 0, 100), "inactive stream may start");
+        t.activate(0, 64, 10);
+        let _ = t.advance(0, 50, 64, 20);
+        assert!(!t.should_activate(0, 30, 100), "busy stream must not rewind");
+        assert!(t.should_activate(0, 200, 100), "idle stream may restart");
+        let _ = t.advance(0, 1000, 64, 300);
+        assert!(!t.should_activate(0, 310, 100), "recent activity still blocks rewinds");
+    }
+
+    #[test]
+    fn storage_is_20_bits_per_frame() {
+        let t = SequenceTagArray::new(4 << 10);
+        assert_eq!(t.storage_bytes(), (4 << 10) * 20 / 8); // 10 KB
+    }
+}

@@ -1,0 +1,98 @@
+//! Two-bit saturating confidence counters (paper Section 4.4).
+
+use serde::{Deserialize, Serialize};
+
+/// A 2-bit saturating confidence counter.
+///
+/// LT-cords predicts only from signatures whose counter is at or above the
+/// threshold (2). Counters are initialized to 2 "because most signatures are
+/// valid immediately after creation … to expedite training" (Section 4.4),
+/// are incremented on correct predictions, and decremented on incorrect
+/// ones, saturating at 0 and 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Confidence(u8);
+
+impl Confidence {
+    /// Saturation maximum (2 bits).
+    pub const MAX: u8 = 3;
+    /// Prediction threshold.
+    pub const THRESHOLD: u8 = 2;
+
+    /// The paper's initial value of 2.
+    pub const fn initial() -> Self {
+        Confidence(2)
+    }
+
+    /// Creates a counter clamped to the 2-bit range.
+    pub fn new(v: u8) -> Self {
+        Confidence(v.min(Self::MAX))
+    }
+
+    /// Raw counter value (0..=3).
+    pub fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Whether predictions should be made from this entry.
+    pub fn is_confident(self) -> bool {
+        self.0 >= Self::THRESHOLD
+    }
+
+    /// Saturating increment (correct prediction observed).
+    #[must_use]
+    pub fn strengthen(self) -> Self {
+        Confidence((self.0 + 1).min(Self::MAX))
+    }
+
+    /// Saturating decrement (incorrect prediction observed).
+    #[must_use]
+    pub fn weaken(self) -> Self {
+        Confidence(self.0.saturating_sub(1))
+    }
+}
+
+impl Default for Confidence {
+    fn default() -> Self {
+        Confidence::initial()
+    }
+}
+
+impl std::fmt::Display for Confidence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "conf:{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_value_is_confident() {
+        assert_eq!(Confidence::initial().value(), 2);
+        assert!(Confidence::initial().is_confident());
+    }
+
+    #[test]
+    fn strengthen_saturates_at_three() {
+        let c = Confidence::initial().strengthen().strengthen().strengthen();
+        assert_eq!(c.value(), 3);
+    }
+
+    #[test]
+    fn weaken_saturates_at_zero() {
+        let c = Confidence::new(1).weaken().weaken();
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn one_wrong_prediction_silences_a_fresh_entry() {
+        // init 2 -> weaken -> 1, below the threshold.
+        assert!(!Confidence::initial().weaken().is_confident());
+    }
+
+    #[test]
+    fn new_clamps() {
+        assert_eq!(Confidence::new(200).value(), 3);
+    }
+}

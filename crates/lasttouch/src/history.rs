@@ -1,0 +1,298 @@
+//! The history table: per-block PC traces and per-frame address history.
+//!
+//! # Design note: per-block vs per-set traces
+//!
+//! Section 2 of the paper (following the original DBCP design of Lai &
+//! Falsafi) describes *per-block* traces: "the predictor tracks all
+//! instructions {PCi, PCj, PCk} accessing block A2 from the miss until A2 is
+//! evicted". Section 4.1 loosely says the trace covers "the corresponding
+//! L1D set", which is the same thing for the direct-mapped example but is
+//! not self-consistent for the 2-way L1D of Table 1: accesses to the other
+//! way between a block's last touch and its eviction would make the
+//! signature computed at eviction (training) differ from the signature
+//! computed at the last touch (lookup), so recurring sequences would never
+//! match. We therefore implement the Section 2 formulation — a per-block
+//! trace plus a per-frame "previous line" (the block that occupied the frame
+//! before the current block) — which makes training and lookup signatures
+//! provably identical whenever the access sequence recurs, for any
+//! associativity.
+
+use ltc_cache::CacheConfig;
+use ltc_trace::{Addr, Pc};
+
+use crate::signature::{extend_trace, Signature, SignatureRecord, SignatureScheme};
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    valid: bool,
+    /// Line number (address / line size) of the tracked block. Full line
+    /// numbers — not per-set tags — feed the signature hash, because the
+    /// paper hashes the *address history* {A1, A2} (Section 2): per-set tags
+    /// would make signatures collide across sets.
+    line: u64,
+    trace_hash: u64,
+    /// Demand accesses recorded for the resident block.
+    accesses: u32,
+    /// Line number of the block that previously occupied this frame (the
+    /// "A1" of the paper's {A1, A2} example).
+    prev_line: u64,
+}
+
+/// History table organized like the L1D tag array (paper Figure 5, left).
+///
+/// The driver must mirror the cache's behaviour into this table:
+/// [`HistoryTable::record_access`] for every committed access (hit or the
+/// miss access itself, after the fill) and [`HistoryTable::record_eviction`]
+/// for every eviction (demand- or prefetch-induced), in cache order.
+#[derive(Debug, Clone)]
+pub struct HistoryTable {
+    scheme: SignatureScheme,
+    slots: Vec<Slot>,
+    ways: usize,
+    set_mask: u64,
+    line_shift: u32,
+}
+
+impl HistoryTable {
+    /// Creates a history table mirroring the geometry of `l1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l1` or `scheme` is invalid.
+    pub fn new(l1: CacheConfig, scheme: SignatureScheme) -> Self {
+        l1.validate();
+        scheme.validate();
+        let sets = l1.sets();
+        let ways = l1.ways as usize;
+        HistoryTable {
+            scheme,
+            slots: vec![Slot::default(); sets as usize * ways],
+            ways,
+            set_mask: sets - 1,
+            line_shift: l1.line_bytes.trailing_zeros(),
+        }
+    }
+
+    /// The signature scheme in use.
+    pub fn scheme(&self) -> SignatureScheme {
+        self.scheme
+    }
+
+    /// On-chip storage estimate in bytes: per frame, a 23-bit trace hash
+    /// plus a tag-width previous tag (~6 bytes per L1 frame, ~6 KB for the
+    /// paper's 1024-frame L1D, consistent with the paper's 214 KB total
+    /// on-chip budget).
+    pub fn storage_bytes(&self) -> u64 {
+        (self.slots.len() as u64) * 6
+    }
+
+    #[inline]
+    fn set_and_line(&self, addr: Addr) -> (u64, u64) {
+        let line = addr.0 >> self.line_shift;
+        (line & self.set_mask, line)
+    }
+
+    #[inline]
+    fn set_slots(&mut self, set: u64) -> &mut [Slot] {
+        let start = (set as usize) * self.ways;
+        &mut self.slots[start..start + self.ways]
+    }
+
+    /// Records a committed access to the block containing `addr` and returns
+    /// the block's updated lookup signature.
+    ///
+    /// Call this after the cache access (and after [`Self::record_eviction`]
+    /// if the access missed and evicted a block), so the table tracks the
+    /// newly resident block.
+    pub fn record_access(&mut self, addr: Addr, pc: Pc) -> Signature {
+        let (set, line) = self.set_and_line(addr);
+        let scheme = self.scheme;
+        let slots = self.set_slots(set);
+        let slot = match slots.iter_mut().find(|s| s.valid && s.line == line) {
+            Some(s) => s,
+            None => {
+                // Cold fill (no eviction preceded): claim an empty frame, or
+                // fall back to frame 0 if the table lost sync with the cache.
+                let idx = slots.iter().position(|s| !s.valid).unwrap_or(0);
+                let s = &mut slots[idx];
+                let prev = if s.valid { s.line } else { s.prev_line };
+                *s = Slot { valid: true, line, trace_hash: 0, accesses: 0, prev_line: prev };
+                s
+            }
+        };
+        slot.trace_hash = extend_trace(slot.trace_hash, pc);
+        slot.accesses += 1;
+        scheme.compute(slot.trace_hash, slot.prev_line, line)
+    }
+
+    /// Records the eviction of `evicted` in favour of `replacement`,
+    /// returning the training record (the evicted block's final last-touch
+    /// signature paired with the replacement address).
+    ///
+    /// Returns `None` when the evicted block was never demand-accessed (an
+    /// unused prefetch) or was not tracked — such "signatures" carry no
+    /// last-touch information and would only pollute the predictor.
+    pub fn record_eviction(
+        &mut self,
+        evicted: Addr,
+        replacement: Addr,
+    ) -> Option<SignatureRecord> {
+        let (set, evicted_line) = self.set_and_line(evicted);
+        let (rset, replacement_line) = self.set_and_line(replacement);
+        debug_assert_eq!(set, rset, "replacement must map to the victim's set");
+        let scheme = self.scheme;
+        let line_shift = self.line_shift;
+        let slots = self.set_slots(set);
+        let idx = slots
+            .iter()
+            .position(|s| s.valid && s.line == evicted_line)
+            .or_else(|| slots.iter().position(|s| !s.valid))
+            .unwrap_or(0);
+        let slot = &mut slots[idx];
+        let record = if slot.valid && slot.line == evicted_line && slot.accesses > 0 {
+            let sig = scheme.compute(slot.trace_hash, slot.prev_line, evicted_line);
+            Some(SignatureRecord::new(sig, replacement.line(1 << line_shift)))
+        } else {
+            None
+        };
+        // The frame now tracks the replacement, remembering the victim as
+        // its address history.
+        *slot = Slot {
+            valid: true,
+            line: replacement_line,
+            trace_hash: 0,
+            accesses: 0,
+            prev_line: evicted_line,
+        };
+        record
+    }
+
+    /// Computes the current lookup signature for `addr` without mutating the
+    /// table (diagnostics).
+    pub fn peek_signature(&self, addr: Addr) -> Option<Signature> {
+        let (set, line) = self.set_and_line(addr);
+        let start = (set as usize) * self.ways;
+        self.slots[start..start + self.ways]
+            .iter()
+            .find(|s| s.valid && s.line == line)
+            .map(|s| self.scheme.compute(s.trace_hash, s.prev_line, line))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> HistoryTable {
+        HistoryTable::new(CacheConfig::l1d(), SignatureScheme::trace_mode())
+    }
+
+    /// Two L1 addresses in the same set (512 sets x 64-byte lines).
+    const SET_SPAN: u64 = 512 * 64;
+
+    #[test]
+    fn lookup_signature_matches_training_signature_on_recurrence() {
+        let mut t = table();
+        // First occurrence: fill A, touch it twice, then evict in favour of B.
+        t.record_access(Addr(0x0), Pc(0x100));
+        t.record_access(Addr(0x0), Pc(0x104));
+        let rec = t.record_eviction(Addr(0x0), Addr(SET_SPAN)).unwrap();
+        t.record_access(Addr(SET_SPAN), Pc(0x200));
+        // ... B dies, A returns (recurrence); the frame's prev_tag is B now,
+        // so run the same history again to re-establish identical state.
+        t.record_eviction(Addr(SET_SPAN), Addr(0x0)).unwrap();
+        t.record_access(Addr(0x0), Pc(0x100));
+        let lookup = t.record_access(Addr(0x0), Pc(0x104));
+        // The block was filled over B this time, not over nothing, so the
+        // prev_tag differs from the very first occurrence; run one more
+        // cycle to reach the steady state where A is always filled over B.
+        t.record_eviction(Addr(0x0), Addr(SET_SPAN)).unwrap();
+        t.record_access(Addr(SET_SPAN), Pc(0x200));
+        let rec2 = t.record_eviction(Addr(SET_SPAN), Addr(0x0)).unwrap();
+        t.record_access(Addr(0x0), Pc(0x100));
+        let lookup2 = t.record_access(Addr(0x0), Pc(0x104));
+        let rec3 = t.record_eviction(Addr(0x0), Addr(SET_SPAN)).unwrap();
+        // Steady state: the lookup signature at A's last touch equals the
+        // signature created when A is subsequently evicted.
+        assert_eq!(lookup2, rec3.signature);
+        assert_eq!(rec2.predicted, Addr(0x0).line(64));
+        // And recurrence produces identical signatures across iterations.
+        assert_eq!(lookup, lookup2);
+        let _ = rec;
+    }
+
+    #[test]
+    fn eviction_yields_replacement_as_prediction() {
+        let mut t = table();
+        t.record_access(Addr(0x40), Pc(0x100));
+        let rec = t.record_eviction(Addr(0x40), Addr(0x40 + SET_SPAN)).unwrap();
+        assert_eq!(rec.predicted, Addr(0x40 + SET_SPAN));
+        assert!(rec.confidence.is_confident());
+    }
+
+    #[test]
+    fn untouched_block_eviction_is_suppressed() {
+        let mut t = table();
+        // Block installed via eviction bookkeeping but never accessed
+        // (a prefetch that was never used).
+        t.record_access(Addr(0x0), Pc(0x100));
+        t.record_eviction(Addr(0x0), Addr(SET_SPAN)); // SET_SPAN now tracked, 0 accesses
+        let rec = t.record_eviction(Addr(SET_SPAN), Addr(2 * SET_SPAN));
+        assert!(rec.is_none(), "unused block has no last touch to sign");
+    }
+
+    #[test]
+    fn different_pc_traces_give_different_signatures() {
+        let mut t1 = table();
+        let mut t2 = table();
+        t1.record_access(Addr(0x0), Pc(0x100));
+        t2.record_access(Addr(0x0), Pc(0x999));
+        let r1 = t1.record_eviction(Addr(0x0), Addr(SET_SPAN)).unwrap();
+        let r2 = t2.record_eviction(Addr(0x0), Addr(SET_SPAN)).unwrap();
+        assert_ne!(r1.signature, r2.signature);
+    }
+
+    #[test]
+    fn trace_length_matters() {
+        let mut t1 = table();
+        let mut t2 = table();
+        t1.record_access(Addr(0x0), Pc(0x100));
+        t2.record_access(Addr(0x0), Pc(0x100));
+        t2.record_access(Addr(0x0), Pc(0x100)); // extra touch
+        let r1 = t1.record_eviction(Addr(0x0), Addr(SET_SPAN)).unwrap();
+        let r2 = t2.record_eviction(Addr(0x0), Addr(SET_SPAN)).unwrap();
+        assert_ne!(r1.signature, r2.signature);
+    }
+
+    #[test]
+    fn ways_are_tracked_independently() {
+        let mut t = table();
+        let a = Addr(0x0);
+        let b = Addr(SET_SPAN); // same set, different tag
+        t.record_access(a, Pc(0x1));
+        t.record_access(b, Pc(0x2));
+        t.record_access(a, Pc(0x3));
+        // Evicting b must not disturb a's trace.
+        let _ = t.record_eviction(b, Addr(2 * SET_SPAN));
+        let sig_before = t.peek_signature(a).unwrap();
+        let lookup = t.record_access(a, Pc(0x4));
+        assert_ne!(sig_before, lookup, "a's trace keeps extending");
+        assert!(t.peek_signature(Addr(2 * SET_SPAN)).is_some(), "replacement tracked");
+    }
+
+    #[test]
+    fn peek_does_not_mutate() {
+        let mut t = table();
+        t.record_access(Addr(0x0), Pc(0x1));
+        let p1 = t.peek_signature(Addr(0x0)).unwrap();
+        let p2 = t.peek_signature(Addr(0x0)).unwrap();
+        assert_eq!(p1, p2);
+        assert!(t.peek_signature(Addr(0x40)).is_none());
+    }
+
+    #[test]
+    fn storage_estimate_scales_with_frames() {
+        let t = table();
+        assert_eq!(t.storage_bytes(), 1024 * 6); // 512 sets x 2 ways
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based invariants of the last-touch signature machinery.
+
+use ltc_cache::CacheConfig;
+use ltc_lasttouch::{Confidence, HistoryTable, SignatureScheme};
+use ltc_trace::{Addr, Pc};
+use proptest::prelude::*;
+
+/// Small L1-like geometry for dense aliasing: 8 sets x 2 ways.
+fn small_l1() -> CacheConfig {
+    CacheConfig {
+        total_bytes: 1024,
+        ways: 2,
+        line_bytes: 64,
+        policy: ltc_cache::ReplacementPolicy::Lru,
+    }
+}
+
+proptest! {
+    /// The fundamental consistency property: replaying the same access and
+    /// eviction history yields identical signatures.
+    #[test]
+    fn identical_histories_give_identical_signatures(
+        ops in prop::collection::vec((0u64..32, 0u64..16), 1..200),
+    ) {
+        let mut t1 = HistoryTable::new(small_l1(), SignatureScheme::trace_mode());
+        let mut t2 = HistoryTable::new(small_l1(), SignatureScheme::trace_mode());
+        for &(line, pc) in &ops {
+            let a = Addr(line * 64);
+            let s1 = t1.record_access(a, Pc(0x400 + pc));
+            let s2 = t2.record_access(a, Pc(0x400 + pc));
+            prop_assert_eq!(s1, s2);
+        }
+    }
+
+    /// An eviction's training signature always equals the victim's last
+    /// lookup signature (the train/lookup identity the predictor needs).
+    #[test]
+    fn eviction_signature_matches_last_lookup(
+        pcs in prop::collection::vec(0u64..64, 1..20),
+    ) {
+        let mut t = HistoryTable::new(small_l1(), SignatureScheme::trace_mode());
+        let victim = Addr(0);
+        let mut last_sig = None;
+        for &pc in &pcs {
+            last_sig = Some(t.record_access(victim, Pc(0x400 + pc)));
+        }
+        // Replacement in the same set: line 8 maps to set 0 too (8 sets).
+        let rec = t.record_eviction(victim, Addr(8 * 64)).expect("tracked block");
+        prop_assert_eq!(Some(rec.signature), last_sig);
+        prop_assert_eq!(rec.predicted, Addr(8 * 64));
+    }
+
+    /// Confidence counters stay within the 2-bit range under any update mix.
+    #[test]
+    fn confidence_is_always_two_bits(updates in prop::collection::vec(any::<bool>(), 0..64)) {
+        let mut c = Confidence::initial();
+        for up in updates {
+            c = if up { c.strengthen() } else { c.weaken() };
+            prop_assert!(c.value() <= 3);
+        }
+    }
+
+    /// Signatures are insensitive to *when* unrelated sets are touched:
+    /// interleaving accesses to a different set never changes a block's
+    /// signature sequence (per-block traces, the design note in
+    /// `ltc_lasttouch::history`).
+    #[test]
+    fn other_sets_never_perturb_signatures(
+        pcs in prop::collection::vec(0u64..16, 1..30),
+        noise_at in prop::collection::vec(any::<bool>(), 1..30),
+    ) {
+        let mut quiet = HistoryTable::new(small_l1(), SignatureScheme::trace_mode());
+        let mut noisy = HistoryTable::new(small_l1(), SignatureScheme::trace_mode());
+        let block = Addr(0); // set 0
+        let other = Addr(64); // set 1
+        for (i, &pc) in pcs.iter().enumerate() {
+            if noise_at.get(i).copied().unwrap_or(false) {
+                let _ = noisy.record_access(other, Pc(0x900));
+            }
+            let a = quiet.record_access(block, Pc(0x400 + pc));
+            let b = noisy.record_access(block, Pc(0x400 + pc));
+            prop_assert_eq!(a, b, "noise in set 1 must not disturb set 0");
+        }
+    }
+
+    /// Truncated (timing-mode) signatures always fit their bit budget.
+    #[test]
+    fn timing_signatures_fit_23_bits(
+        trace in any::<u64>(),
+        prev in any::<u64>(),
+        line in any::<u64>(),
+    ) {
+        let s = SignatureScheme::timing_mode().compute(trace, prev, line);
+        prop_assert!(s.0 < (1 << 23));
+    }
+}

@@ -1,0 +1,33 @@
+//! Baseline hardware prefetchers and the prefetcher interface.
+//!
+//! This crate defines the [`Prefetcher`] trait through which every predictor
+//! in the reproduction (the [`NullPrefetcher`], a classic [`StridePrefetcher`],
+//! the delta-correlating [`GhbPrefetcher`] of Nesbit & Smith, the
+//! [`DbcpPrefetcher`] of Lai & Falsafi, and LT-cords itself in the `ltcords`
+//! crate) plugs into the coverage and timing simulators, plus the baseline
+//! implementations the paper compares against in Table 3.
+//!
+//! # Example
+//!
+//! ```
+//! use ltc_predictors::{DbcpConfig, DbcpPrefetcher, Prefetcher};
+//!
+//! let dbcp = DbcpPrefetcher::new(DbcpConfig::unlimited());
+//! assert_eq!(dbcp.name(), "dbcp");
+//! ```
+
+pub mod dbcp;
+pub mod ghb;
+pub mod null;
+pub mod prefetcher;
+pub mod queue;
+pub mod stride;
+pub mod table;
+
+pub use dbcp::{DbcpConfig, DbcpPrefetcher};
+pub use ghb::{GhbConfig, GhbPrefetcher};
+pub use null::NullPrefetcher;
+pub use prefetcher::{PredictorTraffic, Prefetcher, PrefetchLevel, PrefetchRequest};
+pub use queue::RequestQueue;
+pub use stride::{StrideConfig, StridePrefetcher};
+pub use table::{CorrelationTable, TableConfig};

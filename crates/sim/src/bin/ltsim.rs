@@ -1,0 +1,178 @@
+//! `ltsim` — command-line driver for LT-cords experiments.
+//!
+//! ```text
+//! ltsim list
+//! ltsim coverage <benchmark> [predictor] [accesses] [seed]
+//! ltsim timing   <benchmark> [predictor] [accesses] [seed]
+//! ltsim compare  <benchmark> [accesses]
+//! ltsim power    [l1-miss-rate]
+//! ltsim record   <benchmark> <file> [accesses] [seed]
+//! ltsim replay   <file> [predictor]
+//! ```
+//!
+//! Predictors: `baseline`, `lt-cords`, `dbcp`, `dbcp-unlimited`, `ghb`,
+//! `stride`, `perfect-l1`, `4mb-l2`.
+
+use ltc_sim::experiment::{run_coverage, run_timing, PredictorKind};
+use ltc_sim::report::{pct1, Table};
+use ltc_sim::trace::suite;
+
+fn parse_kind(name: &str) -> Result<PredictorKind, String> {
+    Ok(match name {
+        "baseline" => PredictorKind::Baseline,
+        "lt-cords" | "ltcords" => PredictorKind::LtCords,
+        "dbcp" => PredictorKind::Dbcp2Mb,
+        "dbcp-unlimited" => PredictorKind::DbcpUnlimited,
+        "ghb" => PredictorKind::Ghb,
+        "stride" => PredictorKind::Stride,
+        "perfect-l1" => PredictorKind::PerfectL1,
+        "4mb-l2" => PredictorKind::BigL2,
+        other => return Err(format!("unknown predictor: {other}")),
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("coverage") => cmd_coverage(&args[1..]),
+        Some("timing") => cmd_timing(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("power") => cmd_power(&args[1..]),
+        Some("record") => cmd_record(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: ltsim <list|coverage|timing|compare|power|record|replay> ..."
+            );
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn cmd_list() -> Result<(), String> {
+    let mut t = Table::new(vec!["benchmark", "class", "description"]);
+    for e in suite::benchmarks() {
+        t.row(vec![e.name.to_string(), e.class.to_string(), e.description.to_string()]);
+    }
+    print!("{}", t.render());
+    Ok(())
+}
+
+fn arg<'a>(args: &'a [String], i: usize, default: &'a str) -> &'a str {
+    args.get(i).map(String::as_str).unwrap_or(default)
+}
+
+fn cmd_coverage(args: &[String]) -> Result<(), String> {
+    let bench = args.first().ok_or("coverage needs a benchmark name")?;
+    suite::by_name(bench).ok_or_else(|| format!("unknown benchmark: {bench}"))?;
+    let kind = parse_kind(arg(args, 1, "lt-cords"))?;
+    let accesses: u64 =
+        arg(args, 2, "2000000").parse().map_err(|_| "accesses must be a number")?;
+    let seed: u64 = arg(args, 3, "1").parse().map_err(|_| "seed must be a number")?;
+    let r = run_coverage(bench, kind, accesses, seed);
+    println!("benchmark            {bench}");
+    println!("predictor            {}", r.predictor);
+    println!("accesses             {}", r.accesses);
+    println!("base L1 miss rate    {}", pct1(r.base_l1_miss_rate()));
+    println!("base L2 miss rate    {}", pct1(r.base_l2_miss_rate()));
+    println!("coverage             {}", pct1(r.coverage()));
+    println!("correct              {}", pct1(r.correct_pct()));
+    println!("incorrect            {}", pct1(r.incorrect_pct()));
+    println!("train                {}", pct1(r.train_pct()));
+    println!("early                {}", pct1(r.early_pct()));
+    println!("off-chip L2 coverage {}", pct1(r.l2_coverage()));
+    println!("predictor storage    {} bytes on chip", r.storage_bytes);
+    println!("metadata traffic     {} bytes", r.traffic.total());
+    Ok(())
+}
+
+fn cmd_timing(args: &[String]) -> Result<(), String> {
+    let bench = args.first().ok_or("timing needs a benchmark name")?;
+    suite::by_name(bench).ok_or_else(|| format!("unknown benchmark: {bench}"))?;
+    let kind = parse_kind(arg(args, 1, "lt-cords"))?;
+    let accesses: u64 =
+        arg(args, 2, "400000").parse().map_err(|_| "accesses must be a number")?;
+    let seed: u64 = arg(args, 3, "1").parse().map_err(|_| "seed must be a number")?;
+    let r = run_timing(bench, kind, accesses, seed);
+    println!("benchmark   {bench}");
+    println!("predictor   {}", r.predictor);
+    println!("IPC         {:.3}", r.ipc());
+    println!("L1 misses   {}", r.l1_misses);
+    println!("L2 misses   {}", r.l2_misses);
+    println!("bus traffic {:.2} bytes/instr", r.bandwidth.bytes_per_instruction(r.instructions));
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let bench = args.first().ok_or("compare needs a benchmark name")?;
+    suite::by_name(bench).ok_or_else(|| format!("unknown benchmark: {bench}"))?;
+    let accesses: u64 =
+        arg(args, 1, "400000").parse().map_err(|_| "accesses must be a number")?;
+    let base = run_timing(bench, PredictorKind::Baseline, accesses, 1);
+    let mut t = Table::new(vec!["predictor", "IPC", "speedup"]);
+    t.row(vec!["baseline".into(), format!("{:.3}", base.ipc()), "-".into()]);
+    for kind in [
+        PredictorKind::PerfectL1,
+        PredictorKind::LtCords,
+        PredictorKind::Ghb,
+        PredictorKind::Dbcp2Mb,
+        PredictorKind::BigL2,
+    ] {
+        let r = run_timing(bench, kind, accesses, 1);
+        t.row(vec![
+            kind.name().into(),
+            format!("{:.3}", r.ipc()),
+            format!("{:+.0}%", r.speedup_pct_over(&base)),
+        ]);
+    }
+    print!("{}", t.render());
+    Ok(())
+}
+
+fn cmd_power(args: &[String]) -> Result<(), String> {
+    use ltc_sim::timing::PowerComparison;
+    let miss_rate: f64 = arg(args, 0, "0.2").parse().map_err(|_| "miss rate must be a number")?;
+    if !(0.0..=1.0).contains(&miss_rate) {
+        return Err("miss rate must be in [0,1]".into());
+    }
+    let c = PowerComparison::at_miss_rate(miss_rate);
+    println!("Section 5.9 power comparison at {:.0}% L1D miss rate", miss_rate * 100.0);
+    println!("L1D dynamic energy      {:.1} pJ/access", c.l1d_pj_per_access);
+    println!("LT-cords dynamic energy {:.1} pJ/access", c.ltcords_pj_per_access);
+    println!("dynamic ratio           {:.0}% (paper: ~48%)", c.dynamic_ratio() * 100.0);
+    println!("leakage ratio           {:.1}x (before high-Vt mitigation)", c.leakage_ratio);
+    Ok(())
+}
+
+fn cmd_record(args: &[String]) -> Result<(), String> {
+    let bench = args.first().ok_or("record needs a benchmark name")?;
+    let entry = suite::by_name(bench).ok_or_else(|| format!("unknown benchmark: {bench}"))?;
+    let path = args.get(1).ok_or("record needs an output file")?;
+    let accesses: u64 = arg(args, 2, "1000000").parse().map_err(|_| "accesses must be a number")?;
+    let seed: u64 = arg(args, 3, "1").parse().map_err(|_| "seed must be a number")?;
+    let mut src = entry.build(seed);
+    let file = std::fs::File::create(path).map_err(|e| e.to_string())?;
+    let n = ltc_sim::trace::io::write_trace(&mut src, std::io::BufWriter::new(file), accesses)
+        .map_err(|e| e.to_string())?;
+    println!("recorded {n} accesses of {bench} to {path}");
+    Ok(())
+}
+
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    use ltc_sim::analysis::{run_coverage as run_cov, CoverageConfig};
+    let path = args.first().ok_or("replay needs a trace file")?;
+    let kind = parse_kind(arg(args, 1, "lt-cords"))?;
+    let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
+    let mut replay = ltc_sim::trace::io::read_trace(std::io::BufReader::new(file))
+        .map_err(|e| e.to_string())?;
+    let mut predictor = kind.build();
+    let r = run_cov(&mut replay, predictor.as_mut(), CoverageConfig::paper(u64::MAX));
+    println!("replayed {} accesses under {}", r.accesses, kind.name());
+    println!("coverage {}", pct1(r.coverage()));
+    Ok(())
+}

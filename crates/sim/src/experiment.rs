@@ -1,0 +1,237 @@
+//! Named predictor configurations and experiment drivers.
+
+use ltc_analysis::{run_coverage as run_coverage_inner, CoverageConfig, CoverageReport};
+use ltc_predictors::{
+    DbcpConfig, DbcpPrefetcher, GhbConfig, GhbPrefetcher, NullPrefetcher, Prefetcher,
+    StrideConfig, StridePrefetcher,
+};
+use ltc_timing::{TimingConfig, TimingReport, TimingSim};
+use ltc_trace::suite;
+use ltcords::{LtCords, LtCordsConfig};
+
+/// Default access budget for coverage (trace-driven) experiments.
+pub const COVERAGE_ACCESSES: u64 = 2_000_000;
+
+/// Default access budget for timing experiments.
+pub const TIMING_ACCESSES: u64 = 400_000;
+
+/// The predictor configurations compared in the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PredictorKind {
+    /// No predictor (Table 1 baseline).
+    Baseline,
+    /// Perfect L1D (Table 3 upper bound; timing only).
+    PerfectL1,
+    /// LT-cords with the Section 5.6 configuration.
+    LtCords,
+    /// LT-cords with an explicit configuration (sensitivity sweeps).
+    LtCordsWith(LtCordsConfig),
+    /// DBCP with unlimited correlation storage (Figure 8 oracle).
+    DbcpUnlimited,
+    /// DBCP with the realistic 2 MB table (Tables 1/3).
+    Dbcp2Mb,
+    /// DBCP with an arbitrary table budget in bytes (Figure 4 sweep).
+    DbcpBytes(u64),
+    /// GHB PC/DC (Table 1: 256-entry IT/GHB, depth 4).
+    Ghb,
+    /// Classic per-PC stride prefetcher.
+    Stride,
+    /// Baseline machine with the 4 MB L2 (Table 3; timing only).
+    BigL2,
+}
+
+impl PredictorKind {
+    /// Short name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PredictorKind::Baseline => "baseline",
+            PredictorKind::PerfectL1 => "perfect-l1",
+            PredictorKind::LtCords | PredictorKind::LtCordsWith(_) => "lt-cords",
+            PredictorKind::DbcpUnlimited => "dbcp-unlimited",
+            PredictorKind::Dbcp2Mb => "dbcp",
+            PredictorKind::DbcpBytes(_) => "dbcp-sized",
+            PredictorKind::Ghb => "ghb",
+            PredictorKind::Stride => "stride",
+            PredictorKind::BigL2 => "4mb-l2",
+        }
+    }
+
+    /// Instantiates the prefetcher for this configuration. The hierarchy
+    /// variants ([`PredictorKind::PerfectL1`], [`PredictorKind::BigL2`])
+    /// use the null prefetcher — their effect lives in the machine config,
+    /// see [`PredictorKind::timing_config`].
+    pub fn build(&self) -> Box<dyn Prefetcher + Send> {
+        match self {
+            PredictorKind::Baseline | PredictorKind::PerfectL1 | PredictorKind::BigL2 => {
+                Box::new(NullPrefetcher::new())
+            }
+            PredictorKind::LtCords => Box::new(LtCords::new(LtCordsConfig::paper())),
+            PredictorKind::LtCordsWith(cfg) => Box::new(LtCords::new(*cfg)),
+            PredictorKind::DbcpUnlimited => Box::new(DbcpPrefetcher::new(DbcpConfig::unlimited())),
+            PredictorKind::Dbcp2Mb => Box::new(DbcpPrefetcher::new(DbcpConfig::paper_2mb())),
+            PredictorKind::DbcpBytes(bytes) => {
+                Box::new(DbcpPrefetcher::new(DbcpConfig::with_table_bytes(*bytes)))
+            }
+            PredictorKind::Ghb => Box::new(GhbPrefetcher::new(GhbConfig::default())),
+            PredictorKind::Stride => Box::new(StridePrefetcher::new(StrideConfig::default())),
+        }
+    }
+
+    /// The machine configuration this kind runs on.
+    pub fn timing_config(&self) -> TimingConfig {
+        match self {
+            PredictorKind::PerfectL1 => TimingConfig::perfect_l1(),
+            PredictorKind::BigL2 => TimingConfig::big_l2(),
+            _ => TimingConfig::paper(),
+        }
+    }
+}
+
+/// Runs a coverage experiment for one benchmark.
+///
+/// # Panics
+///
+/// Panics if `benchmark` is not in the suite.
+pub fn run_coverage(
+    benchmark: &str,
+    kind: PredictorKind,
+    accesses: u64,
+    seed: u64,
+) -> CoverageReport {
+    let entry = suite::by_name(benchmark)
+        .unwrap_or_else(|| panic!("unknown benchmark {benchmark}"));
+    let mut source = entry.build(seed);
+    let mut predictor = kind.build();
+    // A quarter of the budget warms caches and trains the predictor; the
+    // paper's whole-benchmark traces are steady-state-dominated, scaled
+    // runs are not.
+    let mut report = run_coverage_inner(
+        &mut source,
+        predictor.as_mut(),
+        CoverageConfig::paper(accesses).with_warmup(accesses / 4),
+    );
+    report.predictor = kind.name().to_string();
+    report
+}
+
+/// Runs a timing experiment for one benchmark.
+///
+/// # Panics
+///
+/// Panics if `benchmark` is not in the suite.
+pub fn run_timing(
+    benchmark: &str,
+    kind: PredictorKind,
+    accesses: u64,
+    seed: u64,
+) -> TimingReport {
+    let entry = suite::by_name(benchmark)
+        .unwrap_or_else(|| panic!("unknown benchmark {benchmark}"));
+    let mut source = entry.build(seed);
+    let mut predictor = kind.build();
+    let cfg = kind.timing_config().with_warmup(accesses / 4);
+    let mut report = TimingSim::new(cfg).run(&mut source, predictor.as_mut(), accesses);
+    report.predictor = kind.name().to_string();
+    report
+}
+
+/// Runs `job` for every input in parallel (bounded by the available
+/// parallelism), preserving input order in the output.
+pub fn sweep<I, O, F>(inputs: Vec<I>, job: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    sweep_bounded(inputs, threads, job)
+}
+
+/// Like [`sweep`] but with an explicit thread cap (memory-heavy experiments
+/// such as the Figure 4 DBCP table sweep bound their working set this way).
+pub fn sweep_bounded<I, O, F>(inputs: Vec<I>, threads: usize, job: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let threads = threads.max(1);
+    let n = inputs.len();
+    let mut out: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<parking_lot::Mutex<&mut Option<O>>> =
+        out.iter_mut().map(parking_lot::Mutex::new).collect();
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(n.max(1)) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = job(&inputs[i]);
+                **slots[i].lock() = Some(result);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    drop(slots);
+    out.into_iter().map(|o| o.expect("every slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_instantiate() {
+        for kind in [
+            PredictorKind::Baseline,
+            PredictorKind::PerfectL1,
+            PredictorKind::LtCords,
+            PredictorKind::DbcpUnlimited,
+            PredictorKind::Dbcp2Mb,
+            PredictorKind::DbcpBytes(1 << 20),
+            PredictorKind::Ghb,
+            PredictorKind::Stride,
+            PredictorKind::BigL2,
+        ] {
+            let p = kind.build();
+            let _ = p.storage_bytes();
+            let _ = kind.name();
+            let _ = kind.timing_config();
+        }
+    }
+
+    #[test]
+    fn coverage_experiment_runs() {
+        let r = run_coverage("gzip", PredictorKind::Baseline, 20_000, 1);
+        // A quarter of the budget is warm-up, excluded from statistics.
+        assert_eq!(r.accesses, 15_000);
+        assert!(r.base_l1_misses > 0);
+    }
+
+    #[test]
+    fn timing_experiment_runs() {
+        let r = run_timing("mesa", PredictorKind::Baseline, 20_000, 1);
+        assert!(r.ipc() > 0.0);
+    }
+
+    #[test]
+    fn perfect_l1_beats_baseline() {
+        let base = run_timing("mcf", PredictorKind::Baseline, 30_000, 1);
+        let ideal = run_timing("mcf", PredictorKind::PerfectL1, 30_000, 1);
+        assert!(ideal.ipc() > base.ipc());
+    }
+
+    #[test]
+    fn sweep_preserves_order() {
+        let outputs = sweep(vec![1u64, 2, 3, 4, 5], |&x| x * 10);
+        assert_eq!(outputs, vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn unknown_benchmark_panics() {
+        let _ = run_coverage("vpr", PredictorKind::Baseline, 10, 1);
+    }
+}

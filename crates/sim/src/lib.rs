@@ -1,0 +1,34 @@
+//! Facade and experiment runner for the LT-cords reproduction.
+//!
+//! This crate re-exports the workspace's public API under one roof and adds
+//! the experiment harness used by the examples, integration tests, CLI and
+//! figure/table benches:
+//!
+//! * [`experiment`] — named predictor configurations ([`PredictorKind`]),
+//!   coverage and timing experiment drivers, and a parallel sweep helper.
+//! * [`report`] — fixed-width table formatting for paper-style output.
+//!
+//! # Example
+//!
+//! ```
+//! use ltc_sim::experiment::{run_coverage, PredictorKind};
+//!
+//! let report = run_coverage("mcf", PredictorKind::LtCords, 50_000, 1);
+//! assert!(report.base_l1_misses > 0);
+//! ```
+
+pub mod experiment;
+pub mod report;
+
+pub use experiment::{
+    run_coverage, run_timing, sweep, PredictorKind, COVERAGE_ACCESSES, TIMING_ACCESSES,
+};
+pub use report::Table;
+
+pub use ltc_analysis as analysis;
+pub use ltc_cache as cache;
+pub use ltc_lasttouch as lasttouch;
+pub use ltc_predictors as predictors;
+pub use ltc_timing as timing;
+pub use ltc_trace as trace;
+pub use ltcords as core;

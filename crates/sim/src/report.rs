@@ -1,0 +1,147 @@
+//! Fixed-width table output for paper-style rows.
+
+/// A simple fixed-width text table.
+///
+/// # Example
+///
+/// ```
+/// use ltc_sim::Table;
+///
+/// let mut t = Table::new(vec!["bench", "coverage"]);
+/// t.row(vec!["mcf".to_string(), "69%".to_string()]);
+/// let s = t.render();
+/// assert!(s.contains("mcf"));
+/// assert!(s.contains("coverage"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row; short rows are padded with empty cells.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                if cell.len() > widths[i] {
+                    widths[i] = cell.len();
+                }
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let empty = String::new();
+                let cell = cells.get(i).unwrap_or(&empty);
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                // Right-align numbers, left-align the first column.
+                if i == 0 {
+                    line.push_str(&format!("{cell:<w$}"));
+                } else {
+                    line.push_str(&format!("{cell:>w$}"));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with no decimals (paper style).
+pub fn pct(v: f64) -> String {
+    format!("{:.0}%", v * 100.0)
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct1(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Formats a byte count using binary units.
+pub fn bytes(v: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KB", "MB", "GB", "TB"];
+    let mut value = v as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{v}B")
+    } else {
+        format!("{value:.0}{}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].starts_with('a'));
+    }
+
+    #[test]
+    fn short_rows_pad() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["x".into()]);
+        let s = t.render();
+        assert!(s.lines().count() == 3);
+    }
+
+    #[test]
+    fn pct_rounds() {
+        assert_eq!(pct(0.69), "69%");
+        assert_eq!(pct1(0.695), "69.5%");
+    }
+
+    #[test]
+    fn bytes_scales_units() {
+        assert_eq!(bytes(512), "512B");
+        assert_eq!(bytes(2048), "2KB");
+        assert_eq!(bytes(160 << 20), "160MB");
+    }
+}

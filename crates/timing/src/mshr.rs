@@ -1,0 +1,121 @@
+//! Miss-status holding register (MSHR) occupancy.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Bounds the number of outstanding misses (64 L1D MSHRs in Table 1).
+///
+/// When all MSHRs are busy a new miss must wait for the earliest
+/// outstanding one to complete — the stall the paper's "MSHR contention"
+/// modelling captures.
+#[derive(Debug, Default)]
+pub struct MshrFile {
+    capacity: usize,
+    // Completion times of outstanding misses (min-heap via Reverse).
+    outstanding: BinaryHeap<Reverse<OrderedF64>>,
+    stalls: u64,
+}
+
+/// `f64` wrapper ordered totally (NaN-free by construction).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrderedF64(f64);
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl MshrFile {
+    /// Creates an MSHR file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR file needs at least one entry");
+        MshrFile { capacity, outstanding: BinaryHeap::new(), stalls: 0 }
+    }
+
+    /// Admits a miss that wants to start at `at`: returns the (possibly
+    /// delayed) admission time. Completed entries are retired lazily.
+    pub fn admit(&mut self, at: f64) -> f64 {
+        // Retire entries that completed by `at`.
+        while let Some(&Reverse(OrderedF64(t))) = self.outstanding.peek() {
+            if t <= at {
+                self.outstanding.pop();
+            } else {
+                break;
+            }
+        }
+        if self.outstanding.len() < self.capacity {
+            return at;
+        }
+        // Full: wait for the earliest completion.
+        let Reverse(OrderedF64(earliest)) =
+            self.outstanding.pop().expect("full heap is non-empty");
+        self.stalls += 1;
+        at.max(earliest)
+    }
+
+    /// Registers the completion time of an admitted miss.
+    pub fn track(&mut self, completes_at: f64) {
+        self.outstanding.push(Reverse(OrderedF64(completes_at)));
+    }
+
+    /// Number of admissions that had to wait for a free MSHR.
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+
+    /// Outstanding entries (diagnostics; includes lazily unretired ones).
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_up_to_capacity_without_delay() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.admit(0.0), 0.0);
+        m.track(100.0);
+        assert_eq!(m.admit(1.0), 1.0);
+        m.track(200.0);
+        assert_eq!(m.stalls(), 0);
+    }
+
+    #[test]
+    fn full_file_delays_to_earliest_completion() {
+        let mut m = MshrFile::new(2);
+        m.track(100.0);
+        m.track(200.0);
+        assert_eq!(m.admit(5.0), 100.0, "waits for the earliest completion");
+        assert_eq!(m.stalls(), 1);
+    }
+
+    #[test]
+    fn completed_entries_free_slots() {
+        let mut m = MshrFile::new(1);
+        m.track(10.0);
+        assert_eq!(m.admit(20.0), 20.0, "completed entry retired lazily");
+        assert_eq!(m.stalls(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_zero_capacity() {
+        let _ = MshrFile::new(0);
+    }
+}

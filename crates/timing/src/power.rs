@@ -1,0 +1,273 @@
+//! Analytical power model of the LT-cords structures (paper Section 5.9).
+//!
+//! The paper uses CACTI 4.2 in a 70 nm technology to argue that, despite
+//! being larger than the L1D and accessed as frequently, the LT-cords
+//! structures dissipate about half the L1D's dynamic power, because
+//!
+//! * most accesses are tag-only checks (data is read out only on the rare
+//!   signature hit), enabled by a *serial* tag-then-data lookup, and
+//! * the data path is ~42 bits wide versus the L1D's 512-bit lines.
+//!
+//! This module reproduces that arithmetic with an energy model calibrated
+//! to the CACTI numbers the paper quotes: 18 pJ for an L1D-like data-array
+//! read, 73 pJ for a four-port parallel tag+data L1D access, below 6 pJ for
+//! a signature data read, ~30 pJ for the serial tag checks of the sequence
+//! tag array plus signature cache, and an extra ~6.5 pJ data read per L1D
+//! miss. CACTI itself is not reimplemented; the model interpolates those
+//! anchor points with capacity and width scaling.
+
+use serde::{Deserialize, Serialize};
+
+/// An on-chip SRAM structure characterized for energy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SramStructure {
+    /// Total data capacity in bits.
+    pub bits: u64,
+    /// Tag-array capacity in bits (the portion touched by every lookup).
+    pub tag_bits: u64,
+    /// Datapath width read per access, in bits.
+    pub read_width: u32,
+    /// Read/write ports.
+    pub ports: u32,
+    /// Whether tag and data are accessed serially (tag first, data only on
+    /// hit) rather than in parallel for latency.
+    pub serial_lookup: bool,
+}
+
+/// CACTI-calibrated anchor constants (70 nm, from the paper's Section 5.9).
+mod anchor {
+    /// Data-array read energy of the 64 KB L1D-like cache (pJ).
+    pub const L1D_DATA_READ_PJ: f64 = 18.0;
+    /// L1D capacity the anchors describe (bits).
+    pub const L1D_BITS: f64 = (64 * 1024 * 8) as f64;
+    /// L1D line width (bits).
+    pub const L1D_WIDTH: f64 = 512.0;
+    /// Serial tag-phase coefficient (pJ per sqrt(total bit)), calibrated so
+    /// the two LT-cords structures' serial tag phases sum to the paper's
+    /// combined 30 pJ: sqrt(1376256) + sqrt(81920) ≈ 1459.4 → 30 / 1459.4.
+    /// (A serial tag phase decodes into the full structure, so it scales
+    /// with total size, not just stored tag bits.)
+    pub const SERIAL_TAG_PJ_PER_SQRT_BIT: f64 = 30.0 / 1459.4;
+    /// Residual tag energy of a parallel lookup (pJ): CACTI's 73 pJ for the
+    /// four-port L1D leaves ~1 pJ beyond the four 18 pJ data reads.
+    pub const PARALLEL_TAG_PJ: f64 = 1.0;
+    /// Leakage of the combined LT-cords structures (mW).
+    pub const LTC_LEAKAGE_MW: f64 = 800.0;
+    /// Leakage of the L1D data cache (mW).
+    pub const L1D_LEAKAGE_MW: f64 = 230.0;
+}
+
+impl SramStructure {
+    /// The paper's 64 KB, 4-port L1 data cache (1024 lines, ~23 tag bits
+    /// per line).
+    pub fn l1d() -> Self {
+        SramStructure {
+            bits: 64 * 1024 * 8,
+            tag_bits: 1024 * 23,
+            read_width: 512,
+            ports: 4,
+            serial_lookup: false,
+        }
+    }
+
+    /// The 32 K-entry, 42-bit signature cache (Section 5.6; 9-bit tags).
+    pub fn signature_cache() -> Self {
+        SramStructure {
+            bits: 32 * 1024 * 42,
+            tag_bits: 32 * 1024 * 9,
+            read_width: 42,
+            ports: 1,
+            serial_lookup: true,
+        }
+    }
+
+    /// The 4 K-frame sequence tag array (~20 bits per frame, 12-bit head
+    /// hashes checked on lookup).
+    pub fn sequence_tag_array() -> Self {
+        SramStructure {
+            bits: 4 * 1024 * 20,
+            tag_bits: 4 * 1024 * 12,
+            read_width: 20,
+            ports: 1,
+            serial_lookup: true,
+        }
+    }
+
+    /// Dynamic energy of a *data* read, in pJ.
+    ///
+    /// Scales the paper's 18 pJ L1D data-read anchor by capacity (square
+    /// root — bitline/wordline growth) and datapath width (linear in the
+    /// bits actually read out, with a floor for decode overhead).
+    pub fn data_read_pj(&self) -> f64 {
+        let cap_scale = ((self.bits as f64) / anchor::L1D_BITS).sqrt().max(0.05);
+        let width_scale = (f64::from(self.read_width) / anchor::L1D_WIDTH).max(0.05);
+        // 2.5 pJ decode/wordline floor per sqrt-capacity: lands the 42-bit
+        // signature read at the paper's ~6.5 pJ.
+        anchor::L1D_DATA_READ_PJ * cap_scale * width_scale + 2.5 * cap_scale
+    }
+
+    /// Dynamic energy of the tag phase, in pJ.
+    ///
+    /// Serial structures pay a decode into the full array (calibrated to
+    /// the paper's combined 30 pJ); parallel structures hide the tag check
+    /// inside the data access (CACTI's L1D leaves ~1 pJ beyond its data
+    /// reads).
+    pub fn tag_check_pj(&self) -> f64 {
+        if self.serial_lookup {
+            anchor::SERIAL_TAG_PJ_PER_SQRT_BIT * (self.bits as f64).sqrt() * f64::from(self.ports)
+        } else {
+            anchor::PARALLEL_TAG_PJ
+        }
+    }
+
+    /// Energy of one lookup that misses (no data read).
+    ///
+    /// Serial-lookup structures stop after the tag check; parallel
+    /// structures burn the data read regardless.
+    pub fn lookup_miss_pj(&self) -> f64 {
+        if self.serial_lookup {
+            self.tag_check_pj()
+        } else {
+            self.tag_check_pj() + f64::from(self.ports) * self.data_read_pj()
+        }
+    }
+
+    /// Energy of one lookup that hits (tag check plus one data read).
+    pub fn lookup_hit_pj(&self) -> f64 {
+        if self.serial_lookup {
+            self.tag_check_pj() + self.data_read_pj()
+        } else {
+            self.tag_check_pj() + f64::from(self.ports) * self.data_read_pj()
+        }
+    }
+}
+
+/// The Section 5.9 comparison: average per-access dynamic energy of the
+/// LT-cords structures relative to the L1D, at a given L1D miss rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerComparison {
+    /// Average L1D dynamic energy per access (pJ).
+    pub l1d_pj_per_access: f64,
+    /// Average LT-cords dynamic energy per access (pJ).
+    pub ltcords_pj_per_access: f64,
+    /// LT-cords leakage relative to the L1D (before high-Vt mitigation).
+    pub leakage_ratio: f64,
+}
+
+impl PowerComparison {
+    /// Computes the comparison for an L1D miss rate in `[0, 1]`.
+    ///
+    /// Every committed access performs an L1D access plus LT-cords tag
+    /// checks of the signature cache and sequence tag array; only misses
+    /// (signature activity) read signature data (the paper charges ~6.5 pJ
+    /// once per L1D miss).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `miss_rate` is outside `[0, 1]`.
+    pub fn at_miss_rate(miss_rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&miss_rate), "miss rate must be in [0,1]");
+        let l1d = SramStructure::l1d();
+        let sc = SramStructure::signature_cache();
+        let sta = SramStructure::sequence_tag_array();
+        let l1d_pj = l1d.lookup_hit_pj();
+        let ltc_tags = sc.lookup_miss_pj() + sta.lookup_miss_pj();
+        let ltc_data = miss_rate * (sc.data_read_pj() + sta.data_read_pj());
+        PowerComparison {
+            l1d_pj_per_access: l1d_pj,
+            ltcords_pj_per_access: ltc_tags + ltc_data,
+            leakage_ratio: anchor::LTC_LEAKAGE_MW / anchor::L1D_LEAKAGE_MW,
+        }
+    }
+
+    /// LT-cords dynamic power as a fraction of L1D dynamic power (the paper
+    /// reports ~48 % at a conservative 20 % miss rate).
+    pub fn dynamic_ratio(&self) -> f64 {
+        self.ltcords_pj_per_access / self.l1d_pj_per_access
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1d_anchor_reproduced() {
+        let l1d = SramStructure::l1d();
+        // Parallel 4-port lookup: ~73 pJ total per the paper's CACTI run
+        // (the interpolated model lands within ~35%).
+        let total = l1d.lookup_hit_pj();
+        assert!(
+            (60.0..=95.0).contains(&total),
+            "L1D access energy {total:.1} pJ should be near the 73 pJ anchor"
+        );
+    }
+
+    #[test]
+    fn serial_tag_phases_match_30_pj_anchor() {
+        let combined = SramStructure::signature_cache().tag_check_pj()
+            + SramStructure::sequence_tag_array().tag_check_pj();
+        assert!(
+            (combined - 30.0).abs() < 0.5,
+            "combined serial tag energy {combined:.1} pJ should calibrate to 30 pJ"
+        );
+    }
+
+    #[test]
+    fn signature_read_is_cheap_despite_size() {
+        // "signature read energy is estimated at below 6pJ" / "an
+        // additional 6.5pJ to read signature data" (Section 5.9).
+        let sc = SramStructure::signature_cache();
+        assert!(
+            sc.data_read_pj() < 7.0,
+            "signature data read {:.1} pJ should be near the paper's ~6.5 pJ",
+            sc.data_read_pj()
+        );
+        // And far below an L1D line read despite the larger structure.
+        assert!(sc.data_read_pj() < SramStructure::l1d().data_read_pj() / 2.0);
+    }
+
+    #[test]
+    fn serial_lookup_skips_data_on_miss() {
+        // The point of the serial organization (Section 5.9): "the majority
+        // of accesses to LT-cords structures require only a tag check and
+        // not a data read operation".
+        let sc = SramStructure::signature_cache();
+        assert!(sc.lookup_miss_pj() < sc.lookup_hit_pj());
+        let saved = sc.lookup_hit_pj() - sc.lookup_miss_pj();
+        assert!((saved - sc.data_read_pj()).abs() < 1e-9, "a miss skips exactly the data read");
+    }
+
+    #[test]
+    fn paper_comparison_at_20_percent_misses() {
+        // "Conservatively estimating a 20% L1D cache miss rate, the average
+        // power dissipation of LT-cords structures is about 48% of L1D
+        // dissipation" (Section 5.9).
+        let c = PowerComparison::at_miss_rate(0.2);
+        let ratio = c.dynamic_ratio();
+        assert!(
+            (0.25..=0.65).contains(&ratio),
+            "LT-cords/L1D dynamic ratio {ratio:.2} should be near the paper's ~0.48"
+        );
+    }
+
+    #[test]
+    fn leakage_ratio_matches_cacti_quote() {
+        let c = PowerComparison::at_miss_rate(0.2);
+        assert!((c.leakage_ratio - 800.0 / 230.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_miss_rates_cost_more_signature_energy() {
+        let low = PowerComparison::at_miss_rate(0.05);
+        let high = PowerComparison::at_miss_rate(0.6);
+        assert!(high.ltcords_pj_per_access > low.ltcords_pj_per_access);
+        assert_eq!(high.l1d_pj_per_access, low.l1d_pj_per_access);
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0,1]")]
+    fn rejects_bad_miss_rate() {
+        let _ = PowerComparison::at_miss_rate(1.5);
+    }
+}

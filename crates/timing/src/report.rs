@@ -1,0 +1,132 @@
+//! Timing run results.
+
+use serde::{Deserialize, Serialize};
+
+/// Memory-bus traffic breakdown in the Figure 12 categories.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthBreakdown {
+    /// Demand cache-line fills and write-backs (the "base data" component).
+    pub base_data_bytes: u64,
+    /// Extra line transfers caused by mispredicted prefetches.
+    pub incorrect_prediction_bytes: u64,
+    /// LT-cords signature sequence writes plus confidence updates
+    /// ("sequence creation").
+    pub sequence_creation_bytes: u64,
+    /// LT-cords signature streaming reads ("sequence fetch").
+    pub sequence_fetch_bytes: u64,
+}
+
+impl BandwidthBreakdown {
+    /// Total bytes over the memory bus.
+    pub fn total(&self) -> u64 {
+        self.base_data_bytes
+            + self.incorrect_prediction_bytes
+            + self.sequence_creation_bytes
+            + self.sequence_fetch_bytes
+    }
+
+    /// Bytes per instruction for the given instruction count (the Figure 12
+    /// y axis, which removes the effect of application speedup).
+    pub fn bytes_per_instruction(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.total() as f64 / instructions as f64
+        }
+    }
+}
+
+/// Results of one timing simulation.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TimingReport {
+    /// Predictor under test.
+    pub predictor: String,
+    /// Instructions measured (after warm-up).
+    pub instructions: u64,
+    /// Memory accesses measured.
+    pub accesses: u64,
+    /// Cycles elapsed over the measured region.
+    pub cycles: f64,
+    /// L1D misses in the measured region.
+    pub l1_misses: u64,
+    /// Off-chip (L2) misses in the measured region.
+    pub l2_misses: u64,
+    /// Prefetch fills applied.
+    pub prefetch_fills: u64,
+    /// Prefetch requests dropped from the full request queue.
+    pub prefetch_drops: u64,
+    /// MSHR-full stalls.
+    pub mshr_stalls: u64,
+    /// Memory bus traffic breakdown.
+    pub bandwidth: BandwidthBreakdown,
+}
+
+impl TimingReport {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles <= 0.0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles
+        }
+    }
+
+    /// Percent speedup of this run over `baseline` (the Table 3 metric).
+    pub fn speedup_pct_over(&self, baseline: &TimingReport) -> f64 {
+        if baseline.ipc() <= 0.0 {
+            0.0
+        } else {
+            (self.ipc() / baseline.ipc() - 1.0) * 100.0
+        }
+    }
+
+    /// L1D miss ratio (Table 2).
+    pub fn l1_miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.l1_misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// L2 local miss ratio (Table 2).
+    pub fn l2_miss_rate(&self) -> f64 {
+        if self.l1_misses == 0 {
+            0.0
+        } else {
+            self.l2_misses as f64 / self.l1_misses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_divides_instructions_by_cycles() {
+        let r = TimingReport { instructions: 800, cycles: 100.0, ..Default::default() };
+        assert!((r.ipc() - 8.0).abs() < 1e-12);
+        assert_eq!(TimingReport::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn speedup_is_relative_ipc() {
+        let base = TimingReport { instructions: 100, cycles: 100.0, ..Default::default() };
+        let fast = TimingReport { instructions: 100, cycles: 50.0, ..Default::default() };
+        assert!((fast.speedup_pct_over(&base) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_totals_and_normalizes() {
+        let b = BandwidthBreakdown {
+            base_data_bytes: 100,
+            incorrect_prediction_bytes: 20,
+            sequence_creation_bytes: 30,
+            sequence_fetch_bytes: 50,
+        };
+        assert_eq!(b.total(), 200);
+        assert!((b.bytes_per_instruction(100) - 2.0).abs() < 1e-12);
+        assert_eq!(b.bytes_per_instruction(0), 0.0);
+    }
+}

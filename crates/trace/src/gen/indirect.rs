@@ -1,0 +1,236 @@
+//! Sparse `x[idx[i]]` gathers with a static index array.
+
+use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+
+use crate::gen::gap::GapModel;
+use crate::gen::LINE_BYTES;
+use crate::record::{AccessKind, Addr, MemoryAccess, Pc};
+use crate::source::TraceSource;
+
+/// Configuration for [`IndirectGen`].
+#[derive(Debug, Clone)]
+pub struct IndirectConfig {
+    /// Base address; the index array is placed here, the data array after it.
+    pub base: u64,
+    /// Number of gather operations per pass (= entries in the index array).
+    pub gathers_per_pass: u32,
+    /// Number of 64-bit elements in the data array.
+    pub data_elems: u32,
+    /// Fraction of gathers whose target is rewritten each pass (0 keeps the
+    /// index array fully static, giving perfectly recurring miss sequences).
+    pub churn: f64,
+    /// Whether a store to the gathered element follows each load
+    /// (sparse matrix-vector update style).
+    pub store_result: bool,
+    /// Non-memory instruction gap model.
+    pub gap: GapModel,
+    /// Base program counter.
+    pub pc_base: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for IndirectConfig {
+    fn default() -> Self {
+        IndirectConfig {
+            base: 0x8000_0000,
+            gathers_per_pass: 1 << 16,
+            data_elems: 1 << 18,
+            churn: 0.0,
+            store_result: false,
+            gap: GapModel::default(),
+            pc_base: 0x43_0000,
+            seed: 0,
+        }
+    }
+}
+
+/// Emits the access pattern of `for i { y += x[idx[i]] }` repeated forever.
+///
+/// Each gather issues a sequential load of `idx[i]` followed by a dependent
+/// load of `x[idx[i]]`. The index array is a static random mapping, so data
+/// accesses are irregular in address space (defeating delta correlation) but
+/// recur identically every pass (ideal for address correlation) — the
+/// structure of equake/galgel/facerec sparse kernels.
+#[derive(Debug, Clone)]
+pub struct IndirectGen {
+    cfg: IndirectConfig,
+    idx: Vec<u32>,
+    data_base: u64,
+    pos: usize,
+    /// 0 = emit index load next, 1 = emit data load, 2 = emit store.
+    stage: u8,
+    rng: StdRng,
+}
+
+impl IndirectGen {
+    /// Creates an indirect-gather generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gathers_per_pass` or `data_elems` is zero, or if `churn`
+    /// is outside `[0, 1]`.
+    pub fn new(cfg: IndirectConfig) -> Self {
+        assert!(cfg.gathers_per_pass > 0, "need at least one gather per pass");
+        assert!(cfg.data_elems > 0, "data array cannot be empty");
+        assert!((0.0..=1.0).contains(&cfg.churn), "churn must be in [0,1]");
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x1d1_4ec7);
+        // A shuffled index array covering the data array as evenly as the
+        // sizes allow (wrapping when gathers > data elems).
+        let mut idx: Vec<u32> =
+            (0..cfg.gathers_per_pass).map(|i| i % cfg.data_elems).collect();
+        idx.shuffle(&mut rng);
+        let idx_bytes = u64::from(cfg.gathers_per_pass) * 4;
+        let data_base = (cfg.base + idx_bytes + 0xfff) & !0xfff;
+        IndirectGen { cfg, idx, data_base, pos: 0, stage: 0, rng }
+    }
+
+    /// Total bytes in index plus data arrays.
+    pub fn footprint(&self) -> u64 {
+        u64::from(self.cfg.gathers_per_pass) * 4 + u64::from(self.cfg.data_elems) * 8
+    }
+
+    fn churn_indices(&mut self) {
+        use rand::Rng;
+        let n = ((self.idx.len() as f64) * self.cfg.churn) as usize;
+        for _ in 0..n {
+            let at = self.rng.gen_range(0..self.idx.len());
+            self.idx[at] = self.rng.gen_range(0..self.cfg.data_elems);
+        }
+    }
+}
+
+impl TraceSource for IndirectGen {
+    fn next_access(&mut self) -> Option<MemoryAccess> {
+        let gap = self.cfg.gap.sample(&mut self.rng);
+        match self.stage {
+            0 => {
+                // Sequential walk of the index array (4-byte entries, so 16
+                // index loads per cache line — most hit in L1).
+                self.stage = 1;
+                Some(MemoryAccess {
+                    pc: Pc(self.cfg.pc_base),
+                    addr: Addr(self.cfg.base + (self.pos as u64) * 4),
+                    kind: AccessKind::Load,
+                    gap,
+                    dependent: false,
+                })
+            }
+            1 => {
+                let target = self.idx[self.pos];
+                self.stage = if self.cfg.store_result { 2 } else { 0 };
+                if self.stage == 0 {
+                    self.advance();
+                }
+                // The gather's address comes from the (L1-resident) index
+                // load, so consecutive gathers overlap freely — equake-class
+                // kernels have abundant memory-level parallelism. The
+                // 2-cycle idx-load dependence is negligible and not modelled.
+                Some(MemoryAccess {
+                    pc: Pc(self.cfg.pc_base + 8),
+                    addr: Addr(self.data_base + u64::from(target) * 8),
+                    kind: AccessKind::Load,
+                    gap,
+                    dependent: false,
+                })
+            }
+            _ => {
+                let target = self.idx[self.pos];
+                self.stage = 0;
+                self.advance();
+                Some(MemoryAccess {
+                    pc: Pc(self.cfg.pc_base + 16),
+                    addr: Addr(self.data_base + u64::from(target) * 8),
+                    kind: AccessKind::Store,
+                    gap,
+                    dependent: false,
+                })
+            }
+        }
+    }
+}
+
+impl IndirectGen {
+    fn advance(&mut self) {
+        self.pos += 1;
+        if self.pos >= self.idx.len() {
+            self.pos = 0;
+            if self.cfg.churn > 0.0 {
+                self.churn_indices();
+            }
+        }
+    }
+}
+
+/// Asserts at compile time that index lines hold multiple entries.
+const _: () = assert!(LINE_BYTES / 4 == 16);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> IndirectConfig {
+        IndirectConfig {
+            gathers_per_pass: 32,
+            data_elems: 64,
+            gap: GapModel::fixed(1),
+            ..IndirectConfig::default()
+        }
+    }
+
+    #[test]
+    fn alternates_index_and_data_loads() {
+        let mut g = IndirectGen::new(cfg());
+        let i0 = g.next_access().unwrap();
+        let d0 = g.next_access().unwrap();
+        let i1 = g.next_access().unwrap();
+        assert!(!i0.dependent);
+        assert!(!d0.dependent, "gathers overlap (MLP), see the stage-1 comment");
+        assert_eq!(i1.addr.0, i0.addr.0 + 4, "index walk is sequential");
+    }
+
+    #[test]
+    fn passes_repeat_without_churn() {
+        let mut g = IndirectGen::new(cfg());
+        let a: Vec<u64> = g.collect_accesses(64).iter().map(|x| x.addr.0).collect();
+        let b: Vec<u64> = g.collect_accesses(64).iter().map(|x| x.addr.0).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn churn_changes_targets() {
+        let mut g = IndirectGen::new(IndirectConfig { churn: 0.5, ..cfg() });
+        let a: Vec<u64> = g.collect_accesses(64).iter().map(|x| x.addr.0).collect();
+        let b: Vec<u64> = g.collect_accesses(64).iter().map(|x| x.addr.0).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn store_result_emits_store_after_load() {
+        let mut g = IndirectGen::new(IndirectConfig { store_result: true, ..cfg() });
+        let _idx = g.next_access().unwrap();
+        let data = g.next_access().unwrap();
+        let st = g.next_access().unwrap();
+        assert_eq!(st.kind, AccessKind::Store);
+        assert_eq!(st.addr, data.addr, "store updates the gathered element");
+    }
+
+    #[test]
+    fn data_region_does_not_overlap_index() {
+        let g = IndirectGen::new(cfg());
+        let idx_end = g.cfg.base + u64::from(g.cfg.gathers_per_pass) * 4;
+        assert!(g.data_base >= idx_end);
+    }
+
+    #[test]
+    fn footprint_counts_both_arrays() {
+        let g = IndirectGen::new(cfg());
+        assert_eq!(g.footprint(), 32 * 4 + 64 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be empty")]
+    fn rejects_empty_data() {
+        let _ = IndirectGen::new(IndirectConfig { data_elems: 0, ..IndirectConfig::default() });
+    }
+}

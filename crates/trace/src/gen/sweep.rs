@@ -1,0 +1,264 @@
+//! Repeated sequential/strided passes over one or more arrays.
+
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::gen::gap::GapModel;
+use crate::record::{AccessKind, Addr, MemoryAccess, Pc};
+use crate::source::TraceSource;
+
+/// Configuration for [`SweepGen`].
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Base address of the first array; arrays are laid out back to back,
+    /// each aligned to 4 KB.
+    pub base: u64,
+    /// Sizes of the swept arrays in bytes.
+    pub arrays: Vec<u64>,
+    /// Strides cycled per pass (bytes). A single entry gives a fixed stride;
+    /// several entries model multi-stride codes such as mgrid/lucas, whose
+    /// power-of-two strides change between passes.
+    pub strides: Vec<u64>,
+    /// Every `store_every`-th access is a store (0 disables stores).
+    pub store_every: u32,
+    /// Non-memory instruction gap model.
+    pub gap: GapModel,
+    /// Base program counter; each array gets a distinct PC pair (load/store).
+    pub pc_base: u64,
+    /// RNG seed (only used for gap jitter).
+    pub seed: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            base: 0x1000_0000,
+            arrays: vec![1 << 20],
+            strides: vec![64],
+            store_every: 0,
+            gap: GapModel::default(),
+            pc_base: 0x40_0000,
+            seed: 0,
+        }
+    }
+}
+
+/// Endlessly repeats sequential/strided passes over a set of arrays.
+///
+/// Each pass touches every array element in the same order, producing a miss
+/// sequence that recurs exactly — the "outer loop over a large data set"
+/// scenario from Section 3.1 of the paper. With multiple arrays, accesses to
+/// the arrays are interleaved round-robin within the pass, which is what
+/// creates the local last-touch/miss order disparity of Section 3.2.
+///
+/// # Example
+///
+/// ```
+/// use ltc_trace::gen::{SweepConfig, SweepGen};
+/// use ltc_trace::TraceSource;
+///
+/// let gen = SweepGen::new(SweepConfig {
+///     arrays: vec![4096, 4096],
+///     ..SweepConfig::default()
+/// });
+/// let mut gen = gen;
+/// let a = gen.next_access().unwrap();
+/// let b = gen.next_access().unwrap();
+/// assert_ne!(a.addr, b.addr);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepGen {
+    cfg: SweepConfig,
+    bases: Vec<u64>,
+    /// Per-array element cursor (bytes within the array).
+    cursors: Vec<u64>,
+    /// Which array receives the next access in the round-robin.
+    turn: usize,
+    /// Pass counter (selects the stride).
+    pass: u64,
+    access_no: u64,
+    rng: StdRng,
+}
+
+impl SweepGen {
+    /// Creates a sweep generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrays` or `strides` is empty, or any stride is zero.
+    pub fn new(cfg: SweepConfig) -> Self {
+        assert!(!cfg.arrays.is_empty(), "sweep requires at least one array");
+        assert!(!cfg.strides.is_empty(), "sweep requires at least one stride");
+        assert!(cfg.strides.iter().all(|&s| s > 0), "strides must be non-zero");
+        let mut bases = Vec::with_capacity(cfg.arrays.len());
+        let mut next = cfg.base;
+        for (idx, &size) in cfg.arrays.iter().enumerate() {
+            // Stagger bases by a non-power-of-two page count so equally
+            // sized arrays do not alias into the same cache sets (real
+            // allocators and array dimensioning break such alignment too).
+            bases.push(next + (idx as u64) * 0x11000);
+            next = (next + size + (idx as u64) * 0x11000 + 0xfff) & !0xfff;
+        }
+        let n = cfg.arrays.len();
+        let seed = cfg.seed;
+        SweepGen {
+            cfg,
+            bases,
+            cursors: vec![0; n],
+            turn: 0,
+            pass: 0,
+            access_no: 0,
+            rng: StdRng::seed_from_u64(seed ^ 0x5eed_5eed),
+        }
+    }
+
+    /// Total bytes touched per pass (the workload footprint).
+    pub fn footprint(&self) -> u64 {
+        self.cfg.arrays.iter().sum()
+    }
+
+    fn stride(&self) -> u64 {
+        self.cfg.strides[(self.pass as usize) % self.cfg.strides.len()]
+    }
+}
+
+impl TraceSource for SweepGen {
+    fn next_access(&mut self) -> Option<MemoryAccess> {
+        // Round-robin across the arrays. Arrays smaller than the largest
+        // wrap and are re-swept (the way a solver reads its small coefficient
+        // arrays every timestep); the pass ends when the largest array does.
+        let n = self.cfg.arrays.len();
+        let max_size = *self.cfg.arrays.iter().max().expect("non-empty");
+        let largest = self.cfg.arrays.iter().position(|&s| s == max_size).expect("exists");
+        if self.cursors[self.turn] >= self.cfg.arrays[self.turn] {
+            if self.turn == largest {
+                // Pass complete: reset all cursors and advance the stride.
+                for c in &mut self.cursors {
+                    *c = 0;
+                }
+                self.pass += 1;
+            } else {
+                // A smaller array wraps and is re-swept within the pass.
+                self.cursors[self.turn] = 0;
+            }
+        }
+        let stride = self.stride();
+        let idx = self.turn;
+        let offset = self.cursors[idx];
+        self.cursors[idx] = offset + stride;
+        let addr = Addr(self.bases[idx] + offset);
+        self.turn = (self.turn + 1) % n;
+
+        self.access_no += 1;
+        // Stores are a function of the *element position* (as in real loop
+        // bodies that update every k-th element), so the load/store pattern
+        // of a given line recurs identically every pass regardless of how
+        // the pass length divides by `store_every`.
+        let is_store = self.cfg.store_every != 0
+            && (offset / stride) % u64::from(self.cfg.store_every) == 0;
+        let kind = if is_store { AccessKind::Store } else { AccessKind::Load };
+        let pc_off = if is_store { 8 } else { 0 };
+        let pc = Pc(self.cfg.pc_base + (idx as u64) * 16 + pc_off);
+        let gap = self.cfg.gap.sample(&mut self.rng);
+        Some(MemoryAccess { pc, addr, kind, gap, dependent: false })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(cfg: SweepConfig, n: usize) -> Vec<MemoryAccess> {
+        SweepGen::new(cfg).collect_accesses(n)
+    }
+
+    #[test]
+    fn single_array_is_sequential() {
+        let cfg = SweepConfig {
+            arrays: vec![256],
+            strides: vec![64],
+            base: 0x1000,
+            ..SweepConfig::default()
+        };
+        let v = collect(cfg, 4);
+        let addrs: Vec<u64> = v.iter().map(|a| a.addr.0).collect();
+        assert_eq!(addrs, vec![0x1000, 0x1040, 0x1080, 0x10c0]);
+    }
+
+    #[test]
+    fn passes_repeat_exactly() {
+        let cfg = SweepConfig {
+            arrays: vec![512, 512],
+            strides: vec![64],
+            gap: GapModel::fixed(1),
+            ..SweepConfig::default()
+        };
+        let v = collect(cfg.clone(), 64);
+        let pass_len = (512 / 64) * 2;
+        let first: Vec<u64> = v[..pass_len].iter().map(|a| a.addr.0).collect();
+        let second: Vec<u64> = v[pass_len..2 * pass_len].iter().map(|a| a.addr.0).collect();
+        assert_eq!(first, second, "sweep passes must repeat the same address sequence");
+    }
+
+    #[test]
+    fn arrays_interleave_round_robin() {
+        let cfg = SweepConfig {
+            arrays: vec![4096, 4096],
+            strides: vec![64],
+            base: 0x10000,
+            ..SweepConfig::default()
+        };
+        let v = collect(cfg, 4);
+        // Alternates between the two arrays.
+        assert_ne!(v[0].addr.line(4096), v[1].addr.line(4096));
+        assert_eq!(v[0].addr.offset_by(64), v[2].addr);
+    }
+
+    #[test]
+    fn stores_appear_at_configured_rate() {
+        let cfg = SweepConfig { store_every: 4, arrays: vec![1 << 16], ..SweepConfig::default() };
+        let v = collect(cfg, 64);
+        let stores = v.iter().filter(|a| a.kind == AccessKind::Store).count();
+        assert_eq!(stores, 16);
+    }
+
+    #[test]
+    fn footprint_sums_arrays() {
+        let g = SweepGen::new(SweepConfig { arrays: vec![100, 200], ..SweepConfig::default() });
+        assert_eq!(g.footprint(), 300);
+    }
+
+    #[test]
+    fn multi_stride_changes_between_passes() {
+        let cfg = SweepConfig {
+            arrays: vec![512],
+            strides: vec![64, 128],
+            base: 0,
+            ..SweepConfig::default()
+        };
+        let v = collect(cfg, 8 + 4 + 2);
+        // Pass 0: 8 accesses at stride 64; pass 1: 4 accesses at stride 128.
+        assert_eq!(v[7].addr.0, 0x1c0);
+        assert_eq!(v[8].addr.0, 0x0);
+        assert_eq!(v[9].addr.0, 0x80);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one array")]
+    fn rejects_empty_arrays() {
+        let _ = SweepGen::new(SweepConfig { arrays: vec![], ..SweepConfig::default() });
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let cfg = SweepConfig {
+            arrays: vec![2048, 4096],
+            strides: vec![64],
+            gap: GapModel::jittered(3, 2),
+            seed: 42,
+            ..SweepConfig::default()
+        };
+        let a = collect(cfg.clone(), 100);
+        let b = collect(cfg, 100);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,188 @@
+//! Compact binary trace serialization.
+//!
+//! Records traces to a simple length-delimited binary format so expensive
+//! generator runs (or externally gathered traces) can be replayed exactly.
+//! Each record is 22 bytes: PC (8), address (8), gap (4), and a flag byte
+//! packing the access kind and dependence bit, preceded by a 16-byte file
+//! header with a magic and version.
+
+use std::io::{self, Read, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::record::{AccessKind, Addr, MemoryAccess, Pc};
+use crate::source::{Replay, TraceSource};
+
+/// File magic: "LTCT" (LT-cords trace).
+const MAGIC: u32 = 0x4c54_4354;
+/// Format version.
+const VERSION: u32 = 1;
+/// Bytes per serialized record.
+const RECORD_BYTES: usize = 21;
+
+/// Serializes accesses from `source` into `writer`, up to `limit` records.
+/// Returns the number of records written.
+///
+/// # Errors
+///
+/// Returns any I/O error from `writer`.
+///
+/// # Example
+///
+/// ```
+/// use ltc_trace::io::{write_trace, read_trace};
+/// use ltc_trace::{Replay, MemoryAccess, Pc, Addr, TraceSource};
+///
+/// # fn main() -> std::io::Result<()> {
+/// let trace = vec![MemoryAccess::load(Pc(1), Addr(64))];
+/// let mut buf = Vec::new();
+/// write_trace(&mut Replay::once(trace.clone()), &mut buf, 100)?;
+/// let mut replay = read_trace(&mut buf.as_slice())?;
+/// assert_eq!(replay.next_access(), Some(trace[0]));
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_trace<S, W>(source: &mut S, mut writer: W, limit: u64) -> io::Result<u64>
+where
+    S: TraceSource + ?Sized,
+    W: Write,
+{
+    let mut header = BytesMut::with_capacity(16);
+    header.put_u32(MAGIC);
+    header.put_u32(VERSION);
+    header.put_u64(0); // record count, unknown for streaming writes
+    writer.write_all(&header)?;
+
+    let mut written = 0u64;
+    let mut buf = BytesMut::with_capacity(RECORD_BYTES * 1024);
+    for _ in 0..limit {
+        let Some(a) = source.next_access() else { break };
+        buf.put_u64(a.pc.0);
+        buf.put_u64(a.addr.0);
+        buf.put_u32(a.gap);
+        let mut flags = 0u8;
+        if !a.kind.is_load() {
+            flags |= 1;
+        }
+        if a.dependent {
+            flags |= 2;
+        }
+        buf.put_u8(flags);
+        written += 1;
+        if buf.len() >= RECORD_BYTES * 1024 {
+            writer.write_all(&buf)?;
+            buf.clear();
+        }
+    }
+    writer.write_all(&buf)?;
+    Ok(written)
+}
+
+/// Reads a complete serialized trace into a [`Replay`] source.
+///
+/// # Errors
+///
+/// Returns `InvalidData` when the magic or version does not match or the
+/// payload is truncated mid-record, and any underlying I/O error.
+pub fn read_trace<R: Read>(mut reader: R) -> io::Result<Replay> {
+    let mut raw = Vec::new();
+    reader.read_to_end(&mut raw)?;
+    let mut bytes = Bytes::from(raw);
+    if bytes.remaining() < 16 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated trace header"));
+    }
+    let magic = bytes.get_u32();
+    let version = bytes.get_u32();
+    let _count = bytes.get_u64();
+    if magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not an LT-cords trace file"));
+    }
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported trace version {version}"),
+        ));
+    }
+    if bytes.remaining() % RECORD_BYTES != 0 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated trace record"));
+    }
+    let mut accesses = Vec::with_capacity(bytes.remaining() / RECORD_BYTES);
+    while bytes.remaining() >= RECORD_BYTES {
+        let pc = Pc(bytes.get_u64());
+        let addr = Addr(bytes.get_u64());
+        let gap = bytes.get_u32();
+        let flags = bytes.get_u8();
+        accesses.push(MemoryAccess {
+            pc,
+            addr,
+            kind: if flags & 1 != 0 { AccessKind::Store } else { AccessKind::Load },
+            gap,
+            dependent: flags & 2 != 0,
+        });
+    }
+    Ok(Replay::once(accesses))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite;
+
+    #[test]
+    fn round_trips_generated_trace() {
+        let mut src = suite::by_name("gcc").unwrap().build(3);
+        let original = src.collect_accesses(5_000);
+        let mut buf = Vec::new();
+        let n = write_trace(&mut Replay::once(original.clone()), &mut buf, u64::MAX).unwrap();
+        assert_eq!(n, 5_000);
+        let mut replay = read_trace(&mut buf.as_slice()).unwrap();
+        let restored = replay.collect_accesses(10_000);
+        assert_eq!(restored, original);
+    }
+
+    #[test]
+    fn limit_truncates_writing() {
+        let mut src = suite::by_name("gzip").unwrap().build(1);
+        let mut buf = Vec::new();
+        let n = write_trace(&mut src, &mut buf, 100).unwrap();
+        assert_eq!(n, 100);
+        assert_eq!(buf.len(), 16 + 100 * RECORD_BYTES);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let buf = vec![0u8; 32];
+        let err = read_trace(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_truncated_record() {
+        let mut src = suite::by_name("gzip").unwrap().build(1);
+        let mut buf = Vec::new();
+        write_trace(&mut src, &mut buf, 10).unwrap();
+        buf.pop(); // corrupt the tail
+        let err = read_trace(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let mut buf = Vec::new();
+        write_trace(&mut Replay::once(vec![]), &mut buf, 10).unwrap();
+        let mut replay = read_trace(&mut buf.as_slice()).unwrap();
+        assert!(replay.next_access().is_none());
+    }
+
+    #[test]
+    fn flags_preserve_kind_and_dependence() {
+        let trace = vec![
+            MemoryAccess::store(Pc(1), Addr(0)).with_dependent(true),
+            MemoryAccess::load(Pc(2), Addr(64)),
+        ];
+        let mut buf = Vec::new();
+        write_trace(&mut Replay::once(trace.clone()), &mut buf, 10).unwrap();
+        let mut replay = read_trace(&mut buf.as_slice()).unwrap();
+        assert_eq!(replay.collect_accesses(10), trace);
+    }
+}

@@ -1,0 +1,251 @@
+//! Core value types describing one committed memory reference.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A byte address in the simulated physical address space.
+///
+/// The paper models a 1 GB (30-bit) physical space; we allow the full 64-bit
+/// range so that multi-programmed experiments can shift workloads into
+/// disjoint regions (Section 5.5 of the paper).
+///
+/// # Example
+///
+/// ```
+/// use ltc_trace::Addr;
+///
+/// let a = Addr(0x1234);
+/// assert_eq!(a.line(64).0, 0x1200);
+/// assert_eq!(a.offset_by(0x10), Addr(0x1244));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// Returns the address of the cache line containing `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is not a power of two.
+    #[inline]
+    pub fn line(self, line_bytes: u64) -> Addr {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        Addr(self.0 & !(line_bytes - 1))
+    }
+
+    /// Returns the cache-line number (address divided by the line size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is not a power of two.
+    #[inline]
+    pub fn line_number(self, line_bytes: u64) -> u64 {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        self.0 >> line_bytes.trailing_zeros()
+    }
+
+    /// Returns this address displaced by `delta` bytes.
+    #[inline]
+    pub fn offset_by(self, delta: u64) -> Addr {
+        Addr(self.0.wrapping_add(delta))
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(v: u64) -> Self {
+        Addr(v)
+    }
+}
+
+/// The program counter of the instruction performing an access.
+///
+/// Last-touch signatures hash the sequence of PCs that touch a cache block
+/// (Section 2 of the paper), so generators assign a small stable set of PCs
+/// to each loop/traversal site, exactly as compiled code would.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Pc(pub u64);
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pc:{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Pc {
+    fn from(v: u64) -> Self {
+        Pc(v)
+    }
+}
+
+/// Whether an access reads or writes memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A load instruction.
+    Load,
+    /// A store instruction.
+    Store,
+}
+
+impl AccessKind {
+    /// Returns `true` for [`AccessKind::Load`].
+    #[inline]
+    pub fn is_load(self) -> bool {
+        matches!(self, AccessKind::Load)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Load => f.write_str("load"),
+            AccessKind::Store => f.write_str("store"),
+        }
+    }
+}
+
+/// One committed memory reference, as produced by a [`crate::TraceSource`].
+///
+/// In addition to the architectural fields (`pc`, `addr`, `kind`), a record
+/// carries two microarchitectural hints used by the timing model:
+///
+/// * `gap` — the number of non-memory instructions committed since the
+///   previous memory reference. This sets the compute intensity of the
+///   workload and therefore its baseline IPC (paper Table 2).
+/// * `dependent` — `true` when the *address* of this access is data-dependent
+///   on the value returned by the immediately preceding access (pointer
+///   chasing). Dependent misses cannot overlap, which is exactly the
+///   memory-level-parallelism limitation LT-cords attacks (Section 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemoryAccess {
+    /// Program counter of the memory instruction.
+    pub pc: Pc,
+    /// Byte address referenced.
+    pub addr: Addr,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Non-memory instructions committed since the previous access.
+    pub gap: u32,
+    /// Whether the address depends on the previous access's loaded value.
+    pub dependent: bool,
+}
+
+impl MemoryAccess {
+    /// Convenience constructor for an independent load with no leading gap.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ltc_trace::{MemoryAccess, Addr, Pc, AccessKind};
+    ///
+    /// let a = MemoryAccess::load(Pc(0x400000), Addr(0x80));
+    /// assert_eq!(a.kind, AccessKind::Load);
+    /// assert!(!a.dependent);
+    /// ```
+    pub fn load(pc: Pc, addr: Addr) -> Self {
+        MemoryAccess { pc, addr, kind: AccessKind::Load, gap: 0, dependent: false }
+    }
+
+    /// Convenience constructor for an independent store with no leading gap.
+    pub fn store(pc: Pc, addr: Addr) -> Self {
+        MemoryAccess { pc, addr, kind: AccessKind::Store, gap: 0, dependent: false }
+    }
+
+    /// Returns a copy with the `gap` field replaced.
+    pub fn with_gap(mut self, gap: u32) -> Self {
+        self.gap = gap;
+        self
+    }
+
+    /// Returns a copy marked as address-dependent on the previous access.
+    pub fn with_dependent(mut self, dependent: bool) -> Self {
+        self.dependent = dependent;
+        self
+    }
+
+    /// Total instructions this record represents (the access itself plus the
+    /// preceding non-memory gap).
+    #[inline]
+    pub fn instructions(&self) -> u64 {
+        1 + u64::from(self.gap)
+    }
+}
+
+impl fmt::Display for MemoryAccess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.pc, self.kind, self.addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_masks_low_bits() {
+        assert_eq!(Addr(0xfff).line(64), Addr(0xfc0));
+        assert_eq!(Addr(0x40).line(64), Addr(0x40));
+        assert_eq!(Addr(0).line(64), Addr(0));
+    }
+
+    #[test]
+    fn line_number_matches_shift() {
+        assert_eq!(Addr(0x1000).line_number(64), 0x40);
+        assert_eq!(Addr(0x103f).line_number(64), 0x40);
+        assert_eq!(Addr(0x1040).line_number(64), 0x41);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn line_rejects_non_power_of_two() {
+        let _ = Addr(0x100).line(48);
+    }
+
+    #[test]
+    fn offset_wraps() {
+        assert_eq!(Addr(u64::MAX).offset_by(1), Addr(0));
+    }
+
+    #[test]
+    fn access_instruction_count_includes_gap() {
+        let a = MemoryAccess::load(Pc(1), Addr(2)).with_gap(7);
+        assert_eq!(a.instructions(), 8);
+    }
+
+    #[test]
+    fn constructors_set_kind() {
+        assert!(MemoryAccess::load(Pc(0), Addr(0)).kind.is_load());
+        assert!(!MemoryAccess::store(Pc(0), Addr(0)).kind.is_load());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let a = MemoryAccess::store(Pc(0x400), Addr(0x1000));
+        let s = format!("{a}");
+        assert!(s.contains("store"));
+        assert!(s.contains("0x1000"));
+    }
+
+    #[test]
+    fn with_dependent_round_trips() {
+        let a = MemoryAccess::load(Pc(1), Addr(2)).with_dependent(true);
+        assert!(a.dependent);
+        assert!(!a.with_dependent(false).dependent);
+    }
+}

@@ -1,0 +1,203 @@
+//! The [`TraceSource`] abstraction and generic adapters.
+
+use crate::record::MemoryAccess;
+
+/// A producer of committed memory references.
+///
+/// All simulators in this workspace (coverage, analysis and timing) consume
+/// traces through this interface, so a workload can be a synthetic generator,
+/// a recorded buffer being replayed, or an interleaving of several programs.
+///
+/// Most sources in this crate are *unbounded*: they loop over their data set
+/// forever, the way the paper's benchmarks iterate an outer loop over a
+/// static data structure. Use [`TraceSource::take_accesses`] to bound a run.
+pub trait TraceSource {
+    /// Produces the next reference, or `None` when the source is exhausted.
+    fn next_access(&mut self) -> Option<MemoryAccess>;
+
+    /// Bounds this source to at most `n` references.
+    fn take_accesses(self, n: u64) -> TakeSource<Self>
+    where
+        Self: Sized,
+    {
+        TakeSource { inner: self, remaining: n }
+    }
+
+    /// Collects up to `n` references into a vector (for replay or analysis).
+    fn collect_accesses(&mut self, n: usize) -> Vec<MemoryAccess> {
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            match self.next_access() {
+                Some(a) => v.push(a),
+                None => break,
+            }
+        }
+        v
+    }
+}
+
+/// Boxed trait object form used by the suite and experiment runner.
+pub type BoxedSource = Box<dyn TraceSource + Send>;
+
+impl TraceSource for BoxedSource {
+    fn next_access(&mut self) -> Option<MemoryAccess> {
+        (**self).next_access()
+    }
+}
+
+impl<T: TraceSource + ?Sized> TraceSource for &mut T {
+    fn next_access(&mut self) -> Option<MemoryAccess> {
+        (**self).next_access()
+    }
+}
+
+/// Adapter limiting a source to a fixed number of references.
+///
+/// Produced by [`TraceSource::take_accesses`].
+#[derive(Debug, Clone)]
+pub struct TakeSource<S> {
+    inner: S,
+    remaining: u64,
+}
+
+impl<S: TraceSource> TraceSource for TakeSource<S> {
+    fn next_access(&mut self) -> Option<MemoryAccess> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.inner.next_access()
+    }
+}
+
+/// Replays a recorded vector of accesses, optionally in a loop.
+///
+/// # Example
+///
+/// ```
+/// use ltc_trace::{Replay, TraceSource, MemoryAccess, Pc, Addr};
+///
+/// let trace = vec![MemoryAccess::load(Pc(1), Addr(64))];
+/// let mut replay = Replay::cycle(trace);
+/// assert!(replay.next_access().is_some());
+/// assert!(replay.next_access().is_some()); // loops forever
+/// ```
+#[derive(Debug, Clone)]
+pub struct Replay {
+    accesses: Vec<MemoryAccess>,
+    pos: usize,
+    looping: bool,
+}
+
+impl Replay {
+    /// Replays `accesses` once, then ends.
+    pub fn once(accesses: Vec<MemoryAccess>) -> Self {
+        Replay { accesses, pos: 0, looping: false }
+    }
+
+    /// Replays `accesses` in an endless loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accesses` is empty (an empty loop could never produce a
+    /// reference and would spin forever in callers).
+    pub fn cycle(accesses: Vec<MemoryAccess>) -> Self {
+        assert!(!accesses.is_empty(), "cannot cycle an empty trace");
+        Replay { accesses, pos: 0, looping: true }
+    }
+
+    /// Number of distinct recorded references.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// Whether the recording is empty.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+}
+
+impl TraceSource for Replay {
+    fn next_access(&mut self) -> Option<MemoryAccess> {
+        if self.pos >= self.accesses.len() {
+            if !self.looping {
+                return None;
+            }
+            self.pos = 0;
+        }
+        let a = self.accesses[self.pos];
+        self.pos += 1;
+        Some(a)
+    }
+}
+
+/// Wraps a `TraceSource` as a standard [`Iterator`].
+#[derive(Debug)]
+pub struct IntoIter<S>(pub S);
+
+impl<S: TraceSource> Iterator for IntoIter<S> {
+    type Item = MemoryAccess;
+
+    fn next(&mut self) -> Option<MemoryAccess> {
+        self.0.next_access()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{Addr, Pc};
+
+    fn acc(n: u64) -> MemoryAccess {
+        MemoryAccess::load(Pc(n), Addr(n * 64))
+    }
+
+    #[test]
+    fn replay_once_ends() {
+        let mut r = Replay::once(vec![acc(1), acc(2)]);
+        assert_eq!(r.next_access().unwrap().pc, Pc(1));
+        assert_eq!(r.next_access().unwrap().pc, Pc(2));
+        assert!(r.next_access().is_none());
+        assert!(r.next_access().is_none());
+    }
+
+    #[test]
+    fn replay_cycle_wraps() {
+        let mut r = Replay::cycle(vec![acc(1), acc(2)]);
+        let pcs: Vec<u64> = (0..5).map(|_| r.next_access().unwrap().pc.0).collect();
+        assert_eq!(pcs, vec![1, 2, 1, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn replay_cycle_rejects_empty() {
+        let _ = Replay::cycle(vec![]);
+    }
+
+    #[test]
+    fn take_bounds_unbounded_source() {
+        let r = Replay::cycle(vec![acc(1)]);
+        let mut t = r.take_accesses(3);
+        assert_eq!(t.collect_accesses(10).len(), 3);
+    }
+
+    #[test]
+    fn collect_stops_at_end() {
+        let mut r = Replay::once(vec![acc(1), acc(2)]);
+        assert_eq!(r.collect_accesses(10).len(), 2);
+    }
+
+    #[test]
+    fn iterator_adapter_works() {
+        let r = Replay::once(vec![acc(1), acc(2), acc(3)]);
+        let v: Vec<_> = IntoIter(r).collect();
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn boxed_source_dispatches() {
+        let mut b: BoxedSource = Box::new(Replay::once(vec![acc(9)]));
+        assert_eq!(b.next_access().unwrap().pc, Pc(9));
+        assert!(b.next_access().is_none());
+    }
+}

@@ -1,0 +1,72 @@
+//! Building a custom workload from the pattern primitives and analysing it.
+//!
+//! Composes a pointer chase with an array sweep (a simplified graph-plus-
+//! buffers application), then reports the paper's diagnostic metrics for
+//! it: temporal correlation (Figure 6), last-touch/miss order disparity
+//! (Figure 7), dead times (Figure 2) and LT-cords coverage (Figure 8).
+//!
+//! ```text
+//! cargo run --release --example custom_workload
+//! ```
+
+use ltc_sim::analysis::{
+    run_coverage, CorrelationAnalysis, CoverageConfig, DeadTimeTracker, LastTouchOrderAnalysis,
+};
+use ltc_sim::core::{LtCords, LtCordsConfig};
+use ltc_sim::trace::gen::{
+    ChaseConfig, ChaseGen, GapModel, PhaseMix, SweepConfig, SweepGen,
+};
+use ltc_sim::trace::BoxedSource;
+
+fn build() -> PhaseMix {
+    // An 8 MB static linked structure, chased in a fixed order...
+    let graph: BoxedSource = Box::new(ChaseGen::new(ChaseConfig {
+        nodes: 1 << 17,
+        node_bytes: 64,
+        fields_per_node: 1,
+        gap: GapModel::jittered(3, 1),
+        seed: 11,
+        ..ChaseConfig::default()
+    }));
+    // ...interleaved with sweeps over two 2 MB buffers.
+    let buffers: BoxedSource = Box::new(SweepGen::new(SweepConfig {
+        base: 0x9000_0000,
+        arrays: vec![2 << 20, 2 << 20],
+        strides: vec![16],
+        store_every: 8,
+        gap: GapModel::jittered(3, 1),
+        seed: 12,
+        ..SweepConfig::default()
+    }));
+    PhaseMix::new(vec![(graph, 50_000), (buffers, 30_000)])
+}
+
+fn main() {
+    let accesses = 3_000_000;
+
+    println!("Temporal correlation (Figure 6 left):");
+    let corr = CorrelationAnalysis::run(&mut build(), accesses);
+    println!("  misses                 : {}", corr.misses);
+    println!("  perfectly correlated   : {:.1}%", corr.perfect_fraction() * 100.0);
+    println!("  correlated at |d|<=16  : {:.1}%", corr.cdf_at(16) * 100.0);
+    println!("  correlated at |d|<=256 : {:.1}%", corr.cdf_at(256) * 100.0);
+
+    println!("\nLast-touch vs miss order (Figure 7):");
+    let order = LastTouchOrderAnalysis::run(&mut build(), accesses);
+    println!("  perfectly ordered      : {:.1}%", order.perfect_fraction() * 100.0);
+    println!("  within +-16            : {:.1}%", order.cdf_at(16) * 100.0);
+    println!("  within +-1K            : {:.1}%", order.cdf_at(1024) * 100.0);
+
+    println!("\nBlock dead times (Figure 2), in instructions:");
+    let dead = DeadTimeTracker::run(&mut build(), accesses);
+    println!("  median                 : {}", dead.dead_times.quantile(0.5));
+    println!("  longer than 200 instrs : {:.1}%", dead.fraction_longer_than(200) * 100.0);
+
+    println!("\nLT-cords coverage (Figure 8 style):");
+    let mut lt = LtCords::new(LtCordsConfig::paper());
+    let report = run_coverage(&mut build(), &mut lt, CoverageConfig::paper(accesses));
+    println!("  correct   : {:.1}%", report.correct_pct() * 100.0);
+    println!("  incorrect : {:.1}%", report.incorrect_pct() * 100.0);
+    println!("  train     : {:.1}%", report.train_pct() * 100.0);
+    println!("  early     : {:.1}%", report.early_pct() * 100.0);
+}

@@ -1,0 +1,68 @@
+//! Multi-programmed execution (paper Section 5.5, Figure 11).
+//!
+//! Two programs share one LT-cords instance across context switches; the
+//! paper shows coverage is preserved as long as predictor state persists
+//! and off-chip sequence storage has room for both programs' sequences.
+//!
+//! ```text
+//! cargo run --release --example multiprogrammed [benchA] [benchB] [accesses]
+//! ```
+
+use ltc_sim::analysis::{run_coverage, CoverageConfig};
+use ltc_sim::core::{LtCords, LtCordsConfig};
+use ltc_sim::trace::{suite, MultiProgram};
+
+/// The paper alternates 60 M-instruction quanta for integer codes and 120 M
+/// for floating point (4 GHz, assumed IPC 1.5/3.0); we scale both down by
+/// 100x to keep the example fast while preserving many context switches.
+fn quantum(entry: &ltc_sim::trace::SuiteEntry) -> u64 {
+    if entry.is_fp() {
+        1_200_000
+    } else {
+        600_000
+    }
+}
+
+fn coverage_of(bench: &str, accesses: u64, with: Option<&str>) -> f64 {
+    let entry = suite::by_name(bench).expect("benchmark exists");
+    let mut lt = LtCords::new(LtCordsConfig::paper());
+    match with {
+        None => {
+            let mut src = entry.build(3);
+            run_coverage(&mut src, &mut lt, CoverageConfig::paper(accesses)).coverage()
+        }
+        Some(other) => {
+            let other_entry = suite::by_name(other).expect("benchmark exists");
+            // Shift the second program into a disjoint physical range, as
+            // the paper does.
+            let programs = vec![
+                (entry.build(3), quantum(&entry), 0u64),
+                (other_entry.build(4), quantum(&other_entry), 1u64 << 40),
+            ];
+            let mut multi = MultiProgram::new(programs);
+            // Run enough combined accesses that the focus program still sees
+            // roughly `accesses` of its own references.
+            let report =
+                run_coverage(&mut multi, &mut lt, CoverageConfig::paper(accesses * 2));
+            // Note: this measures combined coverage over both programs; the
+            // integration tests also split it per program.
+            report.coverage()
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let a = args.first().map(String::as_str).unwrap_or("mcf");
+    let b = args.get(1).map(String::as_str).unwrap_or("swim");
+    let accesses: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4_000_000);
+
+    println!("LT-cords coverage, standalone vs context-switched (Section 5.5)\n");
+    let standalone = coverage_of(a, accesses, None);
+    println!("{a} standalone : {:.1}% coverage", standalone * 100.0);
+    let shared = coverage_of(a, accesses, Some(b));
+    println!("{a} + {b}      : {:.1}% combined coverage", shared * 100.0);
+    println!();
+    println!("Predictor state persists across context switches (the paper's");
+    println!("requirement); with ample sequence storage, sharing costs little.");
+}

@@ -1,0 +1,52 @@
+//! Quickstart: run LT-cords on a benchmark and print its coverage.
+//!
+//! ```text
+//! cargo run --release --example quickstart [benchmark] [accesses]
+//! ```
+
+use ltc_sim::analysis::{run_coverage, CoverageConfig};
+use ltc_sim::core::{LtCords, LtCordsConfig};
+use ltc_sim::predictors::Prefetcher;
+use ltc_sim::trace::suite;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bench = args.first().map(String::as_str).unwrap_or("mcf");
+    let accesses: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2_000_000);
+
+    let entry = suite::by_name(bench).unwrap_or_else(|| {
+        eprintln!("unknown benchmark {bench}; try `ltsim list`");
+        std::process::exit(1);
+    });
+    println!("benchmark : {} ({})", entry.name, entry.description);
+
+    // 1. Instantiate the workload (deterministic for a given seed).
+    let mut source = entry.build(42);
+
+    // 2. Instantiate LT-cords with the paper's Section 5.6 configuration:
+    //    a 32K-entry signature cache, 4K frames x 8K signatures off chip.
+    let mut ltcords = LtCords::new(LtCordsConfig::paper());
+    println!(
+        "predictor : lt-cords, {} KB on chip, {} MB off chip",
+        ltcords.storage_bytes() / 1024,
+        ltcords.config().offchip_bytes() >> 20,
+    );
+
+    // 3. Run the trace-driven coverage simulation: the predictor-augmented
+    //    hierarchy runs in lockstep with a shadow baseline, classifying
+    //    every baseline miss (paper Figure 8).
+    let report = run_coverage(&mut source, &mut ltcords, CoverageConfig::paper(accesses));
+
+    println!("accesses  : {}", report.accesses);
+    println!("L1D miss  : {:.1}% of accesses", report.base_l1_miss_rate() * 100.0);
+    println!("coverage  : {:.1}% of misses eliminated", report.coverage() * 100.0);
+    println!("  correct  : {:.1}%", report.correct_pct() * 100.0);
+    println!("  incorrect: {:.1}%", report.incorrect_pct() * 100.0);
+    println!("  train    : {:.1}%", report.train_pct() * 100.0);
+    println!("  early    : {:.1}% (above 100%)", report.early_pct() * 100.0);
+    let m = ltcords.metrics();
+    println!(
+        "streaming : {} head activations, {} signatures streamed, {} recorded",
+        m.head_activations, m.signatures_streamed, m.signatures_recorded
+    );
+}

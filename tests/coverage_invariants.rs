@@ -1,0 +1,98 @@
+//! Cross-predictor coverage-accounting invariants (property-style).
+
+use ltc_sim::experiment::{run_coverage as cov, PredictorKind};
+use proptest::prelude::*;
+
+const KINDS: [PredictorKind; 5] = [
+    PredictorKind::Baseline,
+    PredictorKind::LtCords,
+    PredictorKind::DbcpUnlimited,
+    PredictorKind::Dbcp2Mb,
+    PredictorKind::Ghb,
+];
+
+/// The Figure 8 identity holds for every predictor on every workload class.
+#[test]
+fn figure8_identity_holds_everywhere() {
+    for bench in ["galgel", "twolf", "gcc", "treeadd"] {
+        for kind in KINDS {
+            let r = cov(bench, kind, 150_000, 1);
+            assert_eq!(
+                r.correct + r.incorrect + r.train(),
+                r.base_l1_misses,
+                "{bench}/{}: correct+incorrect+train != opportunity",
+                kind.name()
+            );
+            assert_eq!(
+                r.pf_l1_misses,
+                r.base_l1_misses - r.correct + r.early,
+                "{bench}/{}: miss-delta identity broken",
+                kind.name()
+            );
+        }
+    }
+}
+
+/// The baseline predictor never perturbs the hierarchy.
+#[test]
+fn baseline_is_inert() {
+    for bench in ["swim", "gzip", "mcf"] {
+        let r = cov(bench, PredictorKind::Baseline, 200_000, 1);
+        assert_eq!(r.base_l1_misses, r.pf_l1_misses, "{bench}");
+        assert_eq!(r.base_l2_misses, r.pf_l2_misses, "{bench}");
+        assert_eq!(r.correct, 0, "{bench}");
+        assert_eq!(r.early, 0, "{bench}");
+        assert_eq!(r.prefetch_fills, 0, "{bench}");
+        assert_eq!(r.traffic.total(), 0, "{bench}");
+    }
+}
+
+/// Coverage percentages stay within meaningful ranges.
+#[test]
+fn percentages_are_bounded() {
+    for kind in KINDS {
+        let r = cov("facerec", kind, 200_000, 2);
+        for (label, v) in [
+            ("correct", r.correct_pct()),
+            ("incorrect", r.incorrect_pct()),
+            ("train", r.train_pct()),
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{}: {label} = {v}", kind.name());
+        }
+        assert!(r.early_pct() >= 0.0, "{}", kind.name());
+        assert!(r.coverage() <= 1.0, "{}", kind.name());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Identity holds across random benchmarks, seeds and budgets.
+    #[test]
+    fn identity_holds_for_random_runs(
+        bench_idx in 0usize..28,
+        seed in 0u64..1000,
+        accesses in 20_000u64..120_000,
+    ) {
+        let bench = ltc_sim::trace::suite::benchmarks()[bench_idx].name;
+        let r = cov(bench, PredictorKind::LtCords, accesses, seed);
+        prop_assert_eq!(r.correct + r.incorrect + r.train(), r.base_l1_misses);
+        prop_assert_eq!(r.pf_l1_misses, r.base_l1_misses - r.correct + r.early);
+        prop_assert!(r.accesses <= accesses);
+    }
+
+    /// LT-cords metadata traffic scales with misses, not accesses: hit-heavy
+    /// runs must not generate sequence traffic.
+    #[test]
+    fn metadata_traffic_tracks_misses(seed in 0u64..100) {
+        let r = cov("crafty", PredictorKind::LtCords, 50_000, seed);
+        // crafty's working set fits in L1: essentially no misses, so no
+        // signatures recorded or streamed.
+        prop_assert!(r.base_l1_misses < 2_000);
+        prop_assert!(
+            r.traffic.sequence_write_bytes <= r.base_l1_misses * 5,
+            "writes {} exceed 5 bytes per miss",
+            r.traffic.sequence_write_bytes
+        );
+    }
+}

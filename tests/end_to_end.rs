@@ -1,0 +1,131 @@
+//! End-to-end pipeline tests: suite workloads through predictors.
+
+use ltc_sim::analysis::{run_coverage, CoverageConfig};
+use ltc_sim::core::{LtCords, LtCordsConfig};
+use ltc_sim::experiment::{run_coverage as cov, PredictorKind};
+use ltc_sim::predictors::Prefetcher;
+use ltc_sim::trace::{suite, TraceSource};
+
+/// A strongly recurring workload must reach high LT-cords coverage once
+/// trained (the paper's central claim).
+#[test]
+fn recurring_workload_reaches_high_coverage() {
+    // galgel: ~900 KB footprint, dense sweeps, perfectly recurring. Small
+    // enough to see many passes within the access budget.
+    let r = cov("galgel", PredictorKind::LtCords, 2_000_000, 1);
+    assert!(
+        r.coverage() > 0.5,
+        "recurring sweeps should reach >50% coverage, got {:.2}",
+        r.coverage()
+    );
+}
+
+/// A hash/random workload must stay near zero coverage — and, critically,
+/// must not be *hurt* (the paper: "LT-cords does not adversely affect
+/// performance of these benchmarks").
+#[test]
+fn random_workload_is_not_hurt() {
+    let r = cov("twolf", PredictorKind::LtCords, 1_000_000, 1);
+    assert!(r.coverage() < 0.25, "twolf has little correlation, got {:.2}", r.coverage());
+    assert!(
+        r.early_pct() < 0.05,
+        "early evictions must stay negligible, got {:.3}",
+        r.early_pct()
+    );
+}
+
+/// LT-cords must approach the unlimited-storage DBCP oracle on recurring
+/// workloads (Figure 8's headline comparison).
+#[test]
+fn ltcords_tracks_unlimited_dbcp() {
+    let lt = cov("galgel", PredictorKind::LtCords, 2_000_000, 1);
+    let oracle = cov("galgel", PredictorKind::DbcpUnlimited, 2_000_000, 1);
+    assert!(oracle.coverage() > 0.5, "oracle must cover galgel");
+    assert!(
+        lt.coverage() > oracle.coverage() * 0.7,
+        "LT-cords ({:.2}) must track the oracle ({:.2})",
+        lt.coverage(),
+        oracle.coverage()
+    );
+}
+
+/// GHB must beat LT-cords on regular-layout, low-reuse codes (gap) while
+/// LT-cords must dominate on irregular pointer chases (em3d) — the paper's
+/// Section 5.7 crossover.
+#[test]
+fn ghb_and_ltcords_crossover() {
+    let lt_gap = cov("gap", PredictorKind::LtCords, 800_000, 1);
+    let ghb_gap = cov("gap", PredictorKind::Ghb, 800_000, 1);
+    assert!(
+        ghb_gap.l2_coverage() > lt_gap.l2_coverage() + 0.3,
+        "gap: GHB {:.2} must beat LT-cords {:.2} off chip",
+        ghb_gap.l2_coverage(),
+        lt_gap.l2_coverage()
+    );
+
+    let lt_em3d = cov("em3d", PredictorKind::LtCords, 3_000_000, 1);
+    let ghb_em3d = cov("em3d", PredictorKind::Ghb, 3_000_000, 1);
+    assert!(
+        lt_em3d.coverage() > ghb_em3d.coverage() + 0.3,
+        "em3d: LT-cords {:.2} must beat GHB {:.2}",
+        lt_em3d.coverage(),
+        ghb_em3d.coverage()
+    );
+}
+
+/// The whole suite must run without panicking and produce sane reports.
+#[test]
+fn entire_suite_runs_under_ltcords() {
+    for entry in suite::benchmarks() {
+        let r = cov(entry.name, PredictorKind::LtCords, 60_000, 1);
+        // The first quarter of the budget is warm-up.
+        assert_eq!(r.accesses, 45_000, "{}", entry.name);
+        let sum = r.correct + r.incorrect + r.train();
+        assert_eq!(sum, r.base_l1_misses, "{}: identity violated", entry.name);
+        assert!(r.coverage() <= 1.0, "{}", entry.name);
+    }
+}
+
+/// Deterministic reproduction: same benchmark, seed and budget give
+/// byte-identical reports.
+#[test]
+fn coverage_runs_are_deterministic() {
+    let a = cov("mcf", PredictorKind::LtCords, 300_000, 9);
+    let b = cov("mcf", PredictorKind::LtCords, 300_000, 9);
+    assert_eq!(a.correct, b.correct);
+    assert_eq!(a.base_l1_misses, b.base_l1_misses);
+    assert_eq!(a.traffic, b.traffic);
+}
+
+/// The on-chip budget of the paper configuration stays ~214 KB while the
+/// oracle DBCP's table grows with the workload (the paper's Figure 4 story).
+#[test]
+fn on_chip_storage_stays_bounded() {
+    let entry = suite::by_name("swim").unwrap();
+    let mut source = entry.build(1);
+    let mut lt = LtCords::new(LtCordsConfig::paper());
+    let before = lt.storage_bytes();
+    let _ = run_coverage(&mut source, &mut lt, CoverageConfig::paper(1_000_000));
+    assert_eq!(lt.storage_bytes(), before, "on-chip budget must not grow");
+
+    let mut source = entry.build(1);
+    let mut oracle = PredictorKind::DbcpUnlimited.build();
+    let _ = run_coverage(&mut source, oracle.as_mut(), CoverageConfig::paper(1_000_000));
+    assert!(
+        oracle.storage_bytes() > lt.storage_bytes() * 4,
+        "oracle table ({} B) must dwarf LT-cords on-chip state ({} B)",
+        oracle.storage_bytes(),
+        lt.storage_bytes()
+    );
+}
+
+/// Suite generators keep producing accesses indefinitely (unbounded loops).
+#[test]
+fn generators_are_unbounded() {
+    for name in ["swim", "mcf", "gcc", "bh"] {
+        let mut src = suite::by_name(name).unwrap().build(5);
+        for i in 0..10_000 {
+            assert!(src.next_access().is_some(), "{name} ended at {i}");
+        }
+    }
+}

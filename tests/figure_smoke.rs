@@ -1,0 +1,139 @@
+//! Scaled-down versions of each paper figure, asserting shape properties.
+
+use ltc_sim::analysis::{CorrelationAnalysis, DeadTimeTracker, LastTouchOrderAnalysis};
+use ltc_sim::core::LtCordsConfig;
+use ltc_sim::experiment::{run_coverage as cov, PredictorKind};
+use ltc_sim::trace::suite;
+
+/// Figure 2: most dead times dwarf the memory latency.
+#[test]
+fn fig2_dead_times_exceed_memory_latency() {
+    let mut src = suite::by_name("swim").unwrap().build(1);
+    let d = DeadTimeTracker::run(&mut src, 400_000);
+    assert!(d.evictions > 10_000);
+    // 200-cycle memory latency at ~1.5 IPC is ~300 instructions.
+    assert!(
+        d.fraction_longer_than(300) > 0.8,
+        "dead times must be long, got {:.2}",
+        d.fraction_longer_than(300)
+    );
+}
+
+/// Figure 4: DBCP coverage grows monotonically (within noise) with table
+/// size and saturates at the unlimited table.
+#[test]
+fn fig4_dbcp_size_sensitivity_shape() {
+    let sizes = [40u64 << 10, 640 << 10, 10 << 20];
+    let mut last = -1.0f64;
+    for bytes in sizes {
+        let r = cov("art", PredictorKind::DbcpBytes(bytes), 1_200_000, 1);
+        assert!(
+            r.coverage() >= last - 0.05,
+            "coverage should not collapse as the table grows: {} at {bytes}",
+            r.coverage()
+        );
+        last = r.coverage();
+    }
+    let oracle = cov("art", PredictorKind::DbcpUnlimited, 1_200_000, 1);
+    assert!(oracle.coverage() + 0.05 >= last, "unlimited bounds the sweep");
+}
+
+/// Figure 6: array codes are near-perfectly correlated; hash codes are not.
+/// (galgel's ~900 KB footprint recurs many times within the budget; swim's
+/// 32 MB footprint would need tens of millions of accesses per pass.)
+#[test]
+fn fig6_correlation_separates_workload_classes() {
+    let mut galgel = suite::by_name("galgel").unwrap().build(1);
+    let c_galgel = CorrelationAnalysis::run(&mut galgel, 700_000);
+    let mut twolf = suite::by_name("twolf").unwrap().build(1);
+    let c_twolf = CorrelationAnalysis::run(&mut twolf, 700_000);
+    assert!(
+        c_galgel.perfect_fraction() > 0.7,
+        "galgel should be near-perfectly correlated, got {:.2}",
+        c_galgel.perfect_fraction()
+    );
+    assert!(
+        c_twolf.correlated_fraction() < 0.35,
+        "twolf should be mostly uncorrelated, got {:.2}",
+        c_twolf.correlated_fraction()
+    );
+}
+
+/// Figure 7: last-touch order reordering is real but mostly local — a
+/// bounded window captures almost all of it.
+#[test]
+fn fig7_reordering_is_local() {
+    let mut src = suite::by_name("swim").unwrap().build(1);
+    let o = LastTouchOrderAnalysis::run(&mut src, 700_000);
+    assert!(o.misses > 100_000);
+    let at_1k = o.cdf_at(1024);
+    assert!(at_1k > 0.95, "±1K must capture >95% of misses, got {at_1k:.3}");
+    assert!(
+        o.perfect_fraction() < 0.95,
+        "interleaved arrays must show some reordering, got {:.3}",
+        o.perfect_fraction()
+    );
+}
+
+/// Figure 9: larger signature caches help (until saturation).
+#[test]
+fn fig9_signature_cache_sensitivity_shape() {
+    let small = cov(
+        "galgel",
+        PredictorKind::LtCordsWith(LtCordsConfig::fig9_sweep(256)),
+        1_500_000,
+        1,
+    );
+    let large = cov(
+        "galgel",
+        PredictorKind::LtCordsWith(LtCordsConfig::fig9_sweep(32 << 10)),
+        1_500_000,
+        1,
+    );
+    assert!(
+        large.coverage() > small.coverage() + 0.1,
+        "32K-entry cache ({:.2}) must beat 256-entry ({:.2})",
+        large.coverage(),
+        small.coverage()
+    );
+}
+
+/// Figure 10: more off-chip storage cannot hurt, and very small storage
+/// caps coverage for sequence-hungry codes. art's ~400 K signatures per
+/// pass overflow a 64 K-signature store but fit an 8 M one.
+#[test]
+fn fig10_offchip_storage_shape() {
+    let tiny = cov(
+        "art",
+        PredictorKind::LtCordsWith(LtCordsConfig::fig10_sweep(64 << 10)),
+        2_500_000,
+        1,
+    );
+    let big = cov(
+        "art",
+        PredictorKind::LtCordsWith(LtCordsConfig::fig10_sweep(8 << 20)),
+        2_500_000,
+        1,
+    );
+    assert!(
+        big.coverage() + 0.02 >= tiny.coverage(),
+        "more storage cannot hurt: {:.2} vs {:.2}",
+        big.coverage(),
+        tiny.coverage()
+    );
+    assert!(big.coverage() > 0.2, "8M signatures should cover art, got {:.2}", big.coverage());
+}
+
+/// Figure 12: LT-cords' bus overhead is one signature per miss — small
+/// relative to the 64-byte line each miss moves.
+#[test]
+fn fig12_bandwidth_overhead_is_modest() {
+    let r = cov("swim", PredictorKind::LtCords, 1_000_000, 1);
+    let data_bytes = r.base_data_bytes;
+    let meta = r.traffic.total();
+    assert!(data_bytes > 0);
+    assert!(
+        (meta as f64) < 0.35 * data_bytes as f64,
+        "metadata {meta} should be well below data traffic {data_bytes}"
+    );
+}

@@ -1,0 +1,115 @@
+//! Timing-model ordering properties underlying Table 3.
+
+use ltc_sim::experiment::{run_timing, PredictorKind};
+
+/// Perfect L1 bounds every other configuration from above.
+#[test]
+fn perfect_l1_dominates() {
+    for bench in ["mcf", "swim", "gcc"] {
+        let base = run_timing(bench, PredictorKind::Baseline, 150_000, 1);
+        let ideal = run_timing(bench, PredictorKind::PerfectL1, 150_000, 1);
+        let lt = run_timing(bench, PredictorKind::LtCords, 150_000, 1);
+        assert!(
+            ideal.ipc() >= base.ipc(),
+            "{bench}: perfect {:.3} < base {:.3}",
+            ideal.ipc(),
+            base.ipc()
+        );
+        assert!(
+            ideal.ipc() * 1.05 >= lt.ipc(),
+            "{bench}: perfect L1 must bound LT-cords ({:.3} vs {:.3})",
+            ideal.ipc(),
+            lt.ipc()
+        );
+    }
+}
+
+/// Memory-bound codes have far lower IPC than cache-resident codes
+/// (the Table 2 IPC spread).
+#[test]
+fn ipc_spread_matches_table_2_shape() {
+    let mcf = run_timing("mcf", PredictorKind::Baseline, 150_000, 1);
+    let crafty = run_timing("crafty", PredictorKind::Baseline, 150_000, 1);
+    let mesa = run_timing("mesa", PredictorKind::Baseline, 150_000, 1);
+    assert!(
+        mcf.ipc() < crafty.ipc() / 4.0,
+        "mcf ({:.3}) must be far slower than crafty ({:.3})",
+        mcf.ipc(),
+        crafty.ipc()
+    );
+    assert!(mesa.ipc() > 2.0, "mesa should run near issue bound, got {:.3}", mesa.ipc());
+}
+
+/// The pointer-chasing benchmarks have the largest perfect-L1 opportunity
+/// (mcf's 1637% in Table 3 dwarfs everything else).
+#[test]
+fn pointer_chasing_has_biggest_opportunity() {
+    let mcf_base = run_timing("mcf", PredictorKind::Baseline, 150_000, 1);
+    let mcf_ideal = run_timing("mcf", PredictorKind::PerfectL1, 150_000, 1);
+    let gzip_base = run_timing("gzip", PredictorKind::Baseline, 150_000, 1);
+    let gzip_ideal = run_timing("gzip", PredictorKind::PerfectL1, 150_000, 1);
+    let mcf_gain = mcf_ideal.speedup_pct_over(&mcf_base);
+    let gzip_gain = gzip_ideal.speedup_pct_over(&gzip_base);
+    assert!(
+        mcf_gain > gzip_gain * 3.0,
+        "mcf opportunity ({mcf_gain:.0}%) must dwarf gzip's ({gzip_gain:.0}%)"
+    );
+}
+
+/// A 4 MB L2 helps L2-capacity-bound codes but not tiny or enormous
+/// working sets (Table 3's "4MB L2" row).
+#[test]
+fn big_l2_helps_capacity_bound_codes() {
+    // twolf: 512 KB random working set; a bigger L2 keeps it resident.
+    let twolf_base = run_timing("twolf", PredictorKind::Baseline, 300_000, 1);
+    let twolf_big = run_timing("twolf", PredictorKind::BigL2, 300_000, 1);
+    assert!(
+        twolf_big.l2_misses <= twolf_base.l2_misses,
+        "bigger L2 cannot increase twolf's off-chip misses"
+    );
+
+    // crafty: fits in L1; the L2 size is irrelevant.
+    let crafty_base = run_timing("crafty", PredictorKind::Baseline, 150_000, 1);
+    let crafty_big = run_timing("crafty", PredictorKind::BigL2, 150_000, 1);
+    let delta = crafty_big.speedup_pct_over(&crafty_base).abs();
+    assert!(delta < 5.0, "crafty must be insensitive to L2 size, got {delta:.1}%");
+}
+
+/// LT-cords improves a trained pointer-chasing workload (the headline).
+#[test]
+fn ltcords_speeds_up_pointer_chase() {
+    // Longer run so LT-cords trains; em3d recurs exactly.
+    let base = run_timing("em3d", PredictorKind::Baseline, 2_500_000, 1);
+    let lt = run_timing("em3d", PredictorKind::LtCords, 2_500_000, 1);
+    assert!(
+        lt.speedup_pct_over(&base) > 20.0,
+        "em3d LT-cords speedup {:.1}% too small (IPC {:.3} vs {:.3})",
+        lt.speedup_pct_over(&base),
+        lt.ipc(),
+        base.ipc()
+    );
+}
+
+/// Timing runs are deterministic.
+#[test]
+fn timing_is_deterministic() {
+    let a = run_timing("gcc", PredictorKind::LtCords, 120_000, 3);
+    let b = run_timing("gcc", PredictorKind::LtCords, 120_000, 3);
+    assert_eq!(a.cycles.to_bits(), b.cycles.to_bits());
+    assert_eq!(a.l1_misses, b.l1_misses);
+}
+
+/// Bandwidth accounting: LT-cords metadata traffic appears in its bandwidth
+/// breakdown and not in the baseline's.
+#[test]
+fn bandwidth_breakdown_attributes_traffic() {
+    let base = run_timing("swim", PredictorKind::Baseline, 300_000, 1);
+    let lt = run_timing("swim", PredictorKind::LtCords, 300_000, 1);
+    assert_eq!(base.bandwidth.sequence_creation_bytes, 0);
+    assert_eq!(base.bandwidth.sequence_fetch_bytes, 0);
+    assert!(lt.bandwidth.sequence_creation_bytes > 0);
+    assert!(
+        lt.bandwidth.base_data_bytes > 0,
+        "demand traffic must appear alongside metadata"
+    );
+}
