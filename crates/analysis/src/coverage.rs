@@ -1,7 +1,7 @@
 //! The trace-driven coverage simulator (Figure 8's methodology).
 
 use ltc_cache::{Hierarchy, HierarchyConfig, MemLevel};
-use ltc_predictors::{PredictorTraffic, Prefetcher, PrefetchLevel};
+use ltc_predictors::{PredictorTraffic, PrefetchLevel, Prefetcher};
 use ltc_trace::TraceSource;
 use serde::{Deserialize, Serialize};
 
@@ -169,7 +169,8 @@ where
 {
     let mut base = Hierarchy::new(cfg.hierarchy);
     let mut pf = Hierarchy::new(cfg.hierarchy);
-    let mut report = CoverageReport { predictor: predictor.name().to_string(), ..Default::default() };
+    let mut report =
+        CoverageReport { predictor: predictor.name().to_string(), ..Default::default() };
     let mut requests = Vec::new();
     let mut l1_fills = 0u64;
     let line_bytes = cfg.hierarchy.l1.line_bytes;
@@ -271,8 +272,7 @@ where
     report.traffic = PredictorTraffic {
         sequence_write_bytes: t.sequence_write_bytes - traffic_before.sequence_write_bytes,
         sequence_read_bytes: t.sequence_read_bytes - traffic_before.sequence_read_bytes,
-        confidence_update_bytes: t.confidence_update_bytes
-            - traffic_before.confidence_update_bytes,
+        confidence_update_bytes: t.confidence_update_bytes - traffic_before.confidence_update_bytes,
     };
     report.storage_bytes = predictor.storage_bytes();
     report

@@ -51,8 +51,8 @@ impl LastTouchOrderAnalysis {
 
     /// Computes the distances from raw `(last_touch_seq, miss_index)` pairs.
     pub fn from_pairs(mut pairs: Vec<(u64, u64)>) -> Self {
-        let mut analysis = LastTouchOrderAnalysis::default();
-        analysis.misses = pairs.len() as u64;
+        let mut analysis =
+            LastTouchOrderAnalysis { misses: pairs.len() as u64, ..Default::default() };
         pairs.sort_unstable_by_key(|&(lt, _)| lt);
         for w in pairs.windows(2) {
             let d = w[1].1 as i64 - w[0].1 as i64;

@@ -25,12 +25,7 @@ fn bench_fig04(c: &mut Criterion) {
     use ltc_sim::experiment::{run_coverage, PredictorKind};
     c.bench_function("fig04_dbcp_size_point", |b| {
         b.iter(|| {
-            run_coverage(
-                "galgel",
-                PredictorKind::DbcpBytes(2 << 20),
-                scale().coverage_accesses,
-                1,
-            )
+            run_coverage("galgel", PredictorKind::DbcpBytes(2 << 20), scale().coverage_accesses, 1)
         })
     });
 }
@@ -110,9 +105,7 @@ fn bench_table3(c: &mut Criterion) {
 fn bench_fig12(c: &mut Criterion) {
     use ltc_sim::experiment::{run_timing, PredictorKind};
     c.bench_function("fig12_bandwidth_point", |b| {
-        b.iter(|| {
-            run_timing("swim", PredictorKind::LtCords, scale().timing_accesses, 1).bandwidth
-        })
+        b.iter(|| run_timing("swim", PredictorKind::LtCords, scale().timing_accesses, 1).bandwidth)
     });
 }
 

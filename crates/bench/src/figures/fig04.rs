@@ -10,17 +10,8 @@ use crate::scale::Scale;
 /// ~100 MB application footprints; our footprints are ~8x smaller, so the
 /// sweep tops out at 40 MB — crossovers land proportionally earlier
 /// (see EXPERIMENTS.md).
-pub const SIZES: [u64; 9] = [
-    160 << 10,
-    320 << 10,
-    640 << 10,
-    1 << 20,
-    2 << 20,
-    5 << 20,
-    10 << 20,
-    20 << 20,
-    40 << 20,
-];
+pub const SIZES: [u64; 9] =
+    [160 << 10, 320 << 10, 640 << 10, 1 << 20, 2 << 20, 5 << 20, 10 << 20, 20 << 20, 40 << 20];
 
 /// Normalized DBCP coverage per table size.
 #[derive(Debug, Clone)]
@@ -40,12 +31,8 @@ pub fn run(scale: Scale) -> Sensitivity {
         run_coverage(name, PredictorKind::DbcpUnlimited, accesses, 1).coverage()
     });
     // Only benchmarks the oracle can cover are meaningful to normalize.
-    let included: Vec<(usize, &'static str)> = names
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| oracle[*i] > 0.10)
-        .map(|(i, n)| (i, *n))
-        .collect();
+    let included: Vec<(usize, &'static str)> =
+        names.iter().enumerate().filter(|(i, _)| oracle[*i] > 0.10).map(|(i, n)| (i, *n)).collect();
 
     let mut points = Vec::new();
     for &size in &SIZES {
@@ -66,8 +53,7 @@ pub fn run(scale: Scale) -> Sensitivity {
 
 /// Renders the Figure 4 series.
 pub fn render(s: &Sensitivity) -> String {
-    let mut t =
-        Table::new(vec!["table size", "% of achievable coverage (avg)", "worst-case"]);
+    let mut t = Table::new(vec!["table size", "% of achievable coverage (avg)", "worst-case"]);
     for &(size, avg, worst) in &s.points {
         t.row(vec![
             ltc_sim::report::bytes(size),
@@ -88,8 +74,12 @@ mod tests {
     fn coverage_grows_with_table_size() {
         // Bench scale with a reduced size set via direct calls.
         let scale = Scale::bench();
-        let small =
-            run_coverage("galgel", PredictorKind::DbcpBytes(40 << 10), scale.coverage_accesses * 4, 1);
+        let small = run_coverage(
+            "galgel",
+            PredictorKind::DbcpBytes(40 << 10),
+            scale.coverage_accesses * 4,
+            1,
+        );
         let big = run_coverage(
             "galgel",
             PredictorKind::DbcpBytes(10 << 20),

@@ -7,8 +7,7 @@ use ltc_sim::report::Table;
 use crate::scale::Scale;
 
 /// Signature cache sizes swept (entries), as in the paper's x axis.
-pub const SIZES: [usize; 11] =
-    [128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072];
+pub const SIZES: [usize; 11] = [128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072];
 
 /// Benchmarks used for the sweep: a representative mix of recurring codes
 /// whose footprints let the budget cover several passes.
@@ -24,14 +23,11 @@ pub struct Sensitivity {
 /// Runs the sweep with the paper's Figure 9 methodology: effectively
 /// unlimited 512-signature fragments, 8-way signature cache.
 pub fn run(scale: Scale) -> Sensitivity {
-    let jobs: Vec<(usize, &str)> = SIZES
-        .iter()
-        .flat_map(|&s| BENCHMARKS.iter().map(move |&b| (s, b)))
-        .collect();
+    let jobs: Vec<(usize, &str)> =
+        SIZES.iter().flat_map(|&s| BENCHMARKS.iter().map(move |&b| (s, b))).collect();
     let coverages = sweep_bounded(jobs.clone(), scale.threads, |&(entries, bench)| {
         let cfg = LtCordsConfig::fig9_sweep(entries);
-        run_coverage(bench, PredictorKind::LtCordsWith(cfg), scale.coverage_accesses, 1)
-            .coverage()
+        run_coverage(bench, PredictorKind::LtCordsWith(cfg), scale.coverage_accesses, 1).coverage()
     });
     // Normalize per benchmark to the largest size.
     let mut points = Vec::new();

@@ -25,19 +25,15 @@ pub struct StorageDemand {
 
 /// Runs the sweep.
 pub fn run(scale: Scale) -> StorageDemand {
-    let jobs: Vec<(&'static str, usize)> = BENCHMARKS
-        .iter()
-        .flat_map(|&b| SIZES.iter().map(move |&s| (b, s)))
-        .collect();
+    let jobs: Vec<(&'static str, usize)> =
+        BENCHMARKS.iter().flat_map(|&b| SIZES.iter().map(move |&s| (b, s))).collect();
     let coverages = sweep_bounded(jobs, scale.threads, |&(bench, sigs)| {
         let cfg = LtCordsConfig::fig10_sweep(sigs);
-        run_coverage(bench, PredictorKind::LtCordsWith(cfg), scale.coverage_accesses, 1)
-            .coverage()
+        run_coverage(bench, PredictorKind::LtCordsWith(cfg), scale.coverage_accesses, 1).coverage()
     });
     let mut rows = Vec::new();
     for (bi, &bench) in BENCHMARKS.iter().enumerate() {
-        let per: Vec<f64> =
-            (0..SIZES.len()).map(|si| coverages[bi * SIZES.len() + si]).collect();
+        let per: Vec<f64> = (0..SIZES.len()).map(|si| coverages[bi * SIZES.len() + si]).collect();
         let best = per.iter().copied().fold(0.0f64, f64::max).max(1e-9);
         rows.push((bench, per.iter().map(|c| (c / best).clamp(0.0, 1.0)).collect()));
     }

@@ -4,7 +4,7 @@ use ltc_sim::analysis::CoverageConfig;
 use ltc_sim::cache::Hierarchy;
 use ltc_sim::core::{LtCords, LtCordsConfig};
 use ltc_sim::experiment::sweep_bounded;
-use ltc_sim::predictors::{Prefetcher, PrefetchLevel};
+use ltc_sim::predictors::{PrefetchLevel, Prefetcher};
 use ltc_sim::report::Table;
 use ltc_sim::trace::{suite, MultiProgram};
 

@@ -88,10 +88,7 @@ mod tests {
         let r = run_timing("swim", PredictorKind::LtCords, scale.timing_accesses, 1);
         let row = Row { name: "swim", breakdown: r.bandwidth, instructions: r.instructions };
         assert!(row.base_bpi() > 0.5, "swim is bandwidth hungry, got {:.2}", row.base_bpi());
-        assert!(
-            row.overhead_bpi() < row.base_bpi(),
-            "metadata must stay below data traffic"
-        );
+        assert!(row.overhead_bpi() < row.base_bpi(), "metadata must stay below data traffic");
         assert!(render(&[row]).contains("swim"));
     }
 }

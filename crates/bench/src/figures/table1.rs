@@ -11,10 +11,23 @@ pub fn render() -> String {
         ("clock rate", "4 GHz (all latencies in core cycles)".into()),
         ("issue/retire width", format!("{} instructions/cycle", c.issue_width)),
         ("reorder buffer", format!("{} entries", c.rob_entries)),
-        ("L1 D", format!("{} KB, 64-byte line, 2-way, {}-cycle", c.hierarchy.l1.total_bytes >> 10, c.l1_latency)),
+        (
+            "L1 D",
+            format!(
+                "{} KB, 64-byte line, 2-way, {}-cycle",
+                c.hierarchy.l1.total_bytes >> 10,
+                c.l1_latency
+            ),
+        ),
         ("L1 D MSHRs", format!("{}", c.mshrs)),
-        ("L2 (unified)", format!("{} MB, 8-way, {}-cycle", c.hierarchy.l2.total_bytes >> 20, c.l2_latency)),
-        ("L1/L2 bus", format!("{} channels, {} cycles/line", c.l2_bus_channels, c.l2_bus_occupancy)),
+        (
+            "L2 (unified)",
+            format!("{} MB, 8-way, {}-cycle", c.hierarchy.l2.total_bytes >> 20, c.l2_latency),
+        ),
+        (
+            "L1/L2 bus",
+            format!("{} channels, {} cycles/line", c.l2_bus_channels, c.l2_bus_occupancy),
+        ),
         ("memory", format!("{} cycles/line (200 first 32 B + 3 per extra 32 B)", c.mem_latency)),
         ("memory bus", format!("32-byte, {} core cycles/line", c.mem_bus_occupancy)),
         ("prefetch queue", format!("{} entries, circular", c.prefetch_queue)),

@@ -34,8 +34,7 @@ pub fn run(scale: Scale) -> Vec<Row> {
         let speedups = CONFIGS
             .iter()
             .map(|kind| {
-                run_timing(entry.name, *kind, scale.timing_accesses, 1)
-                    .speedup_pct_over(&base)
+                run_timing(entry.name, *kind, scale.timing_accesses, 1).speedup_pct_over(&base)
             })
             .collect();
         Row { name: entry.name, class: entry.class, speedups }

@@ -154,7 +154,12 @@ impl Cache {
                 self.stats.accesses += 1;
                 self.stats.stores += u64::from(is_store);
                 self.stats.prefetch_hits += u64::from(first_use);
-                return AccessOutcome { hit: true, first_use_of_prefetch: first_use, evicted: None, set };
+                return AccessOutcome {
+                    hit: true,
+                    first_use_of_prefetch: first_use,
+                    evicted: None,
+                    set,
+                };
             }
         }
         // Miss: select a victim and fill.
@@ -185,11 +190,7 @@ impl Cache {
     /// block is displaced (the DBCP/LT-cords policy of replacing the
     /// predicted-dead block, Section 2); otherwise the normal replacement
     /// policy chooses. Returns what happened.
-    pub fn fill_prefetch(
-        &mut self,
-        addr: Addr,
-        intended_victim: Option<Addr>,
-    ) -> PrefetchOutcome {
+    pub fn fill_prefetch(&mut self, addr: Addr, intended_victim: Option<Addr>) -> PrefetchOutcome {
         let (set, tag) = self.set_and_tag(addr);
         let seq = self.seq;
         let ways = self.ways;
@@ -259,16 +260,12 @@ impl Cache {
             return None;
         }
         let way = match self.cfg.policy {
-            ReplacementPolicy::Lru => blocks
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, b)| b.last_touch_seq)
-                .map(|(i, _)| i)?,
-            ReplacementPolicy::Fifo => blocks
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, b)| b.fill_seq)
-                .map(|(i, _)| i)?,
+            ReplacementPolicy::Lru => {
+                blocks.iter().enumerate().min_by_key(|(_, b)| b.last_touch_seq).map(|(i, _)| i)?
+            }
+            ReplacementPolicy::Fifo => {
+                blocks.iter().enumerate().min_by_key(|(_, b)| b.fill_seq).map(|(i, _)| i)?
+            }
         };
         let b = &blocks[way];
         Some(self.line_addr(set, b.tag))
@@ -408,7 +405,7 @@ mod tests {
         c.access(set0(0), AccessKind::Store);
         c.access(set0(1), AccessKind::Load);
         c.access(set0(2), AccessKind::Load); // evicts 0 (LRU)
-        // block 0 was LRU (accessed at seq 1).
+                                             // block 0 was LRU (accessed at seq 1).
         let resident = c.resident_lines();
         assert!(!resident.contains(&set0(0)));
         // Re-fill and check the dirty bit came through the eviction.

@@ -98,7 +98,13 @@ impl Hierarchy {
         let mut l1_writeback = false;
         let mut l2_writeback = false;
         if l1.hit {
-            return HierarchyOutcome { level: MemLevel::L1, l1, l2: None, l1_writeback, l2_writeback };
+            return HierarchyOutcome {
+                level: MemLevel::L1,
+                l1,
+                l2: None,
+                l1_writeback,
+                l2_writeback,
+            };
         }
         // L1 victim write-back allocates/updates in L2.
         if let Some(ev) = &l1.evicted {

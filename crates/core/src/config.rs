@@ -106,10 +106,7 @@ impl LtCordsConfig {
         self.scheme.validate();
         assert!(self.sig_cache_entries > 0, "signature cache cannot be empty");
         assert!(self.sig_cache_ways > 0, "signature cache needs at least one way");
-        assert!(
-            self.sig_cache_entries % self.sig_cache_ways == 0,
-            "entries must divide into ways"
-        );
+        assert!(self.sig_cache_entries % self.sig_cache_ways == 0, "entries must divide into ways");
         let sets = self.sig_cache_entries / self.sig_cache_ways;
         assert!(sets.is_power_of_two(), "signature cache set count must be a power of two");
         assert!(self.frames.is_power_of_two(), "frame count must be a power of two");

@@ -44,11 +44,8 @@ mod tests {
 
     #[test]
     fn stream_ratio_divides() {
-        let m = LtCordsMetrics {
-            predictions: 4,
-            signatures_streamed: 8,
-            ..LtCordsMetrics::default()
-        };
+        let m =
+            LtCordsMetrics { predictions: 4, signatures_streamed: 8, ..LtCordsMetrics::default() };
         assert!((m.stream_per_prediction() - 2.0).abs() < 1e-12);
     }
 }

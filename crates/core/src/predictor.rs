@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use ltc_cache::{HierarchyOutcome, MemLevel, PrefetchOutcome};
 use ltc_lasttouch::{HistoryTable, Signature};
-use ltc_predictors::{PredictorTraffic, Prefetcher, PrefetchRequest};
+use ltc_predictors::{PredictorTraffic, PrefetchRequest, Prefetcher};
 use ltc_trace::{Addr, MemoryAccess};
 
 use crate::config::LtCordsConfig;

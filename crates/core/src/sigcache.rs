@@ -169,13 +169,12 @@ impl SignatureCache {
         let clock = self.clock;
         let lru = self.policy == ReplacementPolicy::Lru;
         let range = self.set_range(sig);
-        let hit =
-            self.entries[range].iter_mut().find(|e| e.valid && e.sig == sig).map(|e| {
-                if lru {
-                    e.seq = clock;
-                }
-                SigHit { predicted: e.predicted, confidence: e.confidence, ptr: e.ptr }
-            });
+        let hit = self.entries[range].iter_mut().find(|e| e.valid && e.sig == sig).map(|e| {
+            if lru {
+                e.seq = clock;
+            }
+            SigHit { predicted: e.predicted, confidence: e.confidence, ptr: e.ptr }
+        });
         self.hits += u64::from(hit.is_some());
         hit
     }
@@ -186,8 +185,7 @@ impl SignatureCache {
     pub fn update_confidence(&mut self, sig: Signature, correct: bool) -> Option<SigPtr> {
         let range = self.set_range(sig);
         self.entries[range].iter_mut().find(|e| e.valid && e.sig == sig).map(|e| {
-            e.confidence =
-                if correct { e.confidence.strengthen() } else { e.confidence.weaken() };
+            e.confidence = if correct { e.confidence.strengthen() } else { e.confidence.weaken() };
             e.ptr
         })
     }

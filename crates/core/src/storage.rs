@@ -186,9 +186,8 @@ impl SequenceStorage {
         if from >= to {
             return Vec::new();
         }
-        let out: Vec<(SigPtr, SignatureRecord)> = (from..to)
-            .map(|o| (SigPtr { frame, offset: o }, fr.sigs[o as usize]))
-            .collect();
+        let out: Vec<(SigPtr, SignatureRecord)> =
+            (from..to).map(|o| (SigPtr { frame, offset: o }, fr.sigs[o as usize])).collect();
         self.read_bytes += (to - from) as u64 * SignatureRecord::STORAGE_BYTES;
         out
     }

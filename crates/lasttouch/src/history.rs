@@ -132,11 +132,7 @@ impl HistoryTable {
     /// Returns `None` when the evicted block was never demand-accessed (an
     /// unused prefetch) or was not tracked — such "signatures" carry no
     /// last-touch information and would only pollute the predictor.
-    pub fn record_eviction(
-        &mut self,
-        evicted: Addr,
-        replacement: Addr,
-    ) -> Option<SignatureRecord> {
+    pub fn record_eviction(&mut self, evicted: Addr, replacement: Addr) -> Option<SignatureRecord> {
         let (set, evicted_line) = self.set_and_line(evicted);
         let (rset, replacement_line) = self.set_and_line(replacement);
         debug_assert_eq!(set, rset, "replacement must map to the victim's set");

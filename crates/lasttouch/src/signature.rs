@@ -55,7 +55,8 @@ impl SignatureScheme {
     #[inline]
     pub fn compute(&self, trace_hash: u64, prev_evicted_tag: u64, block_tag: u64) -> Signature {
         let mixed = mix64(
-            trace_hash ^ mix64(prev_evicted_tag ^ 0x9e37_79b9_7f4a_7c15)
+            trace_hash
+                ^ mix64(prev_evicted_tag ^ 0x9e37_79b9_7f4a_7c15)
                 ^ block_tag.wrapping_mul(0xff51_afd7_ed55_8ccd),
         );
         Signature((mixed as u32) & self.mask())

@@ -12,7 +12,7 @@ use ltc_cache::{CacheConfig, HierarchyOutcome, MemLevel, PrefetchOutcome};
 use ltc_lasttouch::{HistoryTable, Signature, SignatureScheme};
 use ltc_trace::{Addr, MemoryAccess};
 
-use crate::prefetcher::{Prefetcher, PrefetchRequest};
+use crate::prefetcher::{PrefetchRequest, Prefetcher};
 use crate::table::{CorrelationTable, TableConfig};
 
 /// Configuration for [`DbcpPrefetcher`].

@@ -9,7 +9,7 @@
 use ltc_cache::HierarchyOutcome;
 use ltc_trace::{Addr, MemoryAccess};
 
-use crate::prefetcher::{Prefetcher, PrefetchRequest};
+use crate::prefetcher::{PrefetchRequest, Prefetcher};
 
 /// Configuration for [`GhbPrefetcher`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,8 +131,7 @@ impl Prefetcher for GhbPrefetcher {
         if addrs.len() < 3 {
             return;
         }
-        let deltas: Vec<i64> =
-            addrs.windows(2).map(|w| w[1] as i64 - w[0] as i64).collect();
+        let deltas: Vec<i64> = addrs.windows(2).map(|w| w[1] as i64 - w[0] as i64).collect();
         let m = deltas.len();
         let key = (deltas[m - 2], deltas[m - 1]);
         // Search backwards (most recent occurrence first) for the key pair.
@@ -192,8 +191,9 @@ mod tests {
         let reqs = run(&seq);
         assert!(!reqs.is_empty());
         // Predictions continue the stride lattice.
-        assert!(reqs.iter().all(|r| r.target.0 >= 0x10_0000
-            && (r.target.0 - 0x10_0000) % 4096 == 0));
+        assert!(reqs
+            .iter()
+            .all(|r| r.target.0 >= 0x10_0000 && (r.target.0 - 0x10_0000) % 4096 == 0));
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod table;
 pub use dbcp::{DbcpConfig, DbcpPrefetcher};
 pub use ghb::{GhbConfig, GhbPrefetcher};
 pub use null::NullPrefetcher;
-pub use prefetcher::{PredictorTraffic, Prefetcher, PrefetchLevel, PrefetchRequest};
+pub use prefetcher::{PredictorTraffic, PrefetchLevel, PrefetchRequest, Prefetcher};
 pub use queue::RequestQueue;
 pub use stride::{StrideConfig, StridePrefetcher};
 pub use table::{CorrelationTable, TableConfig};

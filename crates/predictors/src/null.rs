@@ -3,7 +3,7 @@
 use ltc_cache::HierarchyOutcome;
 use ltc_trace::MemoryAccess;
 
-use crate::prefetcher::{Prefetcher, PrefetchRequest};
+use crate::prefetcher::{PrefetchRequest, Prefetcher};
 
 /// A predictor that never prefetches: the baseline processor of Table 1.
 ///

@@ -3,7 +3,7 @@
 use ltc_cache::HierarchyOutcome;
 use ltc_trace::{Addr, MemoryAccess, Pc};
 
-use crate::prefetcher::{Prefetcher, PrefetchRequest};
+use crate::prefetcher::{PrefetchRequest, Prefetcher};
 
 /// Configuration for [`StridePrefetcher`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,7 +50,10 @@ impl StridePrefetcher {
     /// Panics if `entries` is zero.
     pub fn new(cfg: StrideConfig) -> Self {
         assert!(cfg.entries > 0, "stride table needs at least one entry");
-        StridePrefetcher { cfg, table: vec![StrideEntry::default(); cfg.entries.next_power_of_two()] }
+        StridePrefetcher {
+            cfg,
+            table: vec![StrideEntry::default(); cfg.entries.next_power_of_two()],
+        }
     }
 
     fn entry_mut(&mut self, pc: Pc) -> &mut StrideEntry {
@@ -75,7 +78,13 @@ impl Prefetcher for StridePrefetcher {
         let e = self.entry_mut(access.pc);
         let addr = access.addr.0;
         if !e.valid || e.pc_tag != access.pc.0 {
-            *e = StrideEntry { pc_tag: access.pc.0, last_addr: addr, stride: 0, count: 0, valid: true };
+            *e = StrideEntry {
+                pc_tag: access.pc.0,
+                last_addr: addr,
+                stride: 0,
+                count: 0,
+                valid: true,
+            };
             return;
         }
         let new_stride = addr as i64 - e.last_addr as i64;

@@ -134,13 +134,10 @@ impl CorrelationTable {
             Some(_) => {
                 let range = self.set_range(sig);
                 let clock = self.clock;
-                self.sets[range]
-                    .iter_mut()
-                    .find(|e| e.valid && e.sig == sig)
-                    .map(|e| {
-                        e.last_use = clock;
-                        (e.predicted, e.confidence)
-                    })
+                self.sets[range].iter_mut().find(|e| e.valid && e.sig == sig).map(|e| {
+                    e.last_use = clock;
+                    (e.predicted, e.confidence)
+                })
             }
         }
     }
@@ -189,10 +186,8 @@ impl CorrelationTable {
                     return;
                 }
                 // Insert: invalid way first, else LRU.
-                let victim = slice
-                    .iter_mut()
-                    .min_by_key(|e| (e.valid, e.last_use))
-                    .expect("ways >= 1");
+                let victim =
+                    slice.iter_mut().min_by_key(|e| (e.valid, e.last_use)).expect("ways >= 1");
                 *victim = Entry {
                     sig,
                     predicted,
@@ -215,8 +210,7 @@ impl CorrelationTable {
             }
             Some(_) => {
                 let range = self.set_range(sig);
-                if let Some(e) = self.sets[range].iter_mut().find(|e| e.valid && e.sig == sig)
-                {
+                if let Some(e) = self.sets[range].iter_mut().find(|e| e.valid && e.sig == sig) {
                     e.confidence =
                         if correct { e.confidence.strengthen() } else { e.confidence.weaken() };
                 }

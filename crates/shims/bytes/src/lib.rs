@@ -1,0 +1,153 @@
+//! Offline stand-in for `bytes`.
+//!
+//! Provides the cursor subset the trace serializer uses: [`BytesMut`]
+//! as a growable write buffer ([`BufMut`] big-endian puts, matching the
+//! real crate's byte order), and [`Bytes`] as a consuming read cursor
+//! ([`Buf`] gets + `remaining`). Backed by a plain `Vec<u8>` — none of
+//! the real crate's zero-copy reference counting, which the workspace
+//! doesn't rely on.
+
+use std::ops::Deref;
+
+/// Read-side cursor operations.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+    /// Consumes one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Consumes a big-endian `u32`.
+    fn get_u32(&mut self) -> u32;
+    /// Consumes a big-endian `u64`.
+    fn get_u64(&mut self) -> u64;
+}
+
+/// Write-side buffer operations (big-endian, like the real crate).
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64);
+}
+
+/// Growable write buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer with room for `cap` bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Drops the contents, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Owned read cursor over a byte payload.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl Bytes {
+    fn take<const N: usize>(&mut self) -> [u8; N] {
+        let end = self.pos + N;
+        assert!(end <= self.data.len(), "buffer underflow");
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.data[self.pos..end]);
+        self.pos = end;
+        out
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take::<1>()[0]
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take::<4>())
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take::<8>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_round_trip_is_big_endian() {
+        let mut w = BytesMut::with_capacity(13);
+        w.put_u32(0xdead_beef);
+        w.put_u64(0x0102_0304_0506_0708);
+        w.put_u8(0x7f);
+        assert_eq!(w.len(), 13);
+        assert_eq!(w[0], 0xde, "big-endian: most significant byte first");
+
+        let mut r = Bytes::from(w.to_vec());
+        assert_eq!(r.remaining(), 13);
+        assert_eq!(r.get_u32(), 0xdead_beef);
+        assert_eq!(r.get_u64(), 0x0102_0304_0506_0708);
+        assert_eq!(r.get_u8(), 0x7f);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn reading_past_the_end_panics() {
+        let mut r = Bytes::from(vec![1, 2]);
+        let _ = r.get_u32();
+    }
+}

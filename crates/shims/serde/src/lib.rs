@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op derive macros so `use serde::{Deserialize,
+//! Serialize};` plus `#[derive(Serialize, Deserialize)]` compile
+//! unchanged. The marker traits exist so generic bounds written against
+//! `serde` keep compiling; nothing implements them (the derives expand
+//! to nothing), which is fine because no code in this workspace
+//! serializes yet — reports are rendered as fixed-width text tables.
+//!
+//! Replace the path dependency with the real `serde` when a registry is
+//! available; no source change is required.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,20 @@
+//! No-op `#[derive(Serialize, Deserialize)]` macros.
+//!
+//! This build environment has no access to crates.io, so the workspace
+//! vendors a minimal stand-in: the derives accept the same syntax as the
+//! real `serde_derive` (including `#[serde(...)]` field/container
+//! attributes) and expand to nothing. Swapping the `serde` path
+//! dependency for the real crate re-enables full (de)serialization
+//! without touching any call site.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

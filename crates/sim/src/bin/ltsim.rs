@@ -42,9 +42,7 @@ fn main() {
         Some("record") => cmd_record(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         _ => {
-            eprintln!(
-                "usage: ltsim <list|coverage|timing|compare|power|record|replay> ..."
-            );
+            eprintln!("usage: ltsim <list|coverage|timing|compare|power|record|replay> ...");
             std::process::exit(2);
         }
     };
@@ -71,8 +69,7 @@ fn cmd_coverage(args: &[String]) -> Result<(), String> {
     let bench = args.first().ok_or("coverage needs a benchmark name")?;
     suite::by_name(bench).ok_or_else(|| format!("unknown benchmark: {bench}"))?;
     let kind = parse_kind(arg(args, 1, "lt-cords"))?;
-    let accesses: u64 =
-        arg(args, 2, "2000000").parse().map_err(|_| "accesses must be a number")?;
+    let accesses: u64 = arg(args, 2, "2000000").parse().map_err(|_| "accesses must be a number")?;
     let seed: u64 = arg(args, 3, "1").parse().map_err(|_| "seed must be a number")?;
     let r = run_coverage(bench, kind, accesses, seed);
     println!("benchmark            {bench}");
@@ -95,8 +92,7 @@ fn cmd_timing(args: &[String]) -> Result<(), String> {
     let bench = args.first().ok_or("timing needs a benchmark name")?;
     suite::by_name(bench).ok_or_else(|| format!("unknown benchmark: {bench}"))?;
     let kind = parse_kind(arg(args, 1, "lt-cords"))?;
-    let accesses: u64 =
-        arg(args, 2, "400000").parse().map_err(|_| "accesses must be a number")?;
+    let accesses: u64 = arg(args, 2, "400000").parse().map_err(|_| "accesses must be a number")?;
     let seed: u64 = arg(args, 3, "1").parse().map_err(|_| "seed must be a number")?;
     let r = run_timing(bench, kind, accesses, seed);
     println!("benchmark   {bench}");
@@ -111,8 +107,7 @@ fn cmd_timing(args: &[String]) -> Result<(), String> {
 fn cmd_compare(args: &[String]) -> Result<(), String> {
     let bench = args.first().ok_or("compare needs a benchmark name")?;
     suite::by_name(bench).ok_or_else(|| format!("unknown benchmark: {bench}"))?;
-    let accesses: u64 =
-        arg(args, 1, "400000").parse().map_err(|_| "accesses must be a number")?;
+    let accesses: u64 = arg(args, 1, "400000").parse().map_err(|_| "accesses must be a number")?;
     let base = run_timing(bench, PredictorKind::Baseline, accesses, 1);
     let mut t = Table::new(vec!["predictor", "IPC", "speedup"]);
     t.row(vec!["baseline".into(), format!("{:.3}", base.ipc()), "-".into()]);
@@ -168,8 +163,8 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("replay needs a trace file")?;
     let kind = parse_kind(arg(args, 1, "lt-cords"))?;
     let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
-    let mut replay = ltc_sim::trace::io::read_trace(std::io::BufReader::new(file))
-        .map_err(|e| e.to_string())?;
+    let mut replay =
+        ltc_sim::trace::io::read_trace(std::io::BufReader::new(file)).map_err(|e| e.to_string())?;
     let mut predictor = kind.build();
     let r = run_cov(&mut replay, predictor.as_mut(), CoverageConfig::paper(u64::MAX));
     println!("replayed {} accesses under {}", r.accesses, kind.name());

@@ -2,8 +2,8 @@
 
 use ltc_analysis::{run_coverage as run_coverage_inner, CoverageConfig, CoverageReport};
 use ltc_predictors::{
-    DbcpConfig, DbcpPrefetcher, GhbConfig, GhbPrefetcher, NullPrefetcher, Prefetcher,
-    StrideConfig, StridePrefetcher,
+    DbcpConfig, DbcpPrefetcher, GhbConfig, GhbPrefetcher, NullPrefetcher, Prefetcher, StrideConfig,
+    StridePrefetcher,
 };
 use ltc_timing::{TimingConfig, TimingReport, TimingSim};
 use ltc_trace::suite;
@@ -98,8 +98,8 @@ pub fn run_coverage(
     accesses: u64,
     seed: u64,
 ) -> CoverageReport {
-    let entry = suite::by_name(benchmark)
-        .unwrap_or_else(|| panic!("unknown benchmark {benchmark}"));
+    let entry =
+        suite::by_name(benchmark).unwrap_or_else(|| panic!("unknown benchmark {benchmark}"));
     let mut source = entry.build(seed);
     let mut predictor = kind.build();
     // A quarter of the budget warms caches and trains the predictor; the
@@ -119,14 +119,9 @@ pub fn run_coverage(
 /// # Panics
 ///
 /// Panics if `benchmark` is not in the suite.
-pub fn run_timing(
-    benchmark: &str,
-    kind: PredictorKind,
-    accesses: u64,
-    seed: u64,
-) -> TimingReport {
-    let entry = suite::by_name(benchmark)
-        .unwrap_or_else(|| panic!("unknown benchmark {benchmark}"));
+pub fn run_timing(benchmark: &str, kind: PredictorKind, accesses: u64, seed: u64) -> TimingReport {
+    let entry =
+        suite::by_name(benchmark).unwrap_or_else(|| panic!("unknown benchmark {benchmark}"));
     let mut source = entry.build(seed);
     let mut predictor = kind.build();
     let cfg = kind.timing_config().with_warmup(accesses / 4);
@@ -159,21 +154,23 @@ where
     let n = inputs.len();
     let mut out: Vec<Option<O>> = (0..n).map(|_| None).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<parking_lot::Mutex<&mut Option<O>>> =
-        out.iter_mut().map(parking_lot::Mutex::new).collect();
-    crossbeam::scope(|scope| {
+    let slots: Vec<std::sync::Mutex<&mut Option<O>>> =
+        out.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(n.max(1)) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let result = job(&inputs[i]);
-                **slots[i].lock() = Some(result);
+                // Poisoning is impossible: the lock is held only for this
+                // infallible assignment (a panic in `job` happens unlocked
+                // and propagates via the scope's implicit join).
+                **slots[i].lock().expect("sweep worker panicked") = Some(result);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
     drop(slots);
     out.into_iter().map(|o| o.expect("every slot filled")).collect()
 }

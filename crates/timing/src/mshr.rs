@@ -60,8 +60,7 @@ impl MshrFile {
             return at;
         }
         // Full: wait for the earliest completion.
-        let Reverse(OrderedF64(earliest)) =
-            self.outstanding.pop().expect("full heap is non-empty");
+        let Reverse(OrderedF64(earliest)) = self.outstanding.pop().expect("full heap is non-empty");
         self.stalls += 1;
         at.max(earliest)
     }

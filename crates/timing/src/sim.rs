@@ -3,7 +3,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use ltc_cache::{Hierarchy, MemLevel};
-use ltc_predictors::{Prefetcher, PrefetchLevel, PrefetchRequest, RequestQueue};
+use ltc_predictors::{PrefetchLevel, PrefetchRequest, Prefetcher, RequestQueue};
 use ltc_trace::TraceSource;
 
 use crate::bus::Bus;
@@ -66,10 +66,8 @@ impl TimingSim {
         let mut metadata_pending = 0u64;
         let mut last_traffic_total = 0u64;
 
-        let mut report = TimingReport {
-            predictor: predictor.name().to_string(),
-            ..TimingReport::default()
-        };
+        let mut report =
+            TimingReport { predictor: predictor.name().to_string(), ..TimingReport::default() };
         // Warm-up snapshots.
         let mut measured_from_cycle = 0.0f64;
         let mut measured_from_instr = 0u64;
@@ -189,8 +187,10 @@ impl TimingSim {
                     (None, MemLevel::Memory) => {
                         let start = mshr.admit(addr_ready);
                         let grant = l2_bus.acquire(start, f64::from(cfg.l2_bus_occupancy));
-                        let mem_grant = mem_bus
-                            .acquire(grant + f64::from(cfg.l2_latency), f64::from(cfg.mem_bus_occupancy));
+                        let mem_grant = mem_bus.acquire(
+                            grant + f64::from(cfg.l2_latency),
+                            f64::from(cfg.mem_bus_occupancy),
+                        );
                         let completion = mem_grant + f64::from(cfg.mem_latency);
                         mshr.track(completion);
                         completion
@@ -206,8 +206,7 @@ impl TimingSim {
                     queue.push(req);
                 }
                 let elapsed = (drain_clock - last_drain).max(0.0);
-                let budget =
-                    ((elapsed / f64::from(cfg.l2_bus_occupancy)) as usize + 2).min(32);
+                let budget = ((elapsed / f64::from(cfg.l2_bus_occupancy)) as usize + 2).min(32);
                 last_drain = drain_clock;
                 self.issue_prefetches(
                     &mut queue,
@@ -352,9 +351,7 @@ mod tests {
         let mut v = Vec::new();
         for i in 0..n {
             v.push(
-                MemoryAccess::load(Pc(1), Addr((i as u64) * 64))
-                    .with_gap(7)
-                    .with_dependent(true),
+                MemoryAccess::load(Pc(1), Addr((i as u64) * 64)).with_gap(7).with_dependent(true),
             );
         }
         Replay::once(v)
@@ -363,7 +360,8 @@ mod tests {
     #[test]
     fn cache_resident_code_reaches_near_peak_ipc() {
         let mut t = fits_l1_trace(20_000);
-        let r = TimingSim::new(TimingConfig::paper()).run(&mut t, &mut NullPrefetcher::new(), u64::MAX);
+        let r =
+            TimingSim::new(TimingConfig::paper()).run(&mut t, &mut NullPrefetcher::new(), u64::MAX);
         // 8 instructions per access, issue width 8: IPC should approach 8.
         assert!(r.ipc() > 5.0, "resident workload IPC {} too low", r.ipc());
     }
@@ -371,7 +369,8 @@ mod tests {
     #[test]
     fn memory_bound_code_is_slow() {
         let mut t = streaming_trace(20_000);
-        let r = TimingSim::new(TimingConfig::paper()).run(&mut t, &mut NullPrefetcher::new(), u64::MAX);
+        let r =
+            TimingSim::new(TimingConfig::paper()).run(&mut t, &mut NullPrefetcher::new(), u64::MAX);
         assert!(r.ipc() < 3.0, "streaming workload IPC {} too high", r.ipc());
         assert!(r.l2_misses > 10_000);
     }
@@ -449,7 +448,8 @@ mod tests {
     #[test]
     fn bandwidth_accounts_fills() {
         let mut t = streaming_trace(5_000);
-        let r = TimingSim::new(TimingConfig::paper()).run(&mut t, &mut NullPrefetcher::new(), u64::MAX);
+        let r =
+            TimingSim::new(TimingConfig::paper()).run(&mut t, &mut NullPrefetcher::new(), u64::MAX);
         assert!(r.bandwidth.base_data_bytes >= 5_000 * 64 / 2);
         assert!(r.bandwidth.bytes_per_instruction(r.instructions) > 0.0);
     }

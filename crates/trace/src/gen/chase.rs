@@ -2,7 +2,6 @@
 
 use rand::{rngs::StdRng, seq::SliceRandom, Rng, SeedableRng};
 
-
 use crate::gen::gap::GapModel;
 use crate::gen::LINE_BYTES;
 use crate::record::{AccessKind, Addr, MemoryAccess, Pc};
@@ -118,10 +117,7 @@ impl ChaseGen {
             "chain_serialization must be in [0,1]"
         );
         assert!((0.0..=1.0).contains(&cfg.hot_fraction), "hot_fraction must be in [0,1]");
-        assert!(
-            (0.0..=1.0).contains(&cfg.hot_set_fraction),
-            "hot_set_fraction must be in [0,1]"
-        );
+        assert!((0.0..=1.0).contains(&cfg.hot_set_fraction), "hot_set_fraction must be in [0,1]");
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xc4a5_e000);
         let n = cfg.nodes as usize;
 
@@ -180,11 +176,8 @@ impl ChaseGen {
             // One cold (full-order) visit every `cold_period` visits; the
             // rest hit the hot subset.
             let cold = 1.0 - self.cfg.hot_fraction;
-            let cold_period = if cold <= 0.0 {
-                u64::MAX
-            } else {
-                (1.0 / cold).round().max(1.0) as u64
-            };
+            let cold_period =
+                if cold <= 0.0 { u64::MAX } else { (1.0 / cold).round().max(1.0) as u64 };
             if self.visit_no % cold_period != 0 {
                 let node = self.hot_order[self.hot_pos];
                 self.hot_pos = (self.hot_pos + 1) % self.hot_order.len();
@@ -311,12 +304,8 @@ mod tests {
 
     #[test]
     fn hot_set_dominates_visits() {
-        let cfg = ChaseConfig {
-            nodes: 1000,
-            hot_fraction: 0.9,
-            hot_set_fraction: 0.05,
-            ..base_cfg()
-        };
+        let cfg =
+            ChaseConfig { nodes: 1000, hot_fraction: 0.9, hot_set_fraction: 0.05, ..base_cfg() };
         let mut g = ChaseGen::new(cfg);
         let v = g.collect_accesses(1000);
         let mut uniq: Vec<u64> = v.iter().map(|a| a.addr.0).collect();

@@ -69,10 +69,7 @@ impl HashWindowGen {
     pub fn new(cfg: HashWindowConfig) -> Self {
         assert!(cfg.window_bytes >= LINE_BYTES, "window must hold at least one line");
         assert!(cfg.table_bytes >= LINE_BYTES, "table must hold at least one line");
-        assert!(
-            (0.0..=1.0).contains(&cfg.probe_store_prob),
-            "probe_store_prob must be in [0,1]"
-        );
+        assert!((0.0..=1.0).contains(&cfg.probe_store_prob), "probe_store_prob must be in [0,1]");
         let table_base = (cfg.base + cfg.window_bytes + 0xfff) & !0xfff;
         let seed = cfg.seed;
         HashWindowGen {

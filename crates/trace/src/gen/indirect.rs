@@ -77,8 +77,7 @@ impl IndirectGen {
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x1d1_4ec7);
         // A shuffled index array covering the data array as evenly as the
         // sizes allow (wrapping when gathers > data elems).
-        let mut idx: Vec<u32> =
-            (0..cfg.gathers_per_pass).map(|i| i % cfg.data_elems).collect();
+        let mut idx: Vec<u32> = (0..cfg.gathers_per_pass).map(|i| i % cfg.data_elems).collect();
         idx.shuffle(&mut rng);
         let idx_bytes = u64::from(cfg.gathers_per_pass) * 4;
         let data_base = (cfg.base + idx_bytes + 0xfff) & !0xfff;

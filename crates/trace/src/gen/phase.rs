@@ -91,8 +91,7 @@ mod tests {
 
     #[test]
     fn finite_inner_source_skips_to_next_phase() {
-        let finite: BoxedSource =
-            Box::new(Replay::once(vec![MemoryAccess::load(Pc(9), Addr(0))]));
+        let finite: BoxedSource = Box::new(Replay::once(vec![MemoryAccess::load(Pc(9), Addr(0))]));
         let mut m = PhaseMix::new(vec![(finite, 100), (looping(3), 2)]);
         let pcs: Vec<u64> = m.collect_accesses(4).iter().map(|a| a.pc.0).collect();
         assert_eq!(pcs, vec![9, 3, 3, 3]);

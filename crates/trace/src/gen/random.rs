@@ -80,7 +80,7 @@ impl RandomGen {
             run_left: 0,
             touches_left: 0,
             cursor: 0,
-            rng: StdRng::seed_from_u64(seed ^ 0xbad5_eed),
+            rng: StdRng::seed_from_u64(seed ^ 0x0bad_5eed),
         }
     }
 

@@ -153,8 +153,8 @@ impl TraceSource for SweepGen {
         // bodies that update every k-th element), so the load/store pattern
         // of a given line recurs identically every pass regardless of how
         // the pass length divides by `store_every`.
-        let is_store = self.cfg.store_every != 0
-            && (offset / stride) % u64::from(self.cfg.store_every) == 0;
+        let is_store =
+            self.cfg.store_every != 0 && (offset / stride) % u64::from(self.cfg.store_every) == 0;
         let kind = if is_store { AccessKind::Store } else { AccessKind::Load };
         let pc_off = if is_store { 8 } else { 0 };
         let pc = Pc(self.cfg.pc_base + (idx as u64) * 16 + pc_off);

@@ -103,7 +103,7 @@ impl TreeGen {
         assert!((1..=26).contains(&cfg.depth), "tree depth must be in 1..=26");
         assert!(cfg.node_bytes >= 8, "nodes must hold at least a pointer");
         assert!(cfg.accesses_per_node >= 1, "each visit touches the node at least once");
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7ee5_eed);
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x07ee_5eed);
         let nodes: u32 = (1u32 << cfg.depth) - 1;
         let mut visit = Vec::new();
         match cfg.traversal {
@@ -233,11 +233,8 @@ mod tests {
 
     #[test]
     fn passes_repeat() {
-        let mut g = TreeGen::new(TreeConfig {
-            depth: 4,
-            gap: GapModel::fixed(0),
-            ..TreeConfig::default()
-        });
+        let mut g =
+            TreeGen::new(TreeConfig { depth: 4, gap: GapModel::fixed(0), ..TreeConfig::default() });
         let n = g.pass_len();
         let a: Vec<u64> = g.collect_accesses(n).iter().map(|x| x.addr.0).collect();
         let b: Vec<u64> = g.collect_accesses(n).iter().map(|x| x.addr.0).collect();

@@ -128,8 +128,7 @@ mod tests {
 
     #[test]
     fn shift_separates_address_spaces() {
-        let mut m =
-            MultiProgram::new(vec![(looping(1), 1, 0), (looping(2), 1, 0x1_0000_0000)]);
+        let mut m = MultiProgram::new(vec![(looping(1), 1, 0), (looping(2), 1, 0x1_0000_0000)]);
         let a = m.next_access().unwrap();
         let b = m.next_access().unwrap();
         assert_eq!(a.addr, Addr(0x100));

@@ -8,9 +8,9 @@
 //! See `DESIGN.md` §5 for the full mapping rationale.
 
 use crate::gen::{
-    ChaseConfig, ChaseGen, GapModel, HashWindowConfig, HashWindowGen, IndirectConfig,
-    IndirectGen, Layout, PhaseMix, RandomConfig, RandomGen, SweepConfig, SweepGen, Traversal,
-    TreeConfig, TreeGen, TreeLayout,
+    ChaseConfig, ChaseGen, GapModel, HashWindowConfig, HashWindowGen, IndirectConfig, IndirectGen,
+    Layout, PhaseMix, RandomConfig, RandomGen, SweepConfig, SweepGen, Traversal, TreeConfig,
+    TreeGen, TreeLayout,
 };
 use crate::source::BoxedSource;
 

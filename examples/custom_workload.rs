@@ -13,9 +13,7 @@ use ltc_sim::analysis::{
     run_coverage, CorrelationAnalysis, CoverageConfig, DeadTimeTracker, LastTouchOrderAnalysis,
 };
 use ltc_sim::core::{LtCords, LtCordsConfig};
-use ltc_sim::trace::gen::{
-    ChaseConfig, ChaseGen, GapModel, PhaseMix, SweepConfig, SweepGen,
-};
+use ltc_sim::trace::gen::{ChaseConfig, ChaseGen, GapModel, PhaseMix, SweepConfig, SweepGen};
 use ltc_sim::trace::BoxedSource;
 
 fn build() -> PhaseMix {

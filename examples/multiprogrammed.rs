@@ -42,8 +42,7 @@ fn coverage_of(bench: &str, accesses: u64, with: Option<&str>) -> f64 {
             let mut multi = MultiProgram::new(programs);
             // Run enough combined accesses that the focus program still sees
             // roughly `accesses` of its own references.
-            let report =
-                run_coverage(&mut multi, &mut lt, CoverageConfig::paper(accesses * 2));
+            let report = run_coverage(&mut multi, &mut lt, CoverageConfig::paper(accesses * 2));
             // Note: this measures combined coverage over both programs; the
             // integration tests also split it per program.
             report.coverage()

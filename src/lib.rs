@@ -1,0 +1,8 @@
+//! Workspace umbrella for the LT-cords reproduction.
+//!
+//! This crate exists to anchor the workspace-level integration tests
+//! (`tests/`) and examples (`examples/`); the actual API lives in the
+//! member crates and is re-exported through the [`ltc_sim`] facade.
+//! See the repository README for the crate map.
+
+pub use ltc_sim as sim;

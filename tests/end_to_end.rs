@@ -27,11 +27,7 @@ fn recurring_workload_reaches_high_coverage() {
 fn random_workload_is_not_hurt() {
     let r = cov("twolf", PredictorKind::LtCords, 1_000_000, 1);
     assert!(r.coverage() < 0.25, "twolf has little correlation, got {:.2}", r.coverage());
-    assert!(
-        r.early_pct() < 0.05,
-        "early evictions must stay negligible, got {:.3}",
-        r.early_pct()
-    );
+    assert!(r.early_pct() < 0.05, "early evictions must stay negligible, got {:.3}", r.early_pct());
 }
 
 /// LT-cords must approach the unlimited-storage DBCP oracle on recurring

@@ -78,12 +78,8 @@ fn fig7_reordering_is_local() {
 /// Figure 9: larger signature caches help (until saturation).
 #[test]
 fn fig9_signature_cache_sensitivity_shape() {
-    let small = cov(
-        "galgel",
-        PredictorKind::LtCordsWith(LtCordsConfig::fig9_sweep(256)),
-        1_500_000,
-        1,
-    );
+    let small =
+        cov("galgel", PredictorKind::LtCordsWith(LtCordsConfig::fig9_sweep(256)), 1_500_000, 1);
     let large = cov(
         "galgel",
         PredictorKind::LtCordsWith(LtCordsConfig::fig9_sweep(32 << 10)),
@@ -103,18 +99,10 @@ fn fig9_signature_cache_sensitivity_shape() {
 /// pass overflow a 64 K-signature store but fit an 8 M one.
 #[test]
 fn fig10_offchip_storage_shape() {
-    let tiny = cov(
-        "art",
-        PredictorKind::LtCordsWith(LtCordsConfig::fig10_sweep(64 << 10)),
-        2_500_000,
-        1,
-    );
-    let big = cov(
-        "art",
-        PredictorKind::LtCordsWith(LtCordsConfig::fig10_sweep(8 << 20)),
-        2_500_000,
-        1,
-    );
+    let tiny =
+        cov("art", PredictorKind::LtCordsWith(LtCordsConfig::fig10_sweep(64 << 10)), 2_500_000, 1);
+    let big =
+        cov("art", PredictorKind::LtCordsWith(LtCordsConfig::fig10_sweep(8 << 20)), 2_500_000, 1);
     assert!(
         big.coverage() + 0.02 >= tiny.coverage(),
         "more storage cannot hurt: {:.2} vs {:.2}",

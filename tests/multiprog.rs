@@ -3,7 +3,7 @@
 use ltc_sim::analysis::{CoverageConfig, CoverageReport};
 use ltc_sim::cache::Hierarchy;
 use ltc_sim::core::{LtCords, LtCordsConfig};
-use ltc_sim::predictors::{Prefetcher, PrefetchLevel};
+use ltc_sim::predictors::{PrefetchLevel, Prefetcher};
 use ltc_sim::trace::{suite, MultiProgram};
 
 /// Scaled LT-cords configuration for the multi-programmed tests: the paper's
@@ -22,8 +22,7 @@ fn multiprog_coverage(a: &str, b: &str, total_accesses: u64) -> f64 {
     let eb = suite::by_name(b).expect("benchmark exists");
     let qa = if ea.is_fp() { 1_200_000 } else { 600_000 };
     let qb = if eb.is_fp() { 1_200_000 } else { 600_000 };
-    let mut multi =
-        MultiProgram::new(vec![(ea.build(1), qa, 0), (eb.build(2), qb, 1 << 40)]);
+    let mut multi = MultiProgram::new(vec![(ea.build(1), qa, 0), (eb.build(2), qb, 1 << 40)]);
 
     // A per-program shadow-baseline coverage run (the generic driver cannot
     // attribute misses to programs, so this test drives the loop itself).
@@ -57,11 +56,8 @@ fn standalone_coverage(name: &str, accesses: u64) -> f64 {
     let entry = suite::by_name(name).expect("benchmark exists");
     let mut src = entry.build(1);
     let mut lt = LtCords::new(multiprog_config());
-    let r: CoverageReport = ltc_sim::analysis::run_coverage(
-        &mut src,
-        &mut lt,
-        CoverageConfig::paper(accesses),
-    );
+    let r: CoverageReport =
+        ltc_sim::analysis::run_coverage(&mut src, &mut lt, CoverageConfig::paper(accesses));
     r.coverage()
 }
 

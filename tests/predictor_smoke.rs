@@ -1,0 +1,76 @@
+//! Workspace-surface smoke test: every [`PredictorKind`] must run
+//! end-to-end through `run_coverage`, so manifest or feature changes
+//! cannot silently drop a predictor from the build.
+
+use ltc_sim::core::LtCordsConfig;
+use ltc_sim::experiment::{run_coverage, PredictorKind};
+
+/// One instance of every `PredictorKind` variant.
+///
+/// The closure is an exhaustive match on purpose: adding a variant
+/// breaks compilation here until this list learns about it.
+fn all_kinds() -> Vec<PredictorKind> {
+    #[allow(clippy::unused_unit)]
+    let _witness = |k: PredictorKind| -> () {
+        match k {
+            PredictorKind::Baseline => (),
+            PredictorKind::PerfectL1 => (),
+            PredictorKind::LtCords => (),
+            PredictorKind::LtCordsWith(_) => (),
+            PredictorKind::DbcpUnlimited => (),
+            PredictorKind::Dbcp2Mb => (),
+            PredictorKind::DbcpBytes(_) => (),
+            PredictorKind::Ghb => (),
+            PredictorKind::Stride => (),
+            PredictorKind::BigL2 => (),
+        }
+    };
+    vec![
+        PredictorKind::Baseline,
+        PredictorKind::PerfectL1,
+        PredictorKind::LtCords,
+        PredictorKind::LtCordsWith(LtCordsConfig::paper()),
+        PredictorKind::DbcpUnlimited,
+        PredictorKind::Dbcp2Mb,
+        PredictorKind::DbcpBytes(1 << 20),
+        PredictorKind::Ghb,
+        PredictorKind::Stride,
+        PredictorKind::BigL2,
+    ]
+}
+
+#[test]
+fn every_predictor_kind_runs_coverage_end_to_end() {
+    for kind in all_kinds() {
+        let r = run_coverage("gcc", kind, 40_000, 1);
+        assert_eq!(r.predictor, kind.name(), "report must carry the kind's name");
+        assert!(r.accesses > 0, "{}: simulation consumed no accesses", kind.name());
+        assert!(r.base_l1_misses > 0, "{}: gcc at 40k accesses must miss", kind.name());
+        assert_eq!(
+            r.correct + r.incorrect + r.train(),
+            r.base_l1_misses,
+            "{}: Figure 8 coverage accounting identity broken",
+            kind.name()
+        );
+        assert_eq!(
+            r.pf_l1_misses,
+            r.base_l1_misses - r.correct + r.early,
+            "{}: miss-delta identity broken",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn every_predictor_kind_builds_and_reports_storage() {
+    for kind in all_kinds() {
+        let p = kind.build();
+        assert!(!kind.name().is_empty());
+        // Null-prefetcher variants legitimately report 0 bytes; the rest
+        // must claim real storage.
+        match kind {
+            PredictorKind::Baseline | PredictorKind::PerfectL1 | PredictorKind::BigL2 => {}
+            _ => assert!(p.storage_bytes() > 0, "{}: no storage reported", kind.name()),
+        }
+    }
+}

@@ -108,8 +108,5 @@ fn bandwidth_breakdown_attributes_traffic() {
     assert_eq!(base.bandwidth.sequence_creation_bytes, 0);
     assert_eq!(base.bandwidth.sequence_fetch_bytes, 0);
     assert!(lt.bandwidth.sequence_creation_bytes > 0);
-    assert!(
-        lt.bandwidth.base_data_bytes > 0,
-        "demand traffic must appear alongside metadata"
-    );
+    assert!(lt.bandwidth.base_data_bytes > 0, "demand traffic must appear alongside metadata");
 }
