@@ -4,6 +4,7 @@ use std::collections::HashMap;
 
 use ltc_cache::{Hierarchy, HierarchyConfig};
 use ltc_trace::{Addr, Pc, TraceSource};
+use serde::{Deserialize, Serialize};
 
 use crate::cdf::LogHistogram;
 
@@ -18,7 +19,7 @@ struct MissLabel {
 }
 
 /// Results of the temporal-correlation study over one trace.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CorrelationAnalysis {
     /// Histogram of absolute temporal correlation distances (Figure 6 left).
     pub distances: LogHistogram,
@@ -37,7 +38,7 @@ pub struct CorrelationAnalysis {
 /// sequence; each sequence contributes its length, weighted by length, to
 /// the histogram (the figure plots the CDF of *correlated misses* by the
 /// length of the sequence they belong to).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SequenceLengths {
     /// Maximum |distance| treated as "correlated" (the paper uses ±16).
     pub window: u64,

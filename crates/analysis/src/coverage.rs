@@ -38,7 +38,7 @@ impl CoverageConfig {
 /// `correct + incorrect + train == opportunity` (the paper's invariant);
 /// `early` counts predictor-induced premature evictions and is reported
 /// above 100 %.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CoverageReport {
     /// Predictor name.
     pub predictor: String,

@@ -4,6 +4,7 @@ use std::collections::HashMap;
 
 use ltc_cache::{Hierarchy, HierarchyConfig};
 use ltc_trace::TraceSource;
+use serde::{Deserialize, Serialize};
 
 use crate::cdf::LogHistogram;
 
@@ -15,7 +16,7 @@ use crate::cdf::LogHistogram;
 /// Dead times are recorded in *instructions* (accesses plus their gaps);
 /// EXPERIMENTS.md converts to cycles using each benchmark's measured
 /// baseline IPC when reproducing the figure's memory-latency marker.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct DeadTimeTracker {
     /// Histogram of dead times in instructions.
     pub dead_times: LogHistogram,

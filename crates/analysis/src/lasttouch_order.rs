@@ -2,6 +2,7 @@
 
 use ltc_cache::{Hierarchy, HierarchyConfig};
 use ltc_trace::TraceSource;
+use serde::{Deserialize, Serialize};
 
 use crate::cdf::LogHistogram;
 
@@ -18,7 +19,7 @@ use crate::cdf::LogHistogram;
 /// distance recorded for each consecutive pair in that order is the
 /// difference of their miss positions (+1 = the misses happened in the same
 /// order, adjacent).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct LastTouchOrderAnalysis {
     /// Histogram of |last-touch to miss correlation distance|.
     pub distances: LogHistogram,

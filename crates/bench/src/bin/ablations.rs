@@ -1,8 +1,5 @@
-//! Prints the LT-cords design-choice ablation grid.
-use ltc_bench::{figures::ablations, Scale};
+//! Prints design-choice ablations beyond the paper's figures via the experiment engine.
+//! Flags: `--quick`, `--out DIR`, `--force`, `--threads N`.
 fn main() {
-    let scale = Scale::from_args();
-    println!("Ablations: LT-cords design choices (coverage / early evictions)\n");
-    let points = ablations::run(scale);
-    print!("{}", ablations::render(&points));
+    ltc_bench::harness::figure_main("ablations");
 }

@@ -1,8 +1,5 @@
-//! Prints Figure 2 (CDF of cache-block dead times).
-use ltc_bench::{figures::fig02, Scale};
+//! Prints Figure 2 (CDF of block dead times) via the experiment engine.
+//! Flags: `--quick`, `--out DIR`, `--force`, `--threads N`.
 fn main() {
-    let scale = Scale::from_args();
-    println!("Figure 2: cumulative distribution of block dead times\n");
-    let d = fig02::run(scale);
-    print!("{}", fig02::render(&d));
+    ltc_bench::harness::figure_main("fig02");
 }

@@ -1,8 +1,5 @@
-//! Prints Figure 4 (DBCP sensitivity to correlation table size).
-use ltc_bench::{figures::fig04, Scale};
+//! Prints Figure 4 (DBCP coverage vs on-chip table size) via the experiment engine.
+//! Flags: `--quick`, `--out DIR`, `--force`, `--threads N`.
 fn main() {
-    let scale = Scale::from_args();
-    println!("Figure 4: DBCP coverage vs on-chip table size (normalized to unlimited)\n");
-    let s = fig04::run(scale);
-    print!("{}", fig04::render(&s));
+    ltc_bench::harness::figure_main("fig04");
 }

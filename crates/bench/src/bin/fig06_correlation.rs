@@ -1,8 +1,5 @@
-//! Prints Figure 6 (temporal correlation distance + sequence lengths).
-use ltc_bench::{figures::fig06, Scale};
+//! Prints Figure 6 (temporal correlation distance + sequence lengths) via the experiment engine.
+//! Flags: `--quick`, `--out DIR`, `--force`, `--threads N`.
 fn main() {
-    let scale = Scale::from_args();
-    println!("Figure 6: temporal correlation of L1D misses\n");
-    let rows = fig06::run(scale);
-    print!("{}", fig06::render(&rows));
+    ltc_bench::harness::figure_main("fig06");
 }

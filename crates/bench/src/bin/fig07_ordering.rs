@@ -1,8 +1,5 @@
-//! Prints Figure 7 (last-touch to miss order correlation distance).
-use ltc_bench::{figures::fig07, Scale};
+//! Prints Figure 7 (last-touch to miss order distance) via the experiment engine.
+//! Flags: `--quick`, `--out DIR`, `--force`, `--threads N`.
 fn main() {
-    let scale = Scale::from_args();
-    println!("Figure 7: last-touch to cache-miss correlation distance\n");
-    let o = fig07::run(scale);
-    print!("{}", fig07::render(&o));
+    ltc_bench::harness::figure_main("fig07");
 }

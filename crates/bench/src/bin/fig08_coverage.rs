@@ -1,8 +1,5 @@
-//! Prints Figure 8 (LT-cords vs unlimited DBCP coverage breakdown).
-use ltc_bench::{figures::fig08, Scale};
+//! Prints Figure 8 (LT-cords vs unlimited DBCP coverage breakdown) via the experiment engine.
+//! Flags: `--quick`, `--out DIR`, `--force`, `--threads N`.
 fn main() {
-    let scale = Scale::from_args();
-    println!("Figure 8: coverage and accuracy, LT-cords (A) vs unlimited DBCP (B)\n");
-    let rows = fig08::run(scale);
-    print!("{}", fig08::render(&rows));
+    ltc_bench::harness::figure_main("fig08");
 }

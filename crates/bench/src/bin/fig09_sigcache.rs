@@ -1,8 +1,5 @@
-//! Prints Figure 9 (coverage vs signature cache size).
-use ltc_bench::{figures::fig09, Scale};
+//! Prints Figure 9 (coverage vs signature cache size) via the experiment engine.
+//! Flags: `--quick`, `--out DIR`, `--force`, `--threads N`.
 fn main() {
-    let scale = Scale::from_args();
-    println!("Figure 9: coverage sensitivity to signature cache size\n");
-    let s = fig09::run(scale);
-    print!("{}", fig09::render(&s));
+    ltc_bench::harness::figure_main("fig09");
 }

@@ -1,8 +1,5 @@
-//! Prints Figure 10 (off-chip sequence storage demand).
-use ltc_bench::{figures::fig10, Scale};
+//! Prints Figure 10 (coverage vs off-chip sequence storage) via the experiment engine.
+//! Flags: `--quick`, `--out DIR`, `--force`, `--threads N`.
 fn main() {
-    let scale = Scale::from_args();
-    println!("Figure 10: off-chip storage needed to reach coverage\n");
-    let d = fig10::run(scale);
-    print!("{}", fig10::render(&d));
+    ltc_bench::harness::figure_main("fig10");
 }

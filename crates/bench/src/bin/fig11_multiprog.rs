@@ -1,8 +1,5 @@
-//! Prints Figure 11 (multi-programmed coverage).
-use ltc_bench::{figures::fig11, Scale};
+//! Prints Figure 11 (multi-programmed coverage) via the experiment engine.
+//! Flags: `--quick`, `--out DIR`, `--force`, `--threads N`.
 fn main() {
-    let scale = Scale::from_args();
-    println!("Figure 11: LT-cords coverage in a multi-programmed environment\n");
-    let bars = fig11::run(scale);
-    print!("{}", fig11::render(&bars));
+    ltc_bench::harness::figure_main("fig11");
 }

@@ -1,8 +1,5 @@
-//! Prints Figure 12 (memory bus utilization breakdown).
-use ltc_bench::{figures::fig12, Scale};
+//! Prints Figure 12 (memory bus utilization breakdown) via the experiment engine.
+//! Flags: `--quick`, `--out DIR`, `--force`, `--threads N`.
 fn main() {
-    let scale = Scale::from_args();
-    println!("Figure 12: memory bus utilization (bytes/instruction)\n");
-    let rows = fig12::run(scale);
-    print!("{}", fig12::render(&rows));
+    ltc_bench::harness::figure_main("fig12");
 }

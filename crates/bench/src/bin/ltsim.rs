@@ -8,11 +8,23 @@
 //! ltsim power    [l1-miss-rate]
 //! ltsim record   <benchmark> <file> [accesses] [seed]
 //! ltsim replay   <file> [predictor]
+//! ltsim plan     [--figures a,b,..] [--quick]
+//! ltsim run      [--figures a,b,..] [--out DIR] [--quick] [--force] [--threads N]
+//! ltsim render   [--figures a,b,..] [--out DIR] [--format table|json|csv]
 //! ```
 //!
 //! Predictors: `baseline`, `lt-cords`, `dbcp`, `dbcp-unlimited`, `ghb`,
 //! `stride`, `perfect-l1`, `4mb-l2`.
+//!
+//! The figure subcommands route through `ltc_sim::engine`: `plan` prints
+//! the deduplicated spec set the figures need, `run` executes it (reusing
+//! the `--out` artifact cache) and prints every table, `render` rebuilds
+//! tables — or JSON lines, or CSV — purely from cached artifacts without
+//! simulating anything.
 
+use ltc_bench::harness::{self, FigureDef};
+use ltc_bench::Scale;
+use ltc_sim::engine::{artifact, EngineOptions, ResultSet};
 use ltc_sim::experiment::{run_coverage, run_timing, PredictorKind};
 use ltc_sim::report::{pct1, Table};
 use ltc_sim::trace::suite;
@@ -41,8 +53,13 @@ fn main() {
         Some("power") => cmd_power(&args[1..]),
         Some("record") => cmd_record(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
+        Some("plan") => cmd_plan(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("render") => cmd_render(&args[1..]),
         _ => {
-            eprintln!("usage: ltsim <list|coverage|timing|compare|power|record|replay> ...");
+            eprintln!(
+                "usage: ltsim <list|coverage|timing|compare|power|record|replay|plan|run|render> ..."
+            );
             std::process::exit(2);
         }
     };
@@ -169,5 +186,145 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     let r = run_cov(&mut replay, predictor.as_mut(), CoverageConfig::paper(u64::MAX));
     println!("replayed {} accesses under {}", r.accesses, kind.name());
     println!("coverage {}", pct1(r.coverage()));
+    Ok(())
+}
+
+/// Figure-subcommand flags shared by `plan`, `run` and `render`.
+struct FigureArgs {
+    figures: Vec<&'static FigureDef>,
+    scale: Scale,
+    out: Option<std::path::PathBuf>,
+    force: bool,
+    threads: usize,
+    format: String,
+}
+
+fn parse_figure_args(args: &[String]) -> Result<FigureArgs, String> {
+    let scale = if args.iter().any(|a| a == "--quick") { Scale::quick() } else { Scale::full() };
+    let mut out = FigureArgs {
+        figures: harness::registry().iter().collect(),
+        scale,
+        out: None,
+        force: false,
+        threads: scale.threads,
+        format: "table".to_string(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--figures" => {
+                let list = it.next().ok_or("--figures needs a comma-separated list")?;
+                out.figures = list
+                    .split(',')
+                    .map(|name| {
+                        harness::by_name(name.trim())
+                            .ok_or_else(|| format!("unknown figure: {name}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--out" => out.out = Some(it.next().ok_or("--out needs a directory")?.into()),
+            "--force" => out.force = true,
+            "--threads" => {
+                out.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--threads needs a positive number")?;
+                out.threads = out.threads.max(1);
+            }
+            "--format" => {
+                out.format = it.next().ok_or("--format needs table|json|csv")?.clone();
+                if !["table", "json", "csv"].contains(&out.format.as_str()) {
+                    return Err(format!("unknown format: {}", out.format));
+                }
+            }
+            "--quick" => {}
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_plan(args: &[String]) -> Result<(), String> {
+    let fa = parse_figure_args(args)?;
+    let mut t = Table::new(vec!["figure", "requested", "unique"]);
+    let mut total_requested = 0usize;
+    for def in fa.figures.iter().copied() {
+        let specs = harness::plan(&[def], fa.scale);
+        total_requested += specs.len();
+        t.row(vec![def.name.to_string(), specs.len().to_string(), String::new()]);
+    }
+    let plan = harness::plan(&fa.figures, fa.scale);
+    t.row(vec!["total".into(), total_requested.to_string(), plan.len().to_string()]);
+    print!("{}", t.render());
+    println!("\ndeduplicated first-wave specs ({}):", plan.len());
+    for spec in &plan {
+        println!("  {}  {}", spec.hash_hex(), spec.label());
+    }
+    println!(
+        "\n(result-dependent figures such as fig04 declare a second wave once \
+         their first wave completes)"
+    );
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let fa = parse_figure_args(args)?;
+    let opts = EngineOptions { threads: fa.threads, cache_dir: fa.out.clone(), force: fa.force };
+    let mut results = ResultSet::new();
+    harness::collect(&fa.figures, fa.scale, &opts, &mut results).map_err(|e| e.to_string())?;
+    for def in &fa.figures {
+        println!("{}\n", def.title);
+        println!("{}", (def.render)(fa.scale, &results));
+    }
+    println!("engine: {} simulated, {} from cache", results.simulated(), results.cache_hits());
+    if let Some(dir) = &fa.out {
+        println!("artifacts: {} runs under {}", results.len(), dir.display());
+    }
+    Ok(())
+}
+
+/// Results in deterministic (spec key) order for serialized output.
+fn sorted(results: &ResultSet) -> Vec<(&ltc_sim::engine::RunSpec, &ltc_sim::engine::RunResult)> {
+    let mut rows: Vec<_> = results.iter().collect();
+    rows.sort_by_key(|(spec, _)| spec.key());
+    rows
+}
+
+fn cmd_render(args: &[String]) -> Result<(), String> {
+    let fa = parse_figure_args(args)?;
+    let dir = fa.out.as_deref().ok_or("render needs --out DIR (the artifact cache to read)")?;
+    let mut results = ResultSet::new();
+    let missing = harness::load_cached(&fa.figures, fa.scale, dir, &mut results)
+        .map_err(|e| e.to_string())?;
+    if !missing.is_empty() {
+        let mut msg = format!(
+            "{} required runs are not cached under {} (run `ltsim run --out {}` first):\n",
+            missing.len(),
+            dir.display(),
+            dir.display()
+        );
+        for spec in missing.iter().take(10) {
+            msg.push_str(&format!("  {}\n", spec.label()));
+        }
+        if missing.len() > 10 {
+            msg.push_str(&format!("  ... and {} more\n", missing.len() - 10));
+        }
+        return Err(msg);
+    }
+    match fa.format.as_str() {
+        "table" => {
+            for def in &fa.figures {
+                println!("{}\n", def.title);
+                println!("{}", (def.render)(fa.scale, &results));
+            }
+        }
+        "json" => {
+            for (spec, result) in sorted(&results) {
+                println!("{}", artifact::json_line(spec, result));
+            }
+        }
+        "csv" => print!("{}", artifact::to_csv(sorted(&results))),
+        _ => unreachable!("validated in parse_figure_args"),
+    }
     Ok(())
 }

@@ -1,5 +1,5 @@
-//! Prints Table 1 (system configuration).
+//! Prints Table 1 (system configuration) via the experiment engine.
+//! Flags: `--quick`, `--out DIR`, `--force`, `--threads N`.
 fn main() {
-    println!("Table 1: system configuration\n");
-    print!("{}", ltc_bench::figures::table1::render());
+    ltc_bench::harness::figure_main("table1");
 }

@@ -1,8 +1,5 @@
-//! Prints Table 2 (benchmarks, base miss rates and IPCs).
-use ltc_bench::{figures::table2, Scale};
+//! Prints Table 2 (benchmarks, base miss rates and IPCs) via the experiment engine.
+//! Flags: `--quick`, `--out DIR`, `--force`, `--threads N`.
 fn main() {
-    let scale = Scale::from_args();
-    println!("Table 2: benchmarks, baseline miss rates and IPCs\n");
-    let rows = table2::run(scale);
-    print!("{}", table2::render(&rows));
+    ltc_bench::harness::figure_main("table2");
 }

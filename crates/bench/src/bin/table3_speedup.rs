@@ -1,8 +1,5 @@
-//! Prints Table 3 (percent speedup over the baseline).
-use ltc_bench::{figures::table3, Scale};
+//! Prints Table 3 (percent speedup over the baseline processor) via the experiment engine.
+//! Flags: `--quick`, `--out DIR`, `--force`, `--threads N`.
 fn main() {
-    let scale = Scale::from_args();
-    println!("Table 3: percent performance improvement over the baseline\n");
-    let rows = table3::run(scale);
-    print!("{}", table3::render(&rows));
+    ltc_bench::harness::figure_main("table3");
 }

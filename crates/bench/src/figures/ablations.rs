@@ -9,9 +9,11 @@
 
 use ltc_sim::cache::ReplacementPolicy;
 use ltc_sim::core::LtCordsConfig;
-use ltc_sim::experiment::{run_coverage, sweep_bounded, PredictorKind};
+use ltc_sim::engine::{ResultSet, RunSpec};
+use ltc_sim::experiment::PredictorKind;
 use ltc_sim::report::Table;
 
+use crate::harness;
 use crate::scale::Scale;
 
 /// Workloads used for the ablations: a recurring sweep, a pointer chase
@@ -31,24 +33,10 @@ pub struct Point {
     pub early: f64,
 }
 
-fn measure(variant: &str, cfg: LtCordsConfig, accesses: u64) -> Vec<Point> {
-    BENCHMARKS
-        .iter()
-        .map(|&benchmark| {
-            let r = run_coverage(benchmark, PredictorKind::LtCordsWith(cfg), accesses, 1);
-            Point {
-                variant: variant.to_string(),
-                benchmark,
-                coverage: r.coverage(),
-                early: r.early_pct(),
-            }
-        })
-        .collect()
-}
-
-/// Runs all ablations.
-pub fn run(scale: Scale) -> Vec<Point> {
-    let accesses = scale.coverage_accesses / 2;
+/// The `(label, config)` grid of variants. The paper configuration
+/// appears under several labels (one per axis), which costs nothing: the
+/// engine dedupes the identical underlying specs.
+fn variants() -> Vec<(String, LtCordsConfig)> {
     let paper = LtCordsConfig::paper();
     let mut jobs: Vec<(String, LtCordsConfig)> = vec![
         ("replacement=fifo (paper)".into(), paper),
@@ -83,10 +71,43 @@ pub fn run(scale: Scale) -> Vec<Point> {
         };
         jobs.push((label, LtCordsConfig { stream_window: window, ..paper }));
     }
-    sweep_bounded(jobs, scale.threads, |(variant, cfg)| measure(variant, *cfg, accesses))
+    jobs
+}
+
+fn spec_for(benchmark: &str, cfg: LtCordsConfig, scale: Scale) -> RunSpec {
+    RunSpec::coverage(benchmark, PredictorKind::LtCordsWith(cfg), scale.coverage_accesses / 2, 1)
+}
+
+/// Declares the (variant × benchmark) grid. The four axes sharing the
+/// paper configuration dedupe to a single run per benchmark.
+pub fn specs(scale: Scale, _have: &ResultSet) -> Vec<RunSpec> {
+    variants()
         .into_iter()
-        .flatten()
+        .flat_map(|(_, cfg)| BENCHMARKS.iter().map(move |&b| spec_for(b, cfg, scale)))
         .collect()
+}
+
+/// Assembles the ablation points from engine results.
+pub fn points(scale: Scale, results: &ResultSet) -> Vec<Point> {
+    let mut out = Vec::new();
+    for (variant, cfg) in variants() {
+        for &benchmark in &BENCHMARKS {
+            let r = results.coverage(&spec_for(benchmark, cfg, scale));
+            out.push(Point {
+                variant: variant.clone(),
+                benchmark,
+                coverage: r.coverage(),
+                early: r.early_pct(),
+            });
+        }
+    }
+    out
+}
+
+/// Runs all ablations (engine, in memory).
+pub fn run(scale: Scale) -> Vec<Point> {
+    let results = harness::compute(harness::by_name("ablations").expect("registered"), scale);
+    points(scale, &results)
 }
 
 /// Renders the ablation grid.
@@ -117,6 +138,7 @@ pub fn render(points: &[Point]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ltc_sim::experiment::run_coverage;
 
     #[test]
     fn confidence_off_increases_aggression() {
@@ -158,6 +180,19 @@ mod tests {
         assert!(
             tiny.coverage() <= paper.coverage() + 0.05,
             "a 2-signature lookahead should not outperform the paper's 256"
+        );
+    }
+
+    #[test]
+    fn paper_variants_dedupe_in_the_spec_set() {
+        let scale = Scale::bench();
+        let declared = specs(scale, &ResultSet::new());
+        let mut unique = declared.clone();
+        unique.sort_by_key(RunSpec::key);
+        unique.dedup();
+        assert!(
+            unique.len() < declared.len(),
+            "the four paper-config axes must share underlying runs"
         );
     }
 

@@ -1,10 +1,11 @@
 //! Figure 2 — cumulative distribution of block dead times.
 
-use ltc_sim::analysis::{DeadTimeTracker, LogHistogram};
-use ltc_sim::experiment::sweep_bounded;
+use ltc_sim::analysis::LogHistogram;
+use ltc_sim::engine::{ResultSet, RunSpec};
 use ltc_sim::report::Table;
 use ltc_sim::trace::suite;
 
+use crate::harness;
 use crate::scale::Scale;
 
 /// The suite-average dead-time distribution.
@@ -21,19 +22,29 @@ pub struct DeadTimes {
 /// suite's typical baseline IPC (~1.5).
 pub const MEMORY_LATENCY_INSTRUCTIONS: u64 = 300;
 
-/// Measures dead times over the whole suite on the baseline hierarchy.
-pub fn run(scale: Scale) -> DeadTimes {
-    let names: Vec<&'static str> = suite::benchmarks().iter().map(|e| e.name).collect();
-    let parts = sweep_bounded(names, scale.threads, |name| {
-        let mut src = suite::by_name(name).expect("suite name").build(1);
-        DeadTimeTracker::run(&mut src, scale.coverage_accesses / 4)
-    });
+fn spec_for(name: &str, scale: Scale) -> RunSpec {
+    RunSpec::dead_time(name, scale.coverage_accesses / 4, 1)
+}
+
+/// Declares the dead-time measurement for every suite benchmark.
+pub fn specs(scale: Scale, _have: &ResultSet) -> Vec<RunSpec> {
+    suite::benchmarks().iter().map(|e| spec_for(e.name, scale)).collect()
+}
+
+/// Merges the per-benchmark measurements into the Figure 2 distribution.
+pub fn dead_times(scale: Scale, results: &ResultSet) -> DeadTimes {
     let mut merged = LogHistogram::new();
-    for p in &parts {
-        merged.merge(&p.dead_times);
+    for e in suite::benchmarks() {
+        merged.merge(&results.dead_time(&spec_for(e.name, scale)).dead_times);
     }
     let beyond = 1.0 - merged.cdf_at(MEMORY_LATENCY_INSTRUCTIONS);
     DeadTimes { merged, beyond_memory_latency: beyond }
+}
+
+/// Measures dead times over the whole suite (engine, in memory).
+pub fn run(scale: Scale) -> DeadTimes {
+    let results = harness::compute(harness::by_name("fig02").expect("registered"), scale);
+    dead_times(scale, &results)
 }
 
 /// Renders the CDF series (the Figure 2 curve).

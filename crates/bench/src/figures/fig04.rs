@@ -1,9 +1,11 @@
 //! Figure 4 — DBCP coverage sensitivity to on-chip correlation table size.
 
-use ltc_sim::experiment::{run_coverage, sweep_bounded, PredictorKind};
+use ltc_sim::engine::{ResultSet, RunSpec};
+use ltc_sim::experiment::PredictorKind;
 use ltc_sim::report::Table;
 use ltc_sim::trace::suite;
 
+use crate::harness;
 use crate::scale::Scale;
 
 /// Table sizes swept (bytes). The paper sweeps 160 KB → 320 MB against
@@ -22,33 +24,63 @@ pub struct Sensitivity {
     pub benchmarks: Vec<&'static str>,
 }
 
-/// Runs the sweep: per benchmark, finite-table coverage normalized to the
-/// unlimited-table oracle.
-pub fn run(scale: Scale) -> Sensitivity {
-    let accesses = scale.coverage_accesses / 2;
-    let names: Vec<&'static str> = suite::benchmarks().iter().map(|e| e.name).collect();
-    let oracle = sweep_bounded(names.clone(), scale.threads, |name| {
-        run_coverage(name, PredictorKind::DbcpUnlimited, accesses, 1).coverage()
-    });
-    // Only benchmarks the oracle can cover are meaningful to normalize.
-    let included: Vec<(usize, &'static str)> =
-        names.iter().enumerate().filter(|(i, _)| oracle[*i] > 0.10).map(|(i, n)| (i, *n)).collect();
+fn oracle_spec(name: &str, scale: Scale) -> RunSpec {
+    RunSpec::coverage(name, PredictorKind::DbcpUnlimited, scale.coverage_accesses / 2, 1)
+}
 
+fn sized_spec(name: &str, size: u64, scale: Scale) -> RunSpec {
+    RunSpec::coverage(name, PredictorKind::DbcpBytes(size), scale.coverage_accesses / 2, 1)
+}
+
+/// Benchmarks the oracle can meaningfully cover (the normalization
+/// denominators), derivable once the oracle wave has run.
+fn included(scale: Scale, results: &ResultSet) -> Vec<&'static str> {
+    suite::benchmarks()
+        .iter()
+        .filter(|e| results.coverage(&oracle_spec(e.name, scale)).coverage() > 0.10)
+        .map(|e| e.name)
+        .collect()
+}
+
+/// Declares the sweep in two waves: first the unlimited-table oracle over
+/// the whole suite, then — once those results exist — the finite-table
+/// sweep over only the benchmarks the oracle can cover. The engine's
+/// round loop executes wave one, re-asks, and executes wave two.
+pub fn specs(scale: Scale, have: &ResultSet) -> Vec<RunSpec> {
+    let mut specs: Vec<RunSpec> =
+        suite::benchmarks().iter().map(|e| oracle_spec(e.name, scale)).collect();
+    if specs.iter().all(|s| have.contains(s)) {
+        for name in included(scale, have) {
+            specs.extend(SIZES.iter().map(|&size| sized_spec(name, size, scale)));
+        }
+    }
+    specs
+}
+
+/// Assembles the normalized sensitivity curve from engine results.
+pub fn sensitivity(scale: Scale, results: &ResultSet) -> Sensitivity {
+    let benchmarks = included(scale, results);
     let mut points = Vec::new();
     for &size in &SIZES {
-        let runs = sweep_bounded(included.clone(), scale.threads.min(8), |(_, name)| {
-            run_coverage(name, PredictorKind::DbcpBytes(size), accesses, 1).coverage()
-        });
-        let normalized: Vec<f64> = runs
+        let normalized: Vec<f64> = benchmarks
             .iter()
-            .zip(&included)
-            .map(|(c, (i, _))| (c / oracle[*i]).clamp(0.0, 1.0))
+            .map(|name| {
+                let oracle = results.coverage(&oracle_spec(name, scale)).coverage();
+                let this = results.coverage(&sized_spec(name, size, scale)).coverage();
+                (this / oracle).clamp(0.0, 1.0)
+            })
             .collect();
         let avg = normalized.iter().sum::<f64>() / normalized.len().max(1) as f64;
         let worst = normalized.iter().copied().fold(1.0f64, f64::min);
         points.push((size, avg, worst));
     }
-    Sensitivity { points, benchmarks: included.into_iter().map(|(_, n)| n).collect() }
+    Sensitivity { points, benchmarks }
+}
+
+/// Runs the sweep (engine, in memory).
+pub fn run(scale: Scale) -> Sensitivity {
+    let results = harness::compute(harness::by_name("fig04").expect("registered"), scale);
+    sensitivity(scale, &results)
 }
 
 /// Renders the Figure 4 series.
@@ -69,6 +101,7 @@ pub fn render(s: &Sensitivity) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ltc_sim::experiment::run_coverage;
 
     #[test]
     fn coverage_grows_with_table_size() {
@@ -92,5 +125,12 @@ mod tests {
             big.coverage(),
             small.coverage()
         );
+    }
+
+    #[test]
+    fn specs_declare_the_sweep_in_two_waves() {
+        let scale = Scale::bench();
+        let first = specs(scale, &ResultSet::new());
+        assert_eq!(first.len(), suite::benchmarks().len(), "wave one is the oracle only");
     }
 }

@@ -1,10 +1,10 @@
 //! Figure 6 — temporal correlation distance and correlated-sequence lengths.
 
-use ltc_sim::analysis::CorrelationAnalysis;
-use ltc_sim::experiment::sweep_bounded;
+use ltc_sim::engine::{ResultSet, RunSpec};
 use ltc_sim::report::Table;
 use ltc_sim::trace::suite;
 
+use crate::harness;
 use crate::scale::Scale;
 
 /// Per-benchmark correlation summary.
@@ -26,22 +26,38 @@ pub struct Row {
     pub median_seq_len: u64,
 }
 
-/// Runs the Figure 6 study over the whole suite.
+fn spec_for(name: &str, scale: Scale) -> RunSpec {
+    RunSpec::correlation(name, scale.coverage_accesses / 2, 1)
+}
+
+/// Declares the correlation study for every suite benchmark.
+pub fn specs(scale: Scale, _have: &ResultSet) -> Vec<RunSpec> {
+    suite::benchmarks().iter().map(|e| spec_for(e.name, scale)).collect()
+}
+
+/// Assembles the rows from engine results.
+pub fn rows(scale: Scale, results: &ResultSet) -> Vec<Row> {
+    suite::benchmarks()
+        .iter()
+        .map(|e| {
+            let a = results.correlation(&spec_for(e.name, scale));
+            Row {
+                name: e.name,
+                perfect: a.perfect_fraction(),
+                cdf_1: a.cdf_at(1),
+                cdf_16: a.cdf_at(16),
+                cdf_256: a.cdf_at(256),
+                uncorrelated: 1.0 - a.correlated_fraction(),
+                median_seq_len: a.sequence_lengths.lengths.quantile(0.5),
+            }
+        })
+        .collect()
+}
+
+/// Runs the Figure 6 study over the whole suite (engine, in memory).
 pub fn run(scale: Scale) -> Vec<Row> {
-    let names: Vec<&'static str> = suite::benchmarks().iter().map(|e| e.name).collect();
-    sweep_bounded(names, scale.threads, |name| {
-        let mut src = suite::by_name(name).expect("suite name").build(1);
-        let a = CorrelationAnalysis::run(&mut src, scale.coverage_accesses / 2);
-        Row {
-            name,
-            perfect: a.perfect_fraction(),
-            cdf_1: a.cdf_at(1),
-            cdf_16: a.cdf_at(16),
-            cdf_256: a.cdf_at(256),
-            uncorrelated: 1.0 - a.correlated_fraction(),
-            median_seq_len: a.sequence_lengths.lengths.quantile(0.5),
-        }
-    })
+    let results = harness::compute(harness::by_name("fig06").expect("registered"), scale);
+    rows(scale, &results)
 }
 
 /// Renders both panels of Figure 6.

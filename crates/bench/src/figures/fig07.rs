@@ -1,10 +1,11 @@
 //! Figure 7 — last-touch to cache-miss order correlation distance.
 
-use ltc_sim::analysis::{LastTouchOrderAnalysis, LogHistogram};
-use ltc_sim::experiment::sweep_bounded;
+use ltc_sim::analysis::LogHistogram;
+use ltc_sim::engine::{ResultSet, RunSpec};
 use ltc_sim::report::Table;
 use ltc_sim::trace::suite;
 
+use crate::harness;
 use crate::scale::Scale;
 
 /// Suite-average ordering disparity.
@@ -20,17 +21,22 @@ pub struct Ordering {
     pub p98_distance: u64,
 }
 
-/// Runs the Figure 7 study over the whole suite.
-pub fn run(scale: Scale) -> Ordering {
-    let names: Vec<&'static str> = suite::benchmarks().iter().map(|e| e.name).collect();
-    let parts = sweep_bounded(names, scale.threads, |name| {
-        let mut src = suite::by_name(name).expect("suite name").build(1);
-        LastTouchOrderAnalysis::run(&mut src, scale.coverage_accesses / 2)
-    });
+fn spec_for(name: &str, scale: Scale) -> RunSpec {
+    RunSpec::ordering(name, scale.coverage_accesses / 2, 1)
+}
+
+/// Declares the ordering study for every suite benchmark.
+pub fn specs(scale: Scale, _have: &ResultSet) -> Vec<RunSpec> {
+    suite::benchmarks().iter().map(|e| spec_for(e.name, scale)).collect()
+}
+
+/// Merges the per-benchmark studies into the Figure 7 distribution.
+pub fn ordering(scale: Scale, results: &ResultSet) -> Ordering {
     let mut merged = LogHistogram::new();
     let mut perfect_sum = 0.0;
     let mut counted = 0usize;
-    for p in &parts {
+    for e in suite::benchmarks() {
+        let p = results.ordering(&spec_for(e.name, scale));
         if p.misses > 100 {
             merged.merge(&p.distances);
             perfect_sum += p.perfect_fraction();
@@ -42,6 +48,12 @@ pub fn run(scale: Scale) -> Ordering {
         merged,
         perfect_avg: perfect_sum / counted.max(1) as f64,
     }
+}
+
+/// Runs the Figure 7 study over the whole suite (engine, in memory).
+pub fn run(scale: Scale) -> Ordering {
+    let results = harness::compute(harness::by_name("fig07").expect("registered"), scale);
+    ordering(scale, &results)
 }
 
 /// Renders the Figure 7 CDF.

@@ -1,10 +1,12 @@
 //! Figure 8 — LT-cords vs unlimited-storage DBCP coverage and accuracy.
 
 use ltc_sim::analysis::CoverageReport;
-use ltc_sim::experiment::{run_coverage, sweep_bounded, PredictorKind};
+use ltc_sim::engine::{ResultSet, RunSpec};
+use ltc_sim::experiment::PredictorKind;
 use ltc_sim::report::Table;
 use ltc_sim::trace::suite;
 
+use crate::harness;
 use crate::scale::Scale;
 
 /// The paired breakdowns for one benchmark.
@@ -18,14 +20,41 @@ pub struct Row {
     pub oracle: CoverageReport,
 }
 
-/// Runs both predictors over the whole suite.
+fn spec_for(name: &str, kind: PredictorKind, scale: Scale) -> RunSpec {
+    RunSpec::coverage(name, kind, scale.coverage_accesses, 1)
+}
+
+/// Declares both predictors over the whole suite.
+pub fn specs(scale: Scale, _have: &ResultSet) -> Vec<RunSpec> {
+    suite::benchmarks()
+        .iter()
+        .flat_map(|e| {
+            [
+                spec_for(e.name, PredictorKind::LtCords, scale),
+                spec_for(e.name, PredictorKind::DbcpUnlimited, scale),
+            ]
+        })
+        .collect()
+}
+
+/// Assembles the paired rows from engine results.
+pub fn rows(scale: Scale, results: &ResultSet) -> Vec<Row> {
+    suite::benchmarks()
+        .iter()
+        .map(|e| Row {
+            name: e.name,
+            ltcords: results.coverage(&spec_for(e.name, PredictorKind::LtCords, scale)).clone(),
+            oracle: results
+                .coverage(&spec_for(e.name, PredictorKind::DbcpUnlimited, scale))
+                .clone(),
+        })
+        .collect()
+}
+
+/// Runs both predictors over the whole suite (engine, in memory).
 pub fn run(scale: Scale) -> Vec<Row> {
-    let names: Vec<&'static str> = suite::benchmarks().iter().map(|e| e.name).collect();
-    sweep_bounded(names, scale.threads, |name| Row {
-        name,
-        ltcords: run_coverage(name, PredictorKind::LtCords, scale.coverage_accesses, 1),
-        oracle: run_coverage(name, PredictorKind::DbcpUnlimited, scale.coverage_accesses, 1),
-    })
+    let results = harness::compute(harness::by_name("fig08").expect("registered"), scale);
+    rows(scale, &results)
 }
 
 /// Renders the stacked-bar data of Figure 8 (A = LT-cords, B = oracle DBCP).
@@ -68,6 +97,7 @@ pub fn render(rows: &[Row]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ltc_sim::experiment::run_coverage;
 
     #[test]
     fn ltcords_tracks_the_oracle_on_recurring_codes() {

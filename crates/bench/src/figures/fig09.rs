@@ -1,9 +1,11 @@
 //! Figure 9 — coverage sensitivity to signature cache size.
 
 use ltc_sim::core::LtCordsConfig;
-use ltc_sim::experiment::{run_coverage, sweep_bounded, PredictorKind};
+use ltc_sim::engine::{ResultSet, RunSpec};
+use ltc_sim::experiment::PredictorKind;
 use ltc_sim::report::Table;
 
+use crate::harness;
 use crate::scale::Scale;
 
 /// Signature cache sizes swept (entries), as in the paper's x axis.
@@ -20,27 +22,38 @@ pub struct Sensitivity {
     pub points: Vec<(usize, f64)>,
 }
 
-/// Runs the sweep with the paper's Figure 9 methodology: effectively
-/// unlimited 512-signature fragments, 8-way signature cache.
-pub fn run(scale: Scale) -> Sensitivity {
-    let jobs: Vec<(usize, &str)> =
-        SIZES.iter().flat_map(|&s| BENCHMARKS.iter().map(move |&b| (s, b))).collect();
-    let coverages = sweep_bounded(jobs.clone(), scale.threads, |&(entries, bench)| {
-        let cfg = LtCordsConfig::fig9_sweep(entries);
-        run_coverage(bench, PredictorKind::LtCordsWith(cfg), scale.coverage_accesses, 1).coverage()
-    });
-    // Normalize per benchmark to the largest size.
+fn spec_for(bench: &str, entries: usize, scale: Scale) -> RunSpec {
+    let cfg = LtCordsConfig::fig9_sweep(entries);
+    RunSpec::coverage(bench, PredictorKind::LtCordsWith(cfg), scale.coverage_accesses, 1)
+}
+
+/// Declares the (size × benchmark) grid with the paper's Figure 9
+/// methodology: effectively unlimited 512-signature fragments, 8-way
+/// signature cache.
+pub fn specs(scale: Scale, _have: &ResultSet) -> Vec<RunSpec> {
+    SIZES.iter().flat_map(|&s| BENCHMARKS.iter().map(move |&b| spec_for(b, s, scale))).collect()
+}
+
+/// Assembles the normalized curve from engine results.
+pub fn sensitivity(scale: Scale, results: &ResultSet) -> Sensitivity {
+    let largest = *SIZES.last().expect("non-empty sweep");
     let mut points = Vec::new();
-    for (si, &entries) in SIZES.iter().enumerate() {
+    for &entries in &SIZES {
         let mut sum = 0.0;
-        for (bi, _) in BENCHMARKS.iter().enumerate() {
-            let this = coverages[si * BENCHMARKS.len() + bi];
-            let best = coverages[(SIZES.len() - 1) * BENCHMARKS.len() + bi].max(1e-9);
+        for &bench in &BENCHMARKS {
+            let this = results.coverage(&spec_for(bench, entries, scale)).coverage();
+            let best = results.coverage(&spec_for(bench, largest, scale)).coverage().max(1e-9);
             sum += (this / best).clamp(0.0, 1.0);
         }
         points.push((entries, sum / BENCHMARKS.len() as f64));
     }
     Sensitivity { points }
+}
+
+/// Runs the sweep (engine, in memory).
+pub fn run(scale: Scale) -> Sensitivity {
+    let results = harness::compute(harness::by_name("fig09").expect("registered"), scale);
+    sensitivity(scale, &results)
 }
 
 /// Renders the Figure 9 curve.
@@ -55,6 +68,7 @@ pub fn render(s: &Sensitivity) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ltc_sim::experiment::run_coverage;
 
     #[test]
     fn bigger_caches_do_not_hurt_much() {

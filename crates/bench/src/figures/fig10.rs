@@ -1,9 +1,11 @@
 //! Figure 10 — off-chip sequence storage size needed for coverage.
 
 use ltc_sim::core::LtCordsConfig;
-use ltc_sim::experiment::{run_coverage, sweep_bounded, PredictorKind};
+use ltc_sim::engine::{ResultSet, RunSpec};
+use ltc_sim::experiment::PredictorKind;
 use ltc_sim::report::Table;
 
+use crate::harness;
 use crate::scale::Scale;
 
 /// Storage sizes swept, in signatures (the paper's 2M→32M series).
@@ -23,21 +25,34 @@ pub struct StorageDemand {
     pub rows: Vec<(&'static str, Vec<f64>)>,
 }
 
-/// Runs the sweep.
-pub fn run(scale: Scale) -> StorageDemand {
-    let jobs: Vec<(&'static str, usize)> =
-        BENCHMARKS.iter().flat_map(|&b| SIZES.iter().map(move |&s| (b, s))).collect();
-    let coverages = sweep_bounded(jobs, scale.threads, |&(bench, sigs)| {
-        let cfg = LtCordsConfig::fig10_sweep(sigs);
-        run_coverage(bench, PredictorKind::LtCordsWith(cfg), scale.coverage_accesses, 1).coverage()
-    });
+fn spec_for(bench: &str, sigs: usize, scale: Scale) -> RunSpec {
+    let cfg = LtCordsConfig::fig10_sweep(sigs);
+    RunSpec::coverage(bench, PredictorKind::LtCordsWith(cfg), scale.coverage_accesses, 1)
+}
+
+/// Declares the (benchmark × storage size) grid.
+pub fn specs(scale: Scale, _have: &ResultSet) -> Vec<RunSpec> {
+    BENCHMARKS.iter().flat_map(|&b| SIZES.iter().map(move |&s| spec_for(b, s, scale))).collect()
+}
+
+/// Assembles the normalized rows from engine results.
+pub fn storage_demand(scale: Scale, results: &ResultSet) -> StorageDemand {
     let mut rows = Vec::new();
-    for (bi, &bench) in BENCHMARKS.iter().enumerate() {
-        let per: Vec<f64> = (0..SIZES.len()).map(|si| coverages[bi * SIZES.len() + si]).collect();
+    for &bench in &BENCHMARKS {
+        let per: Vec<f64> = SIZES
+            .iter()
+            .map(|&sigs| results.coverage(&spec_for(bench, sigs, scale)).coverage())
+            .collect();
         let best = per.iter().copied().fold(0.0f64, f64::max).max(1e-9);
         rows.push((bench, per.iter().map(|c| (c / best).clamp(0.0, 1.0)).collect()));
     }
     StorageDemand { rows }
+}
+
+/// Runs the sweep (engine, in memory).
+pub fn run(scale: Scale) -> StorageDemand {
+    let results = harness::compute(harness::by_name("fig10").expect("registered"), scale);
+    storage_demand(scale, &results)
 }
 
 /// Renders Figure 10 as the percentage of potential predictions achieved.
@@ -56,6 +71,7 @@ pub fn render(d: &StorageDemand) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ltc_sim::experiment::run_coverage;
 
     #[test]
     fn storage_demand_is_monotone_for_streaming_code() {

@@ -1,13 +1,11 @@
 //! Figure 11 — LT-cords coverage in a multi-programmed environment.
 
-use ltc_sim::analysis::CoverageConfig;
-use ltc_sim::cache::Hierarchy;
-use ltc_sim::core::{LtCords, LtCordsConfig};
-use ltc_sim::experiment::sweep_bounded;
-use ltc_sim::predictors::{PrefetchLevel, Prefetcher};
+use ltc_sim::core::LtCordsConfig;
+use ltc_sim::engine::{ResultSet, RunSpec};
+use ltc_sim::experiment::{run_multiprog, PredictorKind};
 use ltc_sim::report::Table;
-use ltc_sim::trace::{suite, MultiProgram};
 
+use crate::harness;
 use crate::scale::Scale;
 
 /// The paper's Figure 11 pairings: each focus benchmark standalone and with
@@ -37,74 +35,48 @@ fn config() -> LtCordsConfig {
     LtCordsConfig { fragment_len: 1 << 10, frames: 1 << 13, ..LtCordsConfig::paper() }
 }
 
-fn quantum(name: &str) -> u64 {
-    if suite::by_name(name).map(|e| e.is_fp()).unwrap_or(false) {
-        1_200_000
-    } else {
-        600_000
-    }
-}
-
-/// Runs one bar: focus coverage, alone or context-switched with a partner.
-pub fn coverage_bar(focus: &'static str, with: Option<&'static str>, accesses: u64) -> Bar {
-    let ef = suite::by_name(focus).expect("focus exists");
-    let mut lt = LtCords::new(config());
-    let cfg = CoverageConfig::paper(accesses);
-    let mut base = Hierarchy::new(cfg.hierarchy);
-    let mut pf = Hierarchy::new(cfg.hierarchy);
-    let mut requests = Vec::new();
-    let (mut misses, mut eliminated) = (0u64, 0u64);
-
-    let mut run = |multi: &mut MultiProgram, total: u64| {
-        for _ in 0..total {
-            let Some((prog, acc)) = multi.next_tagged() else { break };
-            let b_out = base.access(acc.addr, acc.kind);
-            let p_out = pf.access(acc.addr, acc.kind);
-            if prog == 0 {
-                misses += u64::from(!b_out.l1.hit);
-                eliminated += u64::from(!b_out.l1.hit && p_out.l1.hit);
-            }
-            lt.on_access(&acc, &p_out, &mut requests);
-            for req in requests.drain(..) {
-                if req.level == PrefetchLevel::L1 && !pf.l1().contains(req.target) {
-                    let (out, src) = pf.prefetch_into_l1(req.target, req.victim);
-                    lt.on_prefetch_applied(&req, &out, src);
-                }
-            }
-        }
-    };
-
-    match with {
-        None => {
-            let mut multi = MultiProgram::new(vec![(ef.build(1), quantum(focus), 0)]);
-            run(&mut multi, accesses);
-        }
-        Some(partner) => {
-            let ep = suite::by_name(partner).expect("partner exists");
-            let mut multi = MultiProgram::new(vec![
-                (ef.build(1), quantum(focus), 0),
-                (ep.build(2), quantum(partner), 1 << 40),
-            ]);
-            // Double the budget so the focus program sees a comparable
-            // number of its own accesses.
-            run(&mut multi, accesses * 2);
-        }
-    }
-    Bar { focus, with, coverage: if misses == 0 { 0.0 } else { eliminated as f64 / misses as f64 } }
-}
-
-/// Runs all Figure 11 bars.
-pub fn run(scale: Scale) -> Vec<Bar> {
-    let mut jobs: Vec<(&'static str, Option<&'static str>)> = Vec::new();
+fn jobs() -> Vec<(&'static str, Option<&'static str>)> {
+    let mut jobs = Vec::new();
     for (focus, partners) in PAIRINGS {
         jobs.push((focus, None));
         for &p in partners {
             jobs.push((focus, Some(p)));
         }
     }
-    sweep_bounded(jobs, scale.threads, |&(focus, with)| {
-        coverage_bar(focus, with, scale.coverage_accesses)
-    })
+    jobs
+}
+
+fn spec_for(focus: &str, with: Option<&str>, accesses: u64) -> RunSpec {
+    RunSpec::multiprog(focus, with, PredictorKind::LtCordsWith(config()), accesses, 1)
+}
+
+/// Declares every Figure 11 bar.
+pub fn specs(scale: Scale, _have: &ResultSet) -> Vec<RunSpec> {
+    jobs().into_iter().map(|(f, w)| spec_for(f, w, scale.coverage_accesses)).collect()
+}
+
+/// Assembles the bars from engine results.
+pub fn bars(scale: Scale, results: &ResultSet) -> Vec<Bar> {
+    jobs()
+        .into_iter()
+        .map(|(focus, with)| {
+            let r = results.multiprog(&spec_for(focus, with, scale.coverage_accesses));
+            Bar { focus, with, coverage: r.coverage() }
+        })
+        .collect()
+}
+
+/// Runs one bar directly: focus coverage, alone or context-switched with a
+/// partner (bench/test convenience).
+pub fn coverage_bar(focus: &'static str, with: Option<&'static str>, accesses: u64) -> Bar {
+    let r = run_multiprog(focus, with, PredictorKind::LtCordsWith(config()), accesses, 1);
+    Bar { focus, with, coverage: r.coverage() }
+}
+
+/// Runs all Figure 11 bars (engine, in memory).
+pub fn run(scale: Scale) -> Vec<Bar> {
+    let results = harness::compute(harness::by_name("fig11").expect("registered"), scale);
+    bars(scale, &results)
 }
 
 /// Renders the Figure 11 bars.

@@ -1,10 +1,12 @@
 //! Figure 12 — memory bus utilization breakdown under LT-cords.
 
-use ltc_sim::experiment::{run_timing, sweep_bounded, PredictorKind};
+use ltc_sim::engine::{ResultSet, RunSpec};
+use ltc_sim::experiment::PredictorKind;
 use ltc_sim::report::Table;
 use ltc_sim::timing::BandwidthBreakdown;
 use ltc_sim::trace::suite;
 
+use crate::harness;
 use crate::scale::Scale;
 
 /// One benchmark's bus utilization in bytes per instruction.
@@ -34,13 +36,32 @@ impl Row {
     }
 }
 
-/// Runs LT-cords timing over the whole suite and collects the breakdown.
+fn spec_for(name: &str, scale: Scale) -> RunSpec {
+    RunSpec::timing(name, PredictorKind::LtCords, scale.timing_accesses, 1)
+}
+
+/// Declares the LT-cords timing run for every suite benchmark. These are
+/// the same specs as Table 3's LT-cords column, so regenerating both
+/// figures together simulates the grid once.
+pub fn specs(scale: Scale, _have: &ResultSet) -> Vec<RunSpec> {
+    suite::benchmarks().iter().map(|e| spec_for(e.name, scale)).collect()
+}
+
+/// Assembles the rows from engine results.
+pub fn rows(scale: Scale, results: &ResultSet) -> Vec<Row> {
+    suite::benchmarks()
+        .iter()
+        .map(|e| {
+            let r = results.timing(&spec_for(e.name, scale));
+            Row { name: e.name, breakdown: r.bandwidth, instructions: r.instructions }
+        })
+        .collect()
+}
+
+/// Runs LT-cords timing over the whole suite (engine, in memory).
 pub fn run(scale: Scale) -> Vec<Row> {
-    let names: Vec<&'static str> = suite::benchmarks().iter().map(|e| e.name).collect();
-    sweep_bounded(names, scale.threads, |name| {
-        let r = run_timing(name, PredictorKind::LtCords, scale.timing_accesses, 1);
-        Row { name, breakdown: r.bandwidth, instructions: r.instructions }
-    })
+    let results = harness::compute(harness::by_name("fig12").expect("registered"), scale);
+    rows(scale, &results)
 }
 
 /// Renders Figure 12's stacked bars as bytes/instruction columns.
@@ -81,6 +102,7 @@ pub fn render(rows: &[Row]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ltc_sim::experiment::run_timing;
 
     #[test]
     fn overhead_is_fraction_of_base_for_streaming_code() {

@@ -1,9 +1,11 @@
 //! Table 2 — benchmarks, base miss rates and IPCs.
 
-use ltc_sim::experiment::{run_timing, sweep_bounded, PredictorKind};
+use ltc_sim::engine::{ResultSet, RunSpec};
+use ltc_sim::experiment::PredictorKind;
 use ltc_sim::report::Table;
 use ltc_sim::trace::suite;
 
+use crate::harness;
 use crate::scale::Scale;
 
 /// One Table 2 row.
@@ -19,13 +21,30 @@ pub struct Row {
     pub ipc: f64,
 }
 
-/// Runs the baseline machine over the whole suite.
+fn spec_for(name: &str, scale: Scale) -> RunSpec {
+    RunSpec::timing(name, PredictorKind::Baseline, scale.timing_accesses, 1)
+}
+
+/// Declares the baseline timing run for every suite benchmark.
+pub fn specs(scale: Scale, _have: &ResultSet) -> Vec<RunSpec> {
+    suite::benchmarks().iter().map(|e| spec_for(e.name, scale)).collect()
+}
+
+/// Assembles the rows from engine results.
+pub fn rows(scale: Scale, results: &ResultSet) -> Vec<Row> {
+    suite::benchmarks()
+        .iter()
+        .map(|e| {
+            let r = results.timing(&spec_for(e.name, scale));
+            Row { name: e.name, l1_miss: r.l1_miss_rate(), l2_miss: r.l2_miss_rate(), ipc: r.ipc() }
+        })
+        .collect()
+}
+
+/// Runs the baseline machine over the whole suite (engine, in memory).
 pub fn run(scale: Scale) -> Vec<Row> {
-    let names: Vec<&'static str> = suite::benchmarks().iter().map(|e| e.name).collect();
-    sweep_bounded(names, scale.threads, |name| {
-        let r = run_timing(name, PredictorKind::Baseline, scale.timing_accesses, 1);
-        Row { name, l1_miss: r.l1_miss_rate(), l2_miss: r.l2_miss_rate(), ipc: r.ipc() }
-    })
+    let results = harness::compute(harness::by_name("table2").expect("registered"), scale);
+    rows(scale, &results)
 }
 
 /// Renders rows in the paper's format.

@@ -1,9 +1,11 @@
 //! Table 3 — percent speedup over the baseline processor.
 
-use ltc_sim::experiment::{run_timing, sweep_bounded, PredictorKind};
+use ltc_sim::engine::{ResultSet, RunSpec};
+use ltc_sim::experiment::PredictorKind;
 use ltc_sim::report::Table;
 use ltc_sim::trace::{suite, WorkloadClass};
 
+use crate::harness;
 use crate::scale::Scale;
 
 /// The Table 3 comparison columns, in paper order.
@@ -26,19 +28,44 @@ pub struct Row {
     pub speedups: Vec<f64>,
 }
 
-/// Runs the full Table 3 grid.
+fn spec_for(name: &str, kind: PredictorKind, scale: Scale) -> RunSpec {
+    RunSpec::timing(name, kind, scale.timing_accesses, 1)
+}
+
+/// Declares the full (benchmark × config) timing grid plus baselines.
+/// The baseline column is the same spec Table 2 declares, so running both
+/// figures together simulates it once.
+pub fn specs(scale: Scale, _have: &ResultSet) -> Vec<RunSpec> {
+    suite::benchmarks()
+        .iter()
+        .flat_map(|e| {
+            std::iter::once(spec_for(e.name, PredictorKind::Baseline, scale))
+                .chain(CONFIGS.iter().map(move |&kind| spec_for(e.name, kind, scale)))
+        })
+        .collect()
+}
+
+/// Assembles the speedup grid from engine results.
+pub fn rows(scale: Scale, results: &ResultSet) -> Vec<Row> {
+    suite::benchmarks()
+        .iter()
+        .map(|entry| {
+            let base = results.timing(&spec_for(entry.name, PredictorKind::Baseline, scale));
+            let speedups = CONFIGS
+                .iter()
+                .map(|&kind| {
+                    results.timing(&spec_for(entry.name, kind, scale)).speedup_pct_over(base)
+                })
+                .collect();
+            Row { name: entry.name, class: entry.class, speedups }
+        })
+        .collect()
+}
+
+/// Runs the full Table 3 grid (engine, in memory).
 pub fn run(scale: Scale) -> Vec<Row> {
-    let entries: Vec<_> = suite::benchmarks().to_vec();
-    sweep_bounded(entries, scale.threads, |entry| {
-        let base = run_timing(entry.name, PredictorKind::Baseline, scale.timing_accesses, 1);
-        let speedups = CONFIGS
-            .iter()
-            .map(|kind| {
-                run_timing(entry.name, *kind, scale.timing_accesses, 1).speedup_pct_over(&base)
-            })
-            .collect();
-        Row { name: entry.name, class: entry.class, speedups }
-    })
+    let results = harness::compute(harness::by_name("table3").expect("registered"), scale);
+    rows(scale, &results)
 }
 
 fn mean(rows: &[&Row], idx: usize) -> f64 {
@@ -74,6 +101,7 @@ pub fn render(rows: &[Row]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ltc_sim::experiment::run_timing;
 
     #[test]
     fn perfect_l1_column_dominates_on_memory_bound_code() {

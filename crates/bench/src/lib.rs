@@ -1,10 +1,13 @@
 //! Benchmark harness regenerating every table and figure of the paper.
 //!
-//! Each module in [`figures`] computes the data for one paper table or
-//! figure and renders it as the same rows/series the paper reports. The
-//! binaries in `src/bin/` print them; the Criterion benches in `benches/`
-//! run the same kernels at reduced scale so `cargo bench` regenerates
-//! everything.
+//! Each module in [`figures`] declares the [`ltc_sim::engine::RunSpec`]s
+//! one paper table or figure needs and renders the rows from the engine's
+//! [`ltc_sim::engine::ResultSet`]; [`harness`] registers them all and
+//! drives the deduplicating scheduler across whichever figures are
+//! requested. The binaries in `src/bin/` (including the `ltsim` CLI with
+//! its `plan`/`run`/`render` subcommands) print them; the Criterion
+//! benches in `benches/` run the same kernels at reduced scale so
+//! `cargo bench` regenerates everything.
 //!
 //! Absolute numbers differ from the paper (the substrate is a synthetic
 //! trace simulator, not SimpleScalar/Alpha on SPEC2000 — see DESIGN.md §1);
@@ -12,6 +15,8 @@
 //! reproduction target, recorded in EXPERIMENTS.md.
 
 pub mod figures;
+pub mod harness;
 pub mod scale;
 
+pub use harness::FigureDef;
 pub use scale::Scale;

@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 use ltc_trace::Addr;
 
 /// Replacement policy within a set.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ReplacementPolicy {
     /// Least-recently-used (the hierarchy caches in Table 1).
     Lru,
@@ -23,7 +23,7 @@ pub enum ReplacementPolicy {
 /// let l1 = CacheConfig::l1d();
 /// assert_eq!(l1.sets(), 512); // 64 KB / 64 B / 2 ways
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub total_bytes: u64,

@@ -1,13 +1,12 @@
 //! Two-level cache hierarchy (L1D + unified L2).
 
 use ltc_trace::{AccessKind, Addr};
-use serde::{Deserialize, Serialize};
 
 use crate::cache::{AccessOutcome, Cache, PrefetchOutcome};
 use crate::config::CacheConfig;
 
 /// Where a demand access was satisfied.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemLevel {
     /// Hit in the L1 data cache (2 cycles in Table 1).
     L1,
@@ -18,7 +17,7 @@ pub enum MemLevel {
 }
 
 /// Configuration for a [`Hierarchy`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HierarchyConfig {
     /// L1 data cache geometry.
     pub l1: CacheConfig,

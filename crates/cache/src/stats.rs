@@ -1,9 +1,7 @@
 //! Per-cache counters.
 
-use serde::{Deserialize, Serialize};
-
 /// Counters accumulated by a [`crate::Cache`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Demand accesses (loads + stores).
     pub accesses: u64,

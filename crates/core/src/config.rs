@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// off-chip sequence storage (4 K frames × 8 K signatures × 5 bytes), a
 /// 32 K-entry 2-way signature cache and a 10 KB sequence tag array, for a
 /// total on-chip budget of ~214 KB.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct LtCordsConfig {
     /// L1D geometry mirrored by the history table.
     pub l1: CacheConfig,

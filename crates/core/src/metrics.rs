@@ -1,9 +1,7 @@
 //! LT-cords operation counters.
 
-use serde::{Deserialize, Serialize};
-
 /// Counters describing an LT-cords run (beyond the generic cache stats).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LtCordsMetrics {
     /// Last-touch predictions issued (prefetch requests emitted).
     pub predictions: u64,

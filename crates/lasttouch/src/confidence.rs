@@ -1,7 +1,5 @@
 //! Two-bit saturating confidence counters (paper Section 4.4).
 
-use serde::{Deserialize, Serialize};
-
 /// A 2-bit saturating confidence counter.
 ///
 /// LT-cords predicts only from signatures whose counter is at or above the
@@ -9,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// valid immediately after creation … to expedite training" (Section 4.4),
 /// are incremented on correct predictions, and decremented on incorrect
 /// ones, saturating at 0 and 3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Confidence(u8);
 
 impl Confidence {

@@ -13,7 +13,7 @@ use crate::confidence::Confidence;
 /// the effects of hash collisions" and 23-bit signatures in the
 /// cycle-accurate configuration (14 index bits + 9 tag bits in the signature
 /// cache, Section 5.6).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct SignatureScheme {
     /// Signature width in bits (1..=32).
     pub bits: u32,
@@ -70,9 +70,7 @@ impl Default for SignatureScheme {
 }
 
 /// A last-touch signature: the key under which a prediction is stored.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Signature(pub u32);
 
 impl fmt::Display for Signature {
@@ -90,7 +88,7 @@ impl fmt::LowerHex for Signature {
 /// One unit of training data: a signature paired with the block address that
 /// replaced the dying block, plus the confidence counter that travels with it
 /// (initialized to 2 per Section 4.4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SignatureRecord {
     /// The last-touch signature of the evicted block.
     pub signature: Signature,

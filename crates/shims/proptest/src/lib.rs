@@ -183,6 +183,8 @@ impl_strategy_for_tuple! {
     (A.0, B.1)
     (A.0, B.1, C.2)
     (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
 }
 
 /// Uniformly picks one of several strategies, then samples it.

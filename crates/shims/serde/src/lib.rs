@@ -1,19 +1,342 @@
-//! Offline stand-in for `serde`.
+//! Offline stand-in for `serde` — now functional, not a no-op.
 //!
-//! Re-exports the no-op derive macros so `use serde::{Deserialize,
-//! Serialize};` plus `#[derive(Serialize, Deserialize)]` compile
-//! unchanged. The marker traits exist so generic bounds written against
-//! `serde` keep compiling; nothing implements them (the derives expand
-//! to nothing), which is fine because no code in this workspace
-//! serializes yet — reports are rendered as fixed-width text tables.
+//! The real `serde` drives serialization through visitor-style
+//! `Serializer`/`Deserializer` traits; reimplementing that machinery
+//! offline is not worth it. Instead this shim models serialization as a
+//! conversion to and from a self-describing [`Value`] tree (the same
+//! model as `serde_json::Value`), which is exactly the capability the
+//! workspace needs: the experiment engine persists result artifacts as
+//! JSON through the sibling `serde_json` shim.
 //!
-//! Replace the path dependency with the real `serde` when a registry is
-//! available; no source change is required.
+//! `#[derive(Serialize, Deserialize)]` (from the `serde_derive` shim)
+//! generates real field-by-field conversions for structs with named
+//! fields and for fieldless enums. Swapping in the real crates restores
+//! the visitor API without touching any derive site; only the handful of
+//! hand-written `impl Serialize`/`impl Deserialize` blocks (see
+//! `ltc_sim::engine::spec`) would need mechanical rewrites.
 
 pub use serde_derive::{Deserialize, Serialize};
 
-/// Marker trait mirroring `serde::Serialize`.
-pub trait Serialize {}
+use std::fmt;
 
-/// Marker trait mirroring `serde::Deserialize`.
-pub trait Deserialize<'de> {}
+/// A self-describing serialized value (the `serde_json::Value` model).
+///
+/// Maps preserve insertion order so that serialized output is canonical:
+/// equal values serialize to byte-identical JSON, which the experiment
+/// engine relies on for content-addressed artifact keys.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer (negative values only; non-negative use [`Value::U64`]).
+    I64(i64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered key/value map.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up `key` in a map value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(v) => Some(v),
+            Value::I64(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a float (integers widen losslessly enough for reports).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(v) => Some(v),
+            Value::U64(v) => Some(v as f64),
+            Value::I64(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: what was expected, and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// An "expected X while deserializing Y" error.
+    pub fn expected(what: &str, context: &str) -> Self {
+        DeError(format!("expected {what} while deserializing {context}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into a [`Value`] tree (the shim's `serde::Serialize`).
+pub trait Serialize {
+    /// Serializes `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from a [`Value`] tree (the shim's `serde::Deserialize`).
+///
+/// The lifetime parameter mirrors the real trait's signature so bounds
+/// like `for<'de> Deserialize<'de>` written against real serde compile
+/// unchanged.
+pub trait Deserialize<'de>: Sized {
+    /// Reconstructs `Self` from a value tree.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+/// Deserializes a named field out of a map value (derive-internal helper).
+pub fn field<'de, T: Deserialize<'de>>(value: &Value, name: &str, ty: &str) -> Result<T, DeError> {
+    let v = value.get(name).ok_or_else(|| DeError(format!("missing field `{name}` in {ty}")))?;
+    T::from_value(v).map_err(|e| DeError(format!("{ty}.{name}: {}", e.0)))
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let v = value.as_u64()
+                    .ok_or_else(|| DeError::expected("unsigned integer", stringify!($t)))?;
+                <$t>::try_from(v).map_err(|_| DeError::expected("in-range integer", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let v = match *value {
+                    Value::I64(v) => v,
+                    Value::U64(v) => {
+                        i64::try_from(v).map_err(|_| DeError::expected("i64", stringify!($t)))?
+                    }
+                    _ => return Err(DeError::expected("signed integer", stringify!($t))),
+                };
+                <$t>::try_from(v).map_err(|_| DeError::expected("in-range integer", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value.as_f64().ok_or_else(|| DeError::expected("number", "f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value.as_f64().map(|v| v as f32).ok_or_else(|| DeError::expected("number", "f32"))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match *value {
+            Value::Bool(b) => Ok(b),
+            _ => Err(DeError::expected("bool", "bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value.as_str().map(str::to_string).ok_or_else(|| DeError::expected("string", "String"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items = value.as_seq().ok_or_else(|| DeError::expected("sequence", "Vec"))?;
+        items.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            v => T::from_value(v).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value.as_seq() {
+            Some([a, b]) => Ok((A::from_value(a)?, B::from_value(b)?)),
+            _ => Err(DeError::expected("2-element sequence", "tuple")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
+        assert_eq!(usize::from_value(&7usize.to_value()), Ok(7));
+        assert_eq!(i64::from_value(&(-3i64).to_value()), Ok(-3));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(String::from_value(&"hi".to_string().to_value()), Ok("hi".to_string()));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+    }
+
+    #[test]
+    fn unsigned_rejects_negative() {
+        assert!(u64::from_value(&Value::I64(-1)).is_err());
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::from_value(&v.to_value()), Ok(v));
+        assert_eq!(Option::<u64>::from_value(&Value::Null), Ok(None));
+        assert_eq!(Option::<u64>::from_value(&Value::U64(9)), Ok(Some(9)));
+        let pair = (2u64, 0.5f64);
+        assert_eq!(<(u64, f64)>::from_value(&pair.to_value()), Ok(pair));
+    }
+
+    #[test]
+    fn map_lookup_finds_fields() {
+        let m = Value::Map(vec![("a".into(), Value::U64(1)), ("b".into(), Value::Bool(false))]);
+        assert_eq!(m.get("b"), Some(&Value::Bool(false)));
+        assert_eq!(m.get("c"), None);
+        assert_eq!(field::<u64>(&m, "a", "T"), Ok(1));
+        assert!(field::<u64>(&m, "missing", "T").is_err());
+    }
+}

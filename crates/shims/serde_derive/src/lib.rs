@@ -1,20 +1,240 @@
-//! No-op `#[derive(Serialize, Deserialize)]` macros.
+//! Functional `#[derive(Serialize, Deserialize)]` macros.
 //!
-//! This build environment has no access to crates.io, so the workspace
-//! vendors a minimal stand-in: the derives accept the same syntax as the
-//! real `serde_derive` (including `#[serde(...)]` field/container
-//! attributes) and expand to nothing. Swapping the `serde` path
-//! dependency for the real crate re-enables full (de)serialization
-//! without touching any call site.
+//! This build environment has no access to crates.io (so no `syn`/
+//! `quote`); the derives are hand-rolled token walkers that support the
+//! shapes the workspace persists:
+//!
+//! * structs with named fields — serialized as an ordered map,
+//! * fieldless enums — serialized as the variant name string.
+//!
+//! Anything else (tuple structs, data-carrying enums, generics) gets a
+//! `compile_error!` telling the author to hand-write the impl, which is
+//! what `ltc_sim::engine` does for its tagged spec/result enums.
+//! Swapping the `serde` path dependency for the real crate re-enables
+//! full (de)serialization without touching any derive site.
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the derive input turned out to be.
+enum Shape {
+    /// `struct Name { field, ... }`
+    Struct { name: String, fields: Vec<String> },
+    /// `enum Name { Variant, ... }` (no payloads)
+    Enum { name: String, variants: Vec<String> },
+    /// Unsupported input; the string is the error message.
+    Unsupported(String),
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("error tokens")
+}
+
+/// Skips attribute tokens (`#` followed by a bracket group) starting at
+/// `i`; returns the first non-attribute index.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Extracts field names from the brace group of a named-field struct.
+///
+/// Commas inside generic argument lists (`HashMap<K, V>`) are not group
+/// boundaries in the token stream, so an angle-bracket depth counter
+/// decides which commas separate fields.
+fn named_fields(group: &proc_macro::Group) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(&tokens, skip_attrs(&tokens, i));
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected field name, found `{other}`")),
+            None => break,
+        };
+        match tokens.get(i + 1) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("field `{name}` is not `name: type` (tuple struct?)")),
+        }
+        fields.push(name);
+        // Consume the type up to the next top-level comma.
+        i += 2;
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Extracts variant names from the brace group of a fieldless enum.
+fn unit_variants(group: &proc_macro::Group) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected variant name, found `{other}`")),
+            None => break,
+        };
+        i += 1;
+        match tokens.get(i) {
+            None => {
+                variants.push(name);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push(name);
+                i += 1;
+            }
+            Some(_) => {
+                return Err(format!(
+                    "variant `{name}` carries data; hand-write the serde impls for this enum"
+                ))
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Shape::Unsupported("expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Shape::Unsupported("expected a type name".into()),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Shape::Unsupported(format!(
+                "generic type `{name}` is unsupported; hand-write the serde impls"
+            ));
+        }
+    }
+    let group = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        _ => {
+            return Shape::Unsupported(format!(
+                "`{name}` has no named-field body (tuple or unit types are unsupported)"
+            ))
+        }
+    };
+    let result = match kind.as_str() {
+        "struct" => named_fields(group).map(|fields| Shape::Struct { name, fields }),
+        "enum" => unit_variants(group).map(|variants| Shape::Enum { name, variants }),
+        other => return Shape::Unsupported(format!("unsupported item kind `{other}`")),
+    };
+    result.unwrap_or_else(Shape::Unsupported)
+}
 
 #[proc_macro_derive(Serialize, attributes(serde))]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Map(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants.iter().map(|v| format!("{name}::{v} => {v:?},")).collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Str(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Unsupported(msg) => return error(&format!("derive(Serialize): {msg}")),
+    }
+    .parse()
+    .expect("generated Serialize impl parses")
 }
 
 #[proc_macro_derive(Deserialize, attributes(serde))]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: serde::field(value, {f:?}, {name:?})?,"))
+                .collect();
+            format!(
+                "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+                     fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String =
+                variants.iter().map(|v| format!("Some({v:?}) => Ok({name}::{v}),")).collect();
+            let expected = variants.join(", ");
+            format!(
+                "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+                     fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                         match value.as_str() {{\n\
+                             {arms}\n\
+                             _ => Err(serde::DeError::expected({expected:?}, {name:?})),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Unsupported(msg) => return error(&format!("derive(Deserialize): {msg}")),
+    }
+    .parse()
+    .expect("generated Deserialize impl parses")
 }

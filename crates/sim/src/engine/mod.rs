@@ -1,0 +1,44 @@
+//! The unified experiment engine.
+//!
+//! The paper's evaluation is one matrix — benchmark × predictor × mode ×
+//! budget × seed — but the figure binaries used to re-run overlapping
+//! simulations independently. The engine turns every experiment into a
+//! declarative [`RunSpec`] key, collects the specs every requested figure
+//! needs, dedupes them, executes the unique set once across a bounded
+//! worker pool, and hands each figure a [`ResultSet`] to assemble its
+//! table from:
+//!
+//! 1. [`spec`] — [`RunSpec`]: the canonical experiment key and its
+//!    execution dispatch. Serialization is canonical and injective, so a
+//!    spec's compact JSON doubles as its dedup and cache key.
+//! 2. [`scheduler`] — [`Scheduler`]: spec collection, dedup (first-seen
+//!    order), parallel execution, and artifact-cache consultation.
+//! 3. [`result`] — [`RunResult`]/[`ResultSet`]: typed results keyed by
+//!    spec, with provenance counters (simulated vs served from cache).
+//! 4. [`artifact`] — the `results/` cache: one JSON line per run, named
+//!    by the spec's FNV-1a hash, plus JSON/CSV export helpers.
+//!
+//! # Example
+//!
+//! ```
+//! use ltc_sim::engine::{EngineOptions, RunSpec, Scheduler};
+//! use ltc_sim::experiment::PredictorKind;
+//!
+//! let mut sched = Scheduler::new();
+//! // Two figures requesting the same run → one execution.
+//! let spec = RunSpec::coverage("gzip", PredictorKind::Baseline, 20_000, 1);
+//! sched.request(spec.clone());
+//! sched.request(spec.clone());
+//! let results = sched.execute(&EngineOptions::in_memory(2)).unwrap();
+//! assert_eq!(results.simulated(), 1);
+//! assert!(results.coverage(&spec).base_l1_misses > 0);
+//! ```
+
+pub mod artifact;
+pub mod result;
+pub mod scheduler;
+pub mod spec;
+
+pub use result::{ResultSet, RunResult};
+pub use scheduler::{EngineOptions, Scheduler};
+pub use spec::{Mode, RunSpec};

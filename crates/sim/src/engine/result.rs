@@ -1,0 +1,264 @@
+//! Typed run results and the spec-keyed result set.
+
+use std::collections::HashMap;
+
+use ltc_analysis::{CorrelationAnalysis, CoverageReport, DeadTimeTracker, LastTouchOrderAnalysis};
+use ltc_timing::TimingReport;
+use serde::{DeError, Deserialize, Serialize, Value};
+
+use crate::engine::spec::RunSpec;
+use crate::experiment::MultiProgReport;
+
+/// The result of executing one [`RunSpec`], tagged by mode.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunResult {
+    /// A coverage report ([`crate::engine::Mode::Coverage`]).
+    Coverage(CoverageReport),
+    /// A timing report ([`crate::engine::Mode::Timing`]).
+    Timing(TimingReport),
+    /// A dead-time measurement ([`crate::engine::Mode::DeadTime`]).
+    DeadTime(DeadTimeTracker),
+    /// A correlation study ([`crate::engine::Mode::Correlation`]).
+    Correlation(CorrelationAnalysis),
+    /// An ordering study ([`crate::engine::Mode::Ordering`]).
+    Ordering(LastTouchOrderAnalysis),
+    /// A multi-programmed run ([`crate::engine::Mode::MultiProg`]).
+    MultiProg(MultiProgReport),
+}
+
+impl RunResult {
+    /// The tag under which this result serializes.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RunResult::Coverage(_) => "coverage",
+            RunResult::Timing(_) => "timing",
+            RunResult::DeadTime(_) => "dead-time",
+            RunResult::Correlation(_) => "correlation",
+            RunResult::Ordering(_) => "ordering",
+            RunResult::MultiProg(_) => "multiprog",
+        }
+    }
+
+    /// The coverage report, if this is a coverage result.
+    pub fn as_coverage(&self) -> Option<&CoverageReport> {
+        match self {
+            RunResult::Coverage(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The timing report, if this is a timing result.
+    pub fn as_timing(&self) -> Option<&TimingReport> {
+        match self {
+            RunResult::Timing(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+impl Serialize for RunResult {
+    fn to_value(&self) -> Value {
+        let data = match self {
+            RunResult::Coverage(r) => r.to_value(),
+            RunResult::Timing(r) => r.to_value(),
+            RunResult::DeadTime(r) => r.to_value(),
+            RunResult::Correlation(r) => r.to_value(),
+            RunResult::Ordering(r) => r.to_value(),
+            RunResult::MultiProg(r) => r.to_value(),
+        };
+        Value::Map(vec![
+            ("kind".to_string(), Value::Str(self.kind().to_string())),
+            ("data".to_string(), data),
+        ])
+    }
+}
+
+impl<'de> Deserialize<'de> for RunResult {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let kind: String = serde::field(value, "kind", "RunResult")?;
+        let data = value
+            .get("data")
+            .ok_or_else(|| DeError("missing field `data` in RunResult".to_string()))?;
+        match kind.as_str() {
+            "coverage" => Ok(RunResult::Coverage(CoverageReport::from_value(data)?)),
+            "timing" => Ok(RunResult::Timing(TimingReport::from_value(data)?)),
+            "dead-time" => Ok(RunResult::DeadTime(DeadTimeTracker::from_value(data)?)),
+            "correlation" => Ok(RunResult::Correlation(CorrelationAnalysis::from_value(data)?)),
+            "ordering" => Ok(RunResult::Ordering(LastTouchOrderAnalysis::from_value(data)?)),
+            "multiprog" => Ok(RunResult::MultiProg(MultiProgReport::from_value(data)?)),
+            other => Err(DeError(format!("unknown result kind `{other}`"))),
+        }
+    }
+}
+
+/// Results keyed by [`RunSpec`], with provenance counters.
+///
+/// Figures read their rows out of the set with the typed accessors, which
+/// panic (with the offending spec key) when a result is absent or of the
+/// wrong mode — the scheduler contract guarantees presence, so absence is
+/// a figure-authoring bug, not a runtime condition.
+#[derive(Debug, Default)]
+pub struct ResultSet {
+    map: HashMap<RunSpec, RunResult>,
+    pub(crate) simulated: u64,
+    pub(crate) cache_hits: u64,
+}
+
+impl ResultSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        ResultSet::default()
+    }
+
+    /// Number of results held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Runs actually simulated (cumulative across `execute` calls).
+    pub fn simulated(&self) -> u64 {
+        self.simulated
+    }
+
+    /// Runs served from the artifact cache (cumulative).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Whether a result for `spec` is present.
+    pub fn contains(&self, spec: &RunSpec) -> bool {
+        self.map.contains_key(spec)
+    }
+
+    /// The result for `spec`, if present.
+    pub fn get(&self, spec: &RunSpec) -> Option<&RunResult> {
+        self.map.get(spec)
+    }
+
+    /// Inserts a result (scheduler-internal; counters are updated by the
+    /// caller, which knows the provenance).
+    pub(crate) fn insert(&mut self, spec: RunSpec, result: RunResult) {
+        self.map.insert(spec, result);
+    }
+
+    /// Iterates over `(spec, result)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&RunSpec, &RunResult)> {
+        self.map.iter()
+    }
+
+    fn demand<'a, T>(
+        &'a self,
+        spec: &RunSpec,
+        what: &str,
+        pick: impl FnOnce(&'a RunResult) -> Option<&'a T>,
+    ) -> &'a T {
+        let result =
+            self.map.get(spec).unwrap_or_else(|| panic!("missing result for spec {}", spec.key()));
+        pick(result).unwrap_or_else(|| {
+            panic!("expected a {what} result for spec {} (got {})", spec.key(), result.kind())
+        })
+    }
+
+    /// The coverage report for `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result is absent or not a coverage result.
+    pub fn coverage(&self, spec: &RunSpec) -> &CoverageReport {
+        self.demand(spec, "coverage", RunResult::as_coverage)
+    }
+
+    /// The timing report for `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result is absent or not a timing result.
+    pub fn timing(&self, spec: &RunSpec) -> &TimingReport {
+        self.demand(spec, "timing", RunResult::as_timing)
+    }
+
+    /// The dead-time measurement for `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result is absent or of the wrong mode.
+    pub fn dead_time(&self, spec: &RunSpec) -> &DeadTimeTracker {
+        self.demand(spec, "dead-time", |r| match r {
+            RunResult::DeadTime(d) => Some(d),
+            _ => None,
+        })
+    }
+
+    /// The correlation study for `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result is absent or of the wrong mode.
+    pub fn correlation(&self, spec: &RunSpec) -> &CorrelationAnalysis {
+        self.demand(spec, "correlation", |r| match r {
+            RunResult::Correlation(c) => Some(c),
+            _ => None,
+        })
+    }
+
+    /// The ordering study for `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result is absent or of the wrong mode.
+    pub fn ordering(&self, spec: &RunSpec) -> &LastTouchOrderAnalysis {
+        self.demand(spec, "ordering", |r| match r {
+            RunResult::Ordering(o) => Some(o),
+            _ => None,
+        })
+    }
+
+    /// The multi-programmed report for `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result is absent or of the wrong mode.
+    pub fn multiprog(&self, spec: &RunSpec) -> &MultiProgReport {
+        self.demand(spec, "multiprog", |r| match r {
+            RunResult::MultiProg(m) => Some(m),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::PredictorKind;
+
+    #[test]
+    fn result_round_trips_through_json() {
+        let r = RunResult::Coverage(CoverageReport {
+            predictor: "lt-cords".into(),
+            accesses: 100,
+            base_l1_misses: 10,
+            correct: 6,
+            ..Default::default()
+        });
+        let parsed: RunResult = serde_json::from_str(&serde_json::to_string(&r)).unwrap();
+        assert_eq!(parsed, r);
+
+        let m = RunResult::MultiProg(MultiProgReport { focus_misses: 8, eliminated: 4 });
+        let parsed: RunResult = serde_json::from_str(&serde_json::to_string(&m)).unwrap();
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a timing result")]
+    fn typed_accessor_rejects_wrong_mode() {
+        let spec = RunSpec::coverage("gzip", PredictorKind::Baseline, 10, 1);
+        let mut rs = ResultSet::new();
+        rs.insert(spec.clone(), RunResult::Coverage(CoverageReport::default()));
+        let _ = rs.timing(&spec);
+    }
+}

@@ -1,0 +1,223 @@
+//! Spec collection, dedup, and parallel execution with cache reuse.
+
+use std::collections::HashSet;
+use std::io;
+use std::path::PathBuf;
+
+use crate::engine::artifact;
+use crate::engine::result::ResultSet;
+use crate::engine::spec::RunSpec;
+use crate::experiment::sweep_bounded;
+
+/// Execution policy for a [`Scheduler`].
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Worker threads for the simulation pool.
+    pub threads: usize,
+    /// Artifact cache directory (`results/`); `None` disables caching.
+    pub cache_dir: Option<PathBuf>,
+    /// When `true`, ignore cached artifacts and re-simulate (artifacts are
+    /// rewritten, so the cache heals itself after a model change).
+    pub force: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        EngineOptions { threads, cache_dir: None, force: false }
+    }
+}
+
+impl EngineOptions {
+    /// No cache: every spec is simulated (tests, benches).
+    pub fn in_memory(threads: usize) -> Self {
+        EngineOptions { threads, cache_dir: None, force: false }
+    }
+
+    /// With an artifact cache rooted at `dir`.
+    pub fn cached(threads: usize, dir: impl Into<PathBuf>) -> Self {
+        EngineOptions { threads, cache_dir: Some(dir.into()), force: false }
+    }
+}
+
+/// Collects [`RunSpec`]s from any number of consumers, dedupes them, and
+/// executes the unique set once.
+///
+/// Duplicate requests are the normal case, not an error: every figure
+/// declares the full set of runs it needs, and overlapping needs (table 3
+/// and figure 12 both want `timing/*/lt-cords`, every timing figure wants
+/// the baselines) collapse to single executions here.
+#[derive(Debug, Default)]
+pub struct Scheduler {
+    requests: Vec<RunSpec>,
+}
+
+impl Scheduler {
+    /// An empty scheduler.
+    pub fn new() -> Self {
+        Scheduler::default()
+    }
+
+    /// Requests one run.
+    pub fn request(&mut self, spec: RunSpec) {
+        self.requests.push(spec);
+    }
+
+    /// Requests a batch of runs.
+    pub fn request_all(&mut self, specs: impl IntoIterator<Item = RunSpec>) {
+        self.requests.extend(specs);
+    }
+
+    /// Total requests received (duplicates included).
+    pub fn requested(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// The deduplicated spec set, in first-seen request order.
+    pub fn unique(&self) -> Vec<RunSpec> {
+        let mut seen = HashSet::new();
+        self.requests.iter().filter(|s| seen.insert((*s).clone())).cloned().collect()
+    }
+
+    /// Executes the unique spec set and returns a fresh [`ResultSet`].
+    ///
+    /// # Errors
+    ///
+    /// Returns any artifact-cache I/O error (a corrupt or mismatched
+    /// artifact is treated as a cache miss, not an error).
+    pub fn execute(&self, opts: &EngineOptions) -> io::Result<ResultSet> {
+        let mut results = ResultSet::new();
+        self.execute_into(&mut results, opts)?;
+        Ok(results)
+    }
+
+    /// Executes every unique spec not already present in `results`.
+    ///
+    /// Cached artifacts satisfy specs without simulation (unless
+    /// [`EngineOptions::force`]); the rest run in parallel across
+    /// [`EngineOptions::threads`] workers, then are written back to the
+    /// cache. Figures with result-dependent spec sets call this in rounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns any artifact-cache I/O error.
+    pub fn execute_into(&self, results: &mut ResultSet, opts: &EngineOptions) -> io::Result<()> {
+        let pending: Vec<RunSpec> =
+            self.unique().into_iter().filter(|s| !results.contains(s)).collect();
+
+        let mut to_run = Vec::new();
+        for spec in pending {
+            let cached = match &opts.cache_dir {
+                Some(dir) if !opts.force => artifact::load(dir, &spec)?,
+                _ => None,
+            };
+            match cached {
+                Some(result) => {
+                    results.cache_hits += 1;
+                    results.insert(spec, result);
+                }
+                None => to_run.push(spec),
+            }
+        }
+
+        // Persist each artifact from the worker that produced it, not
+        // after the pool's barrier: an interrupted long run then keeps
+        // every completed simulation, making reruns genuinely
+        // incremental. The first write error is carried out of the pool
+        // and reported after results are collected.
+        if let Some(dir) = &opts.cache_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        let store_error: std::sync::Mutex<Option<io::Error>> = std::sync::Mutex::new(None);
+        let outcomes = sweep_bounded(to_run.clone(), opts.threads, |spec| {
+            let result = spec.execute();
+            if let Some(dir) = &opts.cache_dir {
+                if let Err(e) = artifact::store(dir, spec, &result) {
+                    store_error.lock().expect("store-error lock").get_or_insert(e);
+                }
+            }
+            result
+        });
+        for (spec, result) in to_run.into_iter().zip(outcomes) {
+            results.simulated += 1;
+            results.insert(spec, result);
+        }
+        match store_error.into_inner().expect("store-error lock") {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Loads every unique spec not in `results` from the cache **without
+    /// simulating**; returns the specs that remained unsatisfied (for
+    /// `ltsim render`, which must not silently recompute).
+    ///
+    /// # Errors
+    ///
+    /// Returns any artifact-cache I/O error.
+    pub fn load_into(
+        &self,
+        results: &mut ResultSet,
+        dir: &std::path::Path,
+    ) -> io::Result<Vec<RunSpec>> {
+        let mut missing = Vec::new();
+        for spec in self.unique() {
+            if results.contains(&spec) {
+                continue;
+            }
+            match artifact::load(dir, &spec)? {
+                Some(result) => {
+                    results.cache_hits += 1;
+                    results.insert(spec, result);
+                }
+                None => missing.push(spec),
+            }
+        }
+        Ok(missing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::PredictorKind;
+
+    fn tiny(bench: &str, seed: u64) -> RunSpec {
+        RunSpec::coverage(bench, PredictorKind::Baseline, 4_000, seed)
+    }
+
+    #[test]
+    fn duplicate_requests_collapse() {
+        let mut s = Scheduler::new();
+        s.request(tiny("gzip", 1));
+        s.request(tiny("mesa", 1));
+        s.request(tiny("gzip", 1));
+        assert_eq!(s.requested(), 3);
+        assert_eq!(s.unique().len(), 2);
+        let results = s.execute(&EngineOptions::in_memory(2)).unwrap();
+        assert_eq!(results.simulated(), 2);
+        assert_eq!(results.len(), 2);
+    }
+
+    #[test]
+    fn unique_preserves_first_seen_order() {
+        let mut s = Scheduler::new();
+        for bench in ["mcf", "art", "gzip", "art", "mcf"] {
+            s.request(tiny(bench, 1));
+        }
+        let order: Vec<String> = s.unique().into_iter().map(|s| s.benchmark).collect();
+        assert_eq!(order, ["mcf", "art", "gzip"]);
+    }
+
+    #[test]
+    fn execute_into_skips_present_results() {
+        let mut s = Scheduler::new();
+        s.request(tiny("gzip", 1));
+        let opts = EngineOptions::in_memory(1);
+        let mut results = s.execute(&opts).unwrap();
+        assert_eq!(results.simulated(), 1);
+        // Re-executing the same request set does nothing new.
+        s.execute_into(&mut results, &opts).unwrap();
+        assert_eq!(results.simulated(), 1);
+    }
+}

@@ -1,0 +1,401 @@
+//! Declarative experiment keys.
+
+use ltc_analysis::{CorrelationAnalysis, DeadTimeTracker, LastTouchOrderAnalysis};
+use ltc_trace::suite;
+use ltcords::LtCordsConfig;
+use serde::{DeError, Deserialize, Serialize, Value};
+
+use crate::engine::result::RunResult;
+use crate::experiment::{run_coverage, run_multiprog, run_timing, PredictorKind};
+
+/// What kind of simulation a [`RunSpec`] asks for.
+///
+/// The analysis modes (`DeadTime`, `Correlation`, `Ordering`) measure the
+/// baseline machine and ignore the spec's predictor; their constructors
+/// pin it to [`PredictorKind::Baseline`] so equal measurements dedupe.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Trace-driven coverage run ([`run_coverage`]).
+    Coverage,
+    /// Cycle-approximate timing run ([`run_timing`]).
+    Timing,
+    /// Block dead-time measurement (Figure 2).
+    DeadTime,
+    /// Temporal miss-correlation study (Figure 6).
+    Correlation,
+    /// Last-touch vs miss-order disparity study (Figure 7).
+    Ordering,
+    /// Multi-programmed coverage, focus benchmark context-switched with an
+    /// optional partner (Figure 11).
+    MultiProg {
+        /// Partner benchmark, or `None` for the standalone bar.
+        partner: Option<String>,
+    },
+}
+
+impl Mode {
+    /// Short name for tables and artifact listings.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mode::Coverage => "coverage",
+            Mode::Timing => "timing",
+            Mode::DeadTime => "dead-time",
+            Mode::Correlation => "correlation",
+            Mode::Ordering => "ordering",
+            Mode::MultiProg { .. } => "multiprog",
+        }
+    }
+}
+
+impl Serialize for Mode {
+    fn to_value(&self) -> Value {
+        match self {
+            Mode::MultiProg { partner } => {
+                Value::Map(vec![("multiprog".to_string(), partner.to_value())])
+            }
+            simple => Value::Str(simple.name().to_string()),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Mode {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        if let Some(partner) = value.get("multiprog") {
+            return Ok(Mode::MultiProg { partner: Option::<String>::from_value(partner)? });
+        }
+        match value.as_str() {
+            Some("coverage") => Ok(Mode::Coverage),
+            Some("timing") => Ok(Mode::Timing),
+            Some("dead-time") => Ok(Mode::DeadTime),
+            Some("correlation") => Ok(Mode::Correlation),
+            Some("ordering") => Ok(Mode::Ordering),
+            _ => Err(DeError::expected("a mode name or {\"multiprog\": ...}", "Mode")),
+        }
+    }
+}
+
+impl Serialize for PredictorKind {
+    fn to_value(&self) -> Value {
+        match self {
+            // The parameterized kinds carry their configuration so that
+            // differently-configured runs never collide under one key.
+            PredictorKind::LtCordsWith(cfg) => {
+                Value::Map(vec![("lt-cords-with".to_string(), cfg.to_value())])
+            }
+            PredictorKind::DbcpBytes(bytes) => {
+                Value::Map(vec![("dbcp-bytes".to_string(), Value::U64(*bytes))])
+            }
+            simple => Value::Str(simple.name().to_string()),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for PredictorKind {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        if let Some(cfg) = value.get("lt-cords-with") {
+            return Ok(PredictorKind::LtCordsWith(LtCordsConfig::from_value(cfg)?));
+        }
+        if let Some(bytes) = value.get("dbcp-bytes") {
+            return Ok(PredictorKind::DbcpBytes(u64::from_value(bytes)?));
+        }
+        match value.as_str() {
+            Some("baseline") => Ok(PredictorKind::Baseline),
+            Some("perfect-l1") => Ok(PredictorKind::PerfectL1),
+            Some("lt-cords") => Ok(PredictorKind::LtCords),
+            Some("dbcp-unlimited") => Ok(PredictorKind::DbcpUnlimited),
+            Some("dbcp") => Ok(PredictorKind::Dbcp2Mb),
+            Some("ghb") => Ok(PredictorKind::Ghb),
+            Some("stride") => Ok(PredictorKind::Stride),
+            Some("4mb-l2") => Ok(PredictorKind::BigL2),
+            _ => Err(DeError::expected("a predictor kind", "PredictorKind")),
+        }
+    }
+}
+
+/// The declarative key of one simulation: benchmark, predictor, mode,
+/// access budget, seed.
+///
+/// Everything about a run is determined by these five fields (the
+/// simulator is deterministic), so the spec is simultaneously the dedup
+/// key, the artifact cache key, and — via [`RunSpec::execute`] — the run
+/// itself. Serialization is canonical (field order fixed, map order
+/// preserved) and injective over the fields: distinct specs always have
+/// distinct [`RunSpec::key`] strings, which `tests/engine.rs` asserts by
+/// property test.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RunSpec {
+    /// Suite benchmark name (the focus program for multi-programmed runs).
+    pub benchmark: String,
+    /// Predictor configuration under test.
+    pub predictor: PredictorKind,
+    /// Simulation mode.
+    pub mode: Mode,
+    /// Access budget.
+    pub accesses: u64,
+    /// Trace generator seed.
+    pub seed: u64,
+}
+
+impl RunSpec {
+    /// A coverage run.
+    pub fn coverage(benchmark: &str, predictor: PredictorKind, accesses: u64, seed: u64) -> Self {
+        RunSpec {
+            benchmark: benchmark.to_string(),
+            predictor,
+            mode: Mode::Coverage,
+            accesses,
+            seed,
+        }
+    }
+
+    /// A timing run.
+    pub fn timing(benchmark: &str, predictor: PredictorKind, accesses: u64, seed: u64) -> Self {
+        RunSpec { benchmark: benchmark.to_string(), predictor, mode: Mode::Timing, accesses, seed }
+    }
+
+    /// A dead-time measurement (baseline machine).
+    pub fn dead_time(benchmark: &str, accesses: u64, seed: u64) -> Self {
+        RunSpec {
+            benchmark: benchmark.to_string(),
+            predictor: PredictorKind::Baseline,
+            mode: Mode::DeadTime,
+            accesses,
+            seed,
+        }
+    }
+
+    /// A temporal-correlation measurement (baseline machine).
+    pub fn correlation(benchmark: &str, accesses: u64, seed: u64) -> Self {
+        RunSpec {
+            benchmark: benchmark.to_string(),
+            predictor: PredictorKind::Baseline,
+            mode: Mode::Correlation,
+            accesses,
+            seed,
+        }
+    }
+
+    /// A last-touch ordering measurement (baseline machine).
+    pub fn ordering(benchmark: &str, accesses: u64, seed: u64) -> Self {
+        RunSpec {
+            benchmark: benchmark.to_string(),
+            predictor: PredictorKind::Baseline,
+            mode: Mode::Ordering,
+            accesses,
+            seed,
+        }
+    }
+
+    /// A multi-programmed coverage run.
+    pub fn multiprog(
+        focus: &str,
+        partner: Option<&str>,
+        predictor: PredictorKind,
+        accesses: u64,
+        seed: u64,
+    ) -> Self {
+        RunSpec {
+            benchmark: focus.to_string(),
+            predictor,
+            mode: Mode::MultiProg { partner: partner.map(str::to_string) },
+            accesses,
+            seed,
+        }
+    }
+
+    /// The canonical serialized form: compact single-line JSON, injective
+    /// over the spec fields. This string *is* the spec's identity for
+    /// dedup and caching.
+    pub fn key(&self) -> String {
+        serde_json::to_string(self)
+    }
+
+    /// FNV-1a 64-bit hash of [`RunSpec::key`], as 16 hex digits — the
+    /// artifact cache file stem.
+    pub fn hash_hex(&self) -> String {
+        format!("{:016x}", fnv1a64(self.key().as_bytes()))
+    }
+
+    /// A compact human-readable label for plans and progress output.
+    pub fn label(&self) -> String {
+        let mode = match &self.mode {
+            Mode::MultiProg { partner: Some(p) } => format!("multiprog+{p}"),
+            m => m.name().to_string(),
+        };
+        let predictor = match self.predictor {
+            PredictorKind::LtCordsWith(cfg) => format!(
+                "lt-cords[sc={},frames={},frag={}]",
+                cfg.sig_cache_entries, cfg.frames, cfg.fragment_len
+            ),
+            PredictorKind::DbcpBytes(b) => format!("dbcp[{b}B]"),
+            simple => simple.name().to_string(),
+        };
+        format!(
+            "{}/{}/{}/{}k/s{}",
+            mode,
+            self.benchmark,
+            predictor,
+            self.accesses / 1000,
+            self.seed
+        )
+    }
+
+    /// Runs the simulation this spec describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the benchmark (or multiprog partner) is not in the suite.
+    pub fn execute(&self) -> RunResult {
+        match &self.mode {
+            Mode::Coverage => RunResult::Coverage(run_coverage(
+                &self.benchmark,
+                self.predictor,
+                self.accesses,
+                self.seed,
+            )),
+            Mode::Timing => RunResult::Timing(run_timing(
+                &self.benchmark,
+                self.predictor,
+                self.accesses,
+                self.seed,
+            )),
+            Mode::DeadTime => {
+                let mut src = self.build_source();
+                RunResult::DeadTime(DeadTimeTracker::run(&mut src, self.accesses))
+            }
+            Mode::Correlation => {
+                let mut src = self.build_source();
+                RunResult::Correlation(CorrelationAnalysis::run(&mut src, self.accesses))
+            }
+            Mode::Ordering => {
+                let mut src = self.build_source();
+                RunResult::Ordering(LastTouchOrderAnalysis::run(&mut src, self.accesses))
+            }
+            Mode::MultiProg { partner } => RunResult::MultiProg(run_multiprog(
+                &self.benchmark,
+                partner.as_deref(),
+                self.predictor,
+                self.accesses,
+                self.seed,
+            )),
+        }
+    }
+
+    fn build_source(&self) -> ltc_trace::BoxedSource {
+        suite::by_name(&self.benchmark)
+            .unwrap_or_else(|| panic!("unknown benchmark {}", self.benchmark))
+            .build(self.seed)
+    }
+}
+
+impl Serialize for RunSpec {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("benchmark".to_string(), self.benchmark.to_value()),
+            ("predictor".to_string(), self.predictor.to_value()),
+            ("mode".to_string(), self.mode.to_value()),
+            ("accesses".to_string(), Value::U64(self.accesses)),
+            ("seed".to_string(), Value::U64(self.seed)),
+        ])
+    }
+}
+
+impl<'de> Deserialize<'de> for RunSpec {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(RunSpec {
+            benchmark: serde::field(value, "benchmark", "RunSpec")?,
+            predictor: serde::field(value, "predictor", "RunSpec")?,
+            mode: serde::field(value, "mode", "RunSpec")?,
+            accesses: serde::field(value, "accesses", "RunSpec")?,
+            seed: serde::field(value, "seed", "RunSpec")?,
+        })
+    }
+}
+
+/// FNV-1a 64-bit hash (stable across platforms and runs, unlike
+/// `DefaultHasher`), used to name artifact files.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_round_trip_through_json() {
+        let specs = [
+            RunSpec::coverage("galgel", PredictorKind::LtCords, 100_000, 1),
+            RunSpec::coverage("art", PredictorKind::DbcpBytes(2 << 20), 50_000, 3),
+            RunSpec::timing("mcf", PredictorKind::BigL2, 30_000, 2),
+            RunSpec::dead_time("swim", 25_000, 1),
+            RunSpec::correlation("gcc", 25_000, 1),
+            RunSpec::ordering("gcc", 25_000, 1),
+            RunSpec::multiprog("gcc", Some("mcf"), PredictorKind::LtCords, 40_000, 1),
+            RunSpec::multiprog("gcc", None, PredictorKind::LtCords, 40_000, 1),
+            RunSpec::coverage(
+                "em3d",
+                PredictorKind::LtCordsWith(LtCordsConfig::fig9_sweep(4096)),
+                80_000,
+                1,
+            ),
+        ];
+        for spec in &specs {
+            let parsed: RunSpec = serde_json::from_str(&spec.key()).expect("parses");
+            assert_eq!(&parsed, spec, "round trip must be lossless: {}", spec.key());
+        }
+    }
+
+    #[test]
+    fn distinct_specs_have_distinct_keys() {
+        let base = RunSpec::coverage("galgel", PredictorKind::LtCords, 100_000, 1);
+        let variants = [
+            RunSpec::coverage("galgel", PredictorKind::LtCords, 100_000, 2),
+            RunSpec::coverage("galgel", PredictorKind::LtCords, 100_001, 1),
+            RunSpec::coverage("galgel", PredictorKind::Dbcp2Mb, 100_000, 1),
+            RunSpec::coverage("mcf", PredictorKind::LtCords, 100_000, 1),
+            RunSpec::timing("galgel", PredictorKind::LtCords, 100_000, 1),
+        ];
+        for v in &variants {
+            assert_ne!(base.key(), v.key());
+        }
+    }
+
+    #[test]
+    fn multiprog_partner_is_part_of_the_key() {
+        let alone = RunSpec::multiprog("gcc", None, PredictorKind::LtCords, 1000, 1);
+        let paired = RunSpec::multiprog("gcc", Some("mcf"), PredictorKind::LtCords, 1000, 1);
+        assert_ne!(alone.key(), paired.key());
+        assert_ne!(alone.hash_hex(), paired.hash_hex());
+    }
+
+    #[test]
+    fn config_differences_change_the_key() {
+        let a = RunSpec::coverage(
+            "art",
+            PredictorKind::LtCordsWith(LtCordsConfig::fig10_sweep(2 << 20)),
+            1000,
+            1,
+        );
+        let b = RunSpec::coverage(
+            "art",
+            PredictorKind::LtCordsWith(LtCordsConfig::fig10_sweep(4 << 20)),
+            1000,
+            1,
+        );
+        assert_ne!(a.key(), b.key());
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+}

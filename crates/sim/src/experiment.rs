@@ -1,13 +1,15 @@
 //! Named predictor configurations and experiment drivers.
 
 use ltc_analysis::{run_coverage as run_coverage_inner, CoverageConfig, CoverageReport};
+use ltc_cache::Hierarchy;
 use ltc_predictors::{
-    DbcpConfig, DbcpPrefetcher, GhbConfig, GhbPrefetcher, NullPrefetcher, Prefetcher, StrideConfig,
-    StridePrefetcher,
+    DbcpConfig, DbcpPrefetcher, GhbConfig, GhbPrefetcher, NullPrefetcher, PrefetchLevel,
+    Prefetcher, StrideConfig, StridePrefetcher,
 };
 use ltc_timing::{TimingConfig, TimingReport, TimingSim};
-use ltc_trace::suite;
+use ltc_trace::{suite, MultiProgram};
 use ltcords::{LtCords, LtCordsConfig};
+use serde::{Deserialize, Serialize};
 
 /// Default access budget for coverage (trace-driven) experiments.
 pub const COVERAGE_ACCESSES: u64 = 2_000_000;
@@ -16,7 +18,10 @@ pub const COVERAGE_ACCESSES: u64 = 2_000_000;
 pub const TIMING_ACCESSES: u64 = 400_000;
 
 /// The predictor configurations compared in the paper.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// `Eq`/`Hash` make a kind usable as part of an engine [`crate::engine::RunSpec`]
+/// dedup key (possible because no configuration field is a float).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PredictorKind {
     /// No predictor (Table 1 baseline).
     Baseline,
@@ -127,6 +132,90 @@ pub fn run_timing(benchmark: &str, kind: PredictorKind, accesses: u64, seed: u64
     let cfg = kind.timing_config().with_warmup(accesses / 4);
     let mut report = TimingSim::new(cfg).run(&mut source, predictor.as_mut(), accesses);
     report.predictor = kind.name().to_string();
+    report
+}
+
+/// Result of a multi-programmed coverage run (the Figure 11 methodology):
+/// the focus program's share of the context-switched machine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultiProgReport {
+    /// Focus-program baseline L1D misses.
+    pub focus_misses: u64,
+    /// Focus-program misses eliminated by the predictor.
+    pub eliminated: u64,
+}
+
+impl MultiProgReport {
+    /// Fraction of the focus program's misses eliminated.
+    pub fn coverage(&self) -> f64 {
+        if self.focus_misses == 0 {
+            0.0
+        } else {
+            self.eliminated as f64 / self.focus_misses as f64
+        }
+    }
+}
+
+/// OS scheduling quantum in accesses: FP codes get the paper's longer
+/// quantum (fewer context switches per instruction).
+fn multiprog_quantum(name: &str) -> u64 {
+    if suite::by_name(name).map(|e| e.is_fp()).unwrap_or(false) {
+        1_200_000
+    } else {
+        600_000
+    }
+}
+
+/// Runs a multi-programmed coverage experiment: the `focus` benchmark
+/// context-switched against an optional `partner`, sharing one hierarchy
+/// and one predictor (Figure 11's methodology). The partner's address
+/// space is offset so the programs compete for cache and predictor state
+/// without aliasing; with a partner the access budget is doubled so the
+/// focus program sees a comparable number of its own accesses.
+///
+/// # Panics
+///
+/// Panics if `focus` or `partner` is not in the suite.
+pub fn run_multiprog(
+    focus: &str,
+    partner: Option<&str>,
+    kind: PredictorKind,
+    accesses: u64,
+    seed: u64,
+) -> MultiProgReport {
+    let ef = suite::by_name(focus).unwrap_or_else(|| panic!("unknown benchmark {focus}"));
+    let mut predictor = kind.build();
+    let cfg = CoverageConfig::paper(accesses);
+    let mut base = Hierarchy::new(cfg.hierarchy);
+    let mut pf = Hierarchy::new(cfg.hierarchy);
+    let mut requests = Vec::new();
+    let mut report = MultiProgReport::default();
+
+    let mut programs = vec![(ef.build(seed), multiprog_quantum(focus), 0)];
+    let mut total = accesses;
+    if let Some(p) = partner {
+        let ep = suite::by_name(p).unwrap_or_else(|| panic!("unknown benchmark {p}"));
+        programs.push((ep.build(seed + 1), multiprog_quantum(p), 1 << 40));
+        total = accesses * 2;
+    }
+    let mut multi = MultiProgram::new(programs);
+
+    for _ in 0..total {
+        let Some((prog, acc)) = multi.next_tagged() else { break };
+        let b_out = base.access(acc.addr, acc.kind);
+        let p_out = pf.access(acc.addr, acc.kind);
+        if prog == 0 {
+            report.focus_misses += u64::from(!b_out.l1.hit);
+            report.eliminated += u64::from(!b_out.l1.hit && p_out.l1.hit);
+        }
+        predictor.on_access(&acc, &p_out, &mut requests);
+        for req in requests.drain(..) {
+            if req.level == PrefetchLevel::L1 && !pf.l1().contains(req.target) {
+                let (out, src) = pf.prefetch_into_l1(req.target, req.victim);
+                predictor.on_prefetch_applied(&req, &out, src);
+            }
+        }
+    }
     report
 }
 

@@ -5,7 +5,11 @@
 //! figure/table benches:
 //!
 //! * [`experiment`] — named predictor configurations ([`PredictorKind`]),
-//!   coverage and timing experiment drivers, and a parallel sweep helper.
+//!   coverage, timing and multi-programmed experiment drivers, and a
+//!   parallel sweep helper.
+//! * [`engine`] — the unified experiment engine: declarative [`RunSpec`]
+//!   keys, a deduplicating parallel [`engine::Scheduler`], spec-keyed
+//!   [`engine::ResultSet`]s and the serialized `results/` artifact cache.
 //! * [`report`] — fixed-width table formatting for paper-style output.
 //!
 //! # Example
@@ -17,11 +21,14 @@
 //! assert!(report.base_l1_misses > 0);
 //! ```
 
+pub mod engine;
 pub mod experiment;
 pub mod report;
 
+pub use engine::{EngineOptions, Mode, ResultSet, RunResult, RunSpec, Scheduler};
 pub use experiment::{
-    run_coverage, run_timing, sweep, PredictorKind, COVERAGE_ACCESSES, TIMING_ACCESSES,
+    run_coverage, run_multiprog, run_timing, sweep, MultiProgReport, PredictorKind,
+    COVERAGE_ACCESSES, TIMING_ACCESSES,
 };
 pub use report::Table;
 

@@ -1,0 +1,177 @@
+//! Engine integration tests: dedup, ordering, artifact cache round trips,
+//! and the injectivity of `RunSpec` serialization.
+
+use std::path::PathBuf;
+
+use ltc_sim::engine::{artifact, EngineOptions, RunSpec, Scheduler};
+use ltc_sim::experiment::PredictorKind;
+use ltc_sim::trace::suite;
+use ltcords::LtCordsConfig;
+use proptest::prelude::*;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ltc-engine-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn tiny(bench: &str) -> RunSpec {
+    RunSpec::coverage(bench, PredictorKind::Baseline, 4_000, 1)
+}
+
+/// N figures requesting the same spec produce exactly one execution.
+#[test]
+fn shared_specs_execute_once() {
+    let mut sched = Scheduler::new();
+    // Three "figures", each wanting the same gzip baseline plus one
+    // private run.
+    for private in ["mesa", "gcc", "art"] {
+        sched.request(tiny("gzip"));
+        sched.request(tiny(private));
+    }
+    assert_eq!(sched.requested(), 6);
+    let results = sched.execute(&EngineOptions::in_memory(4)).unwrap();
+    assert_eq!(results.simulated(), 4, "gzip must run once, not three times");
+    assert_eq!(results.len(), 4);
+    assert!(results.coverage(&tiny("gzip")).base_l1_misses > 0);
+}
+
+/// Dedup preserves first-seen input order.
+#[test]
+fn unique_preserves_input_order() {
+    let mut sched = Scheduler::new();
+    for bench in ["swim", "mcf", "gzip", "mcf", "swim", "art"] {
+        sched.request(tiny(bench));
+    }
+    let order: Vec<String> = sched.unique().into_iter().map(|s| s.benchmark).collect();
+    assert_eq!(order, ["swim", "mcf", "gzip", "art"]);
+}
+
+/// A second execution against the same cache directory simulates nothing
+/// and reproduces identical results.
+#[test]
+fn cache_round_trip_serves_second_pass() {
+    let dir = tmp_dir("roundtrip");
+    let specs = [
+        tiny("gzip"),
+        RunSpec::timing("mesa", PredictorKind::Baseline, 4_000, 1),
+        RunSpec::dead_time("swim", 4_000, 1),
+        RunSpec::multiprog("gcc", Some("mcf"), PredictorKind::LtCords, 4_000, 1),
+    ];
+    let opts = EngineOptions::cached(4, &dir);
+
+    let mut sched = Scheduler::new();
+    sched.request_all(specs.iter().cloned());
+    let first = sched.execute(&opts).unwrap();
+    assert_eq!(first.simulated(), specs.len() as u64);
+    assert_eq!(first.cache_hits(), 0);
+
+    let second = sched.execute(&opts).unwrap();
+    assert_eq!(second.simulated(), 0, "everything must come from the artifact cache");
+    assert_eq!(second.cache_hits(), specs.len() as u64);
+    for spec in &specs {
+        assert_eq!(
+            first.get(spec).unwrap(),
+            second.get(spec).unwrap(),
+            "cached result differs for {}",
+            spec.key()
+        );
+    }
+
+    // `force` bypasses the cache (and rewrites it).
+    let forced = sched.execute(&EngineOptions { force: true, ..opts.clone() }).unwrap();
+    assert_eq!(forced.simulated(), specs.len() as u64);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The artifact survives the full store → parse → typed-load path with
+/// every field intact (JSON line round trip through the serde shim).
+#[test]
+fn artifact_json_round_trips_full_reports() {
+    let dir = tmp_dir("fields");
+    let spec = RunSpec::coverage("galgel", PredictorKind::LtCords, 30_000, 7);
+    let mut sched = Scheduler::new();
+    sched.request(spec.clone());
+    let live = sched.execute(&EngineOptions::cached(2, &dir)).unwrap();
+    let cached = artifact::load(&dir, &spec).unwrap().expect("artifact written");
+    assert_eq!(live.get(&spec).unwrap(), &cached);
+    let report = cached.as_coverage().expect("coverage result");
+    assert!(report.base_l1_misses > 0, "non-trivial payload should round trip");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Builds a spec from raw proptest-chosen integers, covering every mode
+/// and predictor shape.
+fn spec_from(raw: (usize, usize, usize, u64, u64, usize)) -> RunSpec {
+    let (bench_idx, mode, kind, accesses, seed, partner_idx) = raw;
+    let benches = suite::benchmarks();
+    let bench = benches[bench_idx % benches.len()].name;
+    let predictor = match kind % 6 {
+        0 => PredictorKind::Baseline,
+        1 => PredictorKind::LtCords,
+        2 => PredictorKind::DbcpUnlimited,
+        3 => PredictorKind::DbcpBytes(((kind as u64) + 1) << 16),
+        4 => PredictorKind::LtCordsWith(LtCordsConfig::fig9_sweep(128 << (kind % 8))),
+        _ => PredictorKind::Ghb,
+    };
+    match mode % 6 {
+        0 => RunSpec::coverage(bench, predictor, accesses, seed),
+        1 => RunSpec::timing(bench, predictor, accesses, seed),
+        2 => RunSpec::dead_time(bench, accesses, seed),
+        3 => RunSpec::correlation(bench, accesses, seed),
+        4 => RunSpec::ordering(bench, accesses, seed),
+        _ => {
+            let partner = if partner_idx % 2 == 0 {
+                None
+            } else {
+                Some(benches[partner_idx % benches.len()].name)
+            };
+            RunSpec::multiprog(bench, partner, predictor, accesses, seed)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Serialization is injective over the spec fields: distinct specs
+    /// never share a canonical key (the dedup/cache identity).
+    #[test]
+    fn spec_serialization_is_injective(
+        a in (0usize..28, 0usize..6, 0usize..12, 1u64..1_000_000, 0u64..64, 0usize..28),
+        b in (0usize..28, 0usize..6, 0usize..12, 1u64..1_000_000, 0u64..64, 0usize..28),
+    ) {
+        let (sa, sb) = (spec_from(a), spec_from(b));
+        prop_assert_eq!(sa == sb, sa.key() == sb.key(), "key equality must match spec equality: {} / {}", sa.key(), sb.key());
+    }
+
+    /// The canonical key round-trips losslessly for every generated spec.
+    #[test]
+    fn spec_keys_round_trip(
+        raw in (0usize..28, 0usize..6, 0usize..12, 1u64..1_000_000, 0u64..64, 0usize..28),
+    ) {
+        let spec = spec_from(raw);
+        let parsed: RunSpec = serde_json::from_str(&spec.key()).expect("canonical key parses");
+        prop_assert_eq!(&parsed, &spec);
+        prop_assert_eq!(parsed.key(), spec.key());
+    }
+}
+
+/// The `ResultSet` counters distinguish provenance across mixed passes.
+#[test]
+fn counters_split_simulated_and_cached() {
+    let dir = tmp_dir("counters");
+    let opts = EngineOptions::cached(2, &dir);
+    let mut warm = Scheduler::new();
+    warm.request(tiny("gzip"));
+    warm.execute(&opts).unwrap();
+
+    // One warm spec + one cold spec in a fresh pass.
+    let mut sched = Scheduler::new();
+    sched.request(tiny("gzip"));
+    sched.request(tiny("mesa"));
+    let results = sched.execute(&opts).unwrap();
+    assert_eq!(results.cache_hits(), 1);
+    assert_eq!(results.simulated(), 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

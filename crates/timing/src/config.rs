@@ -1,12 +1,11 @@
 //! The Table 1 machine configuration.
 
 use ltc_cache::HierarchyConfig;
-use serde::{Deserialize, Serialize};
 
 /// Timing parameters of the simulated machine (paper Table 1).
 ///
 /// All latencies are in core cycles at the paper's 4 GHz clock.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimingConfig {
     /// Cache hierarchy geometry.
     pub hierarchy: HierarchyConfig,

@@ -16,10 +16,8 @@
 //! miss. CACTI itself is not reimplemented; the model interpolates those
 //! anchor points with capacity and width scaling.
 
-use serde::{Deserialize, Serialize};
-
 /// An on-chip SRAM structure characterized for energy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SramStructure {
     /// Total data capacity in bits.
     pub bits: u64,
@@ -144,7 +142,7 @@ impl SramStructure {
 
 /// The Section 5.9 comparison: average per-access dynamic energy of the
 /// LT-cords structures relative to the L1D, at a given L1D miss rate.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerComparison {
     /// Average L1D dynamic energy per access (pJ).
     pub l1d_pj_per_access: f64,

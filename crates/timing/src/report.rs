@@ -37,7 +37,7 @@ impl BandwidthBreakdown {
 }
 
 /// Results of one timing simulation.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TimingReport {
     /// Predictor under test.
     pub predictor: String,

@@ -1,14 +1,13 @@
 //! Models the number of non-memory instructions between memory references.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Distribution of non-memory instructions preceding each access.
 ///
 /// The paper's benchmarks differ widely in compute intensity (Table 2 IPCs
 /// range from 0.08 to 4.29 on the same machine); the gap model is the knob
 /// that reproduces that axis in the synthetic suite.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GapModel {
     /// Mean non-memory instructions per access.
     pub mean: u32,

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A byte address in the simulated physical address space.
 ///
 /// The paper models a 1 GB (30-bit) physical space; we allow the full 64-bit
@@ -19,9 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(a.line(64).0, 0x1200);
 /// assert_eq!(a.offset_by(0x10), Addr(0x1244));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Addr(pub u64);
 
 impl Addr {
@@ -77,9 +73,7 @@ impl From<u64> for Addr {
 /// Last-touch signatures hash the sequence of PCs that touch a cache block
 /// (Section 2 of the paper), so generators assign a small stable set of PCs
 /// to each loop/traversal site, exactly as compiled code would.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Pc(pub u64);
 
 impl fmt::Display for Pc {
@@ -95,7 +89,7 @@ impl From<u64> for Pc {
 }
 
 /// Whether an access reads or writes memory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {
     /// A load instruction.
     Load,
@@ -132,7 +126,7 @@ impl fmt::Display for AccessKind {
 ///   on the value returned by the immediately preceding access (pointer
 ///   chasing). Dependent misses cannot overlap, which is exactly the
 ///   memory-level-parallelism limitation LT-cords attacks (Section 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MemoryAccess {
     /// Program counter of the memory instruction.
     pub pc: Pc,

@@ -2,8 +2,6 @@
 
 use std::collections::HashSet;
 
-use serde::{Deserialize, Serialize};
-
 use crate::record::MemoryAccess;
 use crate::source::TraceSource;
 
@@ -24,7 +22,7 @@ use crate::source::TraceSource;
 /// assert_eq!(stats.stores, 1);
 /// assert_eq!(stats.distinct_lines, 2);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceStats {
     /// Memory references observed.
     pub accesses: u64,

@@ -16,7 +16,7 @@ const KINDS: [PredictorKind; 5] = [
 fn figure8_identity_holds_everywhere() {
     for bench in ["galgel", "twolf", "gcc", "treeadd"] {
         for kind in KINDS {
-            let r = cov(bench, kind, 150_000, 1);
+            let r = cov(bench, kind, 80_000, 1);
             assert_eq!(
                 r.correct + r.incorrect + r.train(),
                 r.base_l1_misses,
@@ -37,7 +37,7 @@ fn figure8_identity_holds_everywhere() {
 #[test]
 fn baseline_is_inert() {
     for bench in ["swim", "gzip", "mcf"] {
-        let r = cov(bench, PredictorKind::Baseline, 200_000, 1);
+        let r = cov(bench, PredictorKind::Baseline, 100_000, 1);
         assert_eq!(r.base_l1_misses, r.pf_l1_misses, "{bench}");
         assert_eq!(r.base_l2_misses, r.pf_l2_misses, "{bench}");
         assert_eq!(r.correct, 0, "{bench}");
@@ -51,7 +51,7 @@ fn baseline_is_inert() {
 #[test]
 fn percentages_are_bounded() {
     for kind in KINDS {
-        let r = cov("facerec", kind, 200_000, 2);
+        let r = cov("facerec", kind, 100_000, 2);
         for (label, v) in [
             ("correct", r.correct_pct()),
             ("incorrect", r.incorrect_pct()),
@@ -72,7 +72,7 @@ proptest! {
     fn identity_holds_for_random_runs(
         bench_idx in 0usize..28,
         seed in 0u64..1000,
-        accesses in 20_000u64..120_000,
+        accesses in 20_000u64..80_000,
     ) {
         let bench = ltc_sim::trace::suite::benchmarks()[bench_idx].name;
         let r = cov(bench, PredictorKind::LtCords, accesses, seed);

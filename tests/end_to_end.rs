@@ -12,7 +12,7 @@ use ltc_sim::trace::{suite, TraceSource};
 fn recurring_workload_reaches_high_coverage() {
     // galgel: ~900 KB footprint, dense sweeps, perfectly recurring. Small
     // enough to see many passes within the access budget.
-    let r = cov("galgel", PredictorKind::LtCords, 2_000_000, 1);
+    let r = cov("galgel", PredictorKind::LtCords, 1_200_000, 1);
     assert!(
         r.coverage() > 0.5,
         "recurring sweeps should reach >50% coverage, got {:.2}",
@@ -25,7 +25,7 @@ fn recurring_workload_reaches_high_coverage() {
 /// performance of these benchmarks").
 #[test]
 fn random_workload_is_not_hurt() {
-    let r = cov("twolf", PredictorKind::LtCords, 1_000_000, 1);
+    let r = cov("twolf", PredictorKind::LtCords, 600_000, 1);
     assert!(r.coverage() < 0.25, "twolf has little correlation, got {:.2}", r.coverage());
     assert!(r.early_pct() < 0.05, "early evictions must stay negligible, got {:.3}", r.early_pct());
 }
@@ -34,8 +34,8 @@ fn random_workload_is_not_hurt() {
 /// workloads (Figure 8's headline comparison).
 #[test]
 fn ltcords_tracks_unlimited_dbcp() {
-    let lt = cov("galgel", PredictorKind::LtCords, 2_000_000, 1);
-    let oracle = cov("galgel", PredictorKind::DbcpUnlimited, 2_000_000, 1);
+    let lt = cov("galgel", PredictorKind::LtCords, 1_200_000, 1);
+    let oracle = cov("galgel", PredictorKind::DbcpUnlimited, 1_200_000, 1);
     assert!(oracle.coverage() > 0.5, "oracle must cover galgel");
     assert!(
         lt.coverage() > oracle.coverage() * 0.7,
@@ -50,8 +50,8 @@ fn ltcords_tracks_unlimited_dbcp() {
 /// Section 5.7 crossover.
 #[test]
 fn ghb_and_ltcords_crossover() {
-    let lt_gap = cov("gap", PredictorKind::LtCords, 800_000, 1);
-    let ghb_gap = cov("gap", PredictorKind::Ghb, 800_000, 1);
+    let lt_gap = cov("gap", PredictorKind::LtCords, 600_000, 1);
+    let ghb_gap = cov("gap", PredictorKind::Ghb, 600_000, 1);
     assert!(
         ghb_gap.l2_coverage() > lt_gap.l2_coverage() + 0.3,
         "gap: GHB {:.2} must beat LT-cords {:.2} off chip",
@@ -59,8 +59,8 @@ fn ghb_and_ltcords_crossover() {
         lt_gap.l2_coverage()
     );
 
-    let lt_em3d = cov("em3d", PredictorKind::LtCords, 3_000_000, 1);
-    let ghb_em3d = cov("em3d", PredictorKind::Ghb, 3_000_000, 1);
+    let lt_em3d = cov("em3d", PredictorKind::LtCords, 2_000_000, 1);
+    let ghb_em3d = cov("em3d", PredictorKind::Ghb, 2_000_000, 1);
     assert!(
         lt_em3d.coverage() > ghb_em3d.coverage() + 0.3,
         "em3d: LT-cords {:.2} must beat GHB {:.2}",
@@ -86,8 +86,8 @@ fn entire_suite_runs_under_ltcords() {
 /// byte-identical reports.
 #[test]
 fn coverage_runs_are_deterministic() {
-    let a = cov("mcf", PredictorKind::LtCords, 300_000, 9);
-    let b = cov("mcf", PredictorKind::LtCords, 300_000, 9);
+    let a = cov("mcf", PredictorKind::LtCords, 150_000, 9);
+    let b = cov("mcf", PredictorKind::LtCords, 150_000, 9);
     assert_eq!(a.correct, b.correct);
     assert_eq!(a.base_l1_misses, b.base_l1_misses);
     assert_eq!(a.traffic, b.traffic);
@@ -101,12 +101,12 @@ fn on_chip_storage_stays_bounded() {
     let mut source = entry.build(1);
     let mut lt = LtCords::new(LtCordsConfig::paper());
     let before = lt.storage_bytes();
-    let _ = run_coverage(&mut source, &mut lt, CoverageConfig::paper(1_000_000));
+    let _ = run_coverage(&mut source, &mut lt, CoverageConfig::paper(600_000));
     assert_eq!(lt.storage_bytes(), before, "on-chip budget must not grow");
 
     let mut source = entry.build(1);
     let mut oracle = PredictorKind::DbcpUnlimited.build();
-    let _ = run_coverage(&mut source, oracle.as_mut(), CoverageConfig::paper(1_000_000));
+    let _ = run_coverage(&mut source, oracle.as_mut(), CoverageConfig::paper(600_000));
     assert!(
         oracle.storage_bytes() > lt.storage_bytes() * 4,
         "oracle table ({} B) must dwarf LT-cords on-chip state ({} B)",

@@ -1,0 +1,98 @@
+//! The `ltsim run --out` contract: a second pass over the same figures
+//! and cache directory produces identical tables while performing zero
+//! simulations (everything is served from the `results/` artifacts).
+
+use std::path::PathBuf;
+
+use ltc_bench::harness;
+use ltc_bench::Scale;
+use ltc_sim::engine::{EngineOptions, ResultSet};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ltc-cache-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A test-sized scale: big enough for every figure to have misses to
+/// classify, small enough to keep the suite fast.
+fn tiny_scale() -> Scale {
+    Scale { coverage_accesses: 60_000, timing_accesses: 30_000, threads: 4 }
+}
+
+#[test]
+fn second_run_is_pure_cache_and_byte_identical() {
+    let dir = tmp_dir("double-run");
+    let scale = tiny_scale();
+    // A mode mix: coverage pairs (fig08), baseline timing (table2), and
+    // the staged two-wave figure (fig04).
+    let figures = [
+        harness::by_name("fig08").unwrap(),
+        harness::by_name("table2").unwrap(),
+        harness::by_name("fig04").unwrap(),
+    ];
+    let opts = EngineOptions::cached(4, &dir);
+
+    let mut first = ResultSet::new();
+    harness::collect(&figures, scale, &opts, &mut first).unwrap();
+    assert!(first.simulated() > 0, "first pass must simulate");
+    assert_eq!(first.cache_hits(), 0, "cold cache has nothing to offer");
+    let tables_first: Vec<String> = figures.iter().map(|def| (def.render)(scale, &first)).collect();
+
+    let mut second = ResultSet::new();
+    harness::collect(&figures, scale, &opts, &mut second).unwrap();
+    assert_eq!(second.simulated(), 0, "second pass must perform no simulations");
+    assert_eq!(second.cache_hits(), first.simulated(), "every run must come from the cache");
+    let tables_second: Vec<String> =
+        figures.iter().map(|def| (def.render)(scale, &second)).collect();
+    assert_eq!(tables_first, tables_second, "cached tables must be byte-identical");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn render_path_reads_cache_without_simulating() {
+    let dir = tmp_dir("render");
+    let scale = tiny_scale();
+    let figures = [harness::by_name("fig02").unwrap()];
+
+    // Rendering from an empty cache must report what is missing rather
+    // than quietly recomputing.
+    let mut empty = ResultSet::new();
+    let missing = harness::load_cached(&figures, scale, &dir, &mut empty).unwrap();
+    assert!(!missing.is_empty(), "an empty cache cannot satisfy fig02");
+
+    let mut computed = ResultSet::new();
+    harness::collect(&figures, scale, &EngineOptions::cached(4, &dir), &mut computed).unwrap();
+
+    let mut rendered = ResultSet::new();
+    let missing = harness::load_cached(&figures, scale, &dir, &mut rendered).unwrap();
+    assert!(missing.is_empty(), "everything fig02 needs is now cached");
+    assert_eq!(rendered.simulated(), 0);
+    assert_eq!(
+        (figures[0].render)(scale, &rendered),
+        (figures[0].render)(scale, &computed),
+        "render-from-cache must match render-from-simulation"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn staged_figure_converges_through_cache_rounds() {
+    let dir = tmp_dir("staged");
+    let scale = tiny_scale();
+    let fig04 = [harness::by_name("fig04").unwrap()];
+    let opts = EngineOptions::cached(4, &dir);
+
+    let mut results = ResultSet::new();
+    harness::collect(&fig04, scale, &opts, &mut results).unwrap();
+    let first_total = results.simulated();
+    assert!(first_total > 28, "wave two (finite tables) must have run");
+
+    // The cached render path walks the same two waves.
+    let mut cached = ResultSet::new();
+    let missing = harness::load_cached(&fig04, scale, &dir, &mut cached).unwrap();
+    assert!(missing.is_empty());
+    assert_eq!(cached.len(), results.len());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
