@@ -10,7 +10,9 @@
 //! ltsim replay   <file> [predictor]
 //! ltsim plan     [--figures a,b,..] [--quick]
 //! ltsim run      [--figures a,b,..] [--out DIR] [--quick] [--force] [--threads N]
+//!                [--backend threads|sharded|subprocess] [--progress off|plain|live|auto]
 //! ltsim render   [--figures a,b,..] [--out DIR] [--format table|json|csv]
+//! ltsim worker
 //! ```
 //!
 //! Predictors: `baseline`, `lt-cords`, `dbcp`, `dbcp-unlimited`, `ghb`,
@@ -21,10 +23,18 @@
 //! the `--out` artifact cache) and prints every table, `render` rebuilds
 //! tables — or JSON lines, or CSV — purely from cached artifacts without
 //! simulating anything.
+//!
+//! `run --backend` selects the execution backend (see EXPERIMENTS.md
+//! "Choosing a backend"); `subprocess` re-invokes this binary's `worker`
+//! subcommand, which reads one canonical `RunSpec` JSON line per request
+//! from stdin and answers each with one `RunResult` JSON line on stdout
+//! until stdin closes.
+
+use std::io::{BufRead, Write};
 
 use ltc_bench::harness::{self, FigureDef};
 use ltc_bench::Scale;
-use ltc_sim::engine::{artifact, EngineOptions, ResultSet};
+use ltc_sim::engine::{artifact, BackendKind, EngineOptions, ProgressMode, ResultSet, RunSpec};
 use ltc_sim::experiment::{run_coverage, run_timing, PredictorKind};
 use ltc_sim::report::{pct1, Table};
 use ltc_sim::trace::suite;
@@ -56,9 +66,10 @@ fn main() {
         Some("plan") => cmd_plan(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("render") => cmd_render(&args[1..]),
+        Some("worker") => cmd_worker(),
         _ => {
             eprintln!(
-                "usage: ltsim <list|coverage|timing|compare|power|record|replay|plan|run|render> ..."
+                "usage: ltsim <list|coverage|timing|compare|power|record|replay|plan|run|render|worker> ..."
             );
             std::process::exit(2);
         }
@@ -197,6 +208,16 @@ struct FigureArgs {
     force: bool,
     threads: usize,
     format: String,
+    backend: BackendKind,
+    progress: ProgressMode,
+}
+
+/// The worker argv for `--backend subprocess`: this very binary,
+/// re-invoked with the `worker` subcommand.
+fn self_worker_command() -> Result<Vec<String>, String> {
+    let exe = std::env::current_exe()
+        .map_err(|e| format!("cannot locate the ltsim binary for subprocess workers: {e}"))?;
+    Ok(vec![exe.to_string_lossy().into_owned(), "worker".to_string()])
 }
 
 fn parse_figure_args(args: &[String]) -> Result<FigureArgs, String> {
@@ -208,10 +229,26 @@ fn parse_figure_args(args: &[String]) -> Result<FigureArgs, String> {
         force: false,
         threads: scale.threads,
         format: "table".to_string(),
+        backend: BackendKind::Threads,
+        progress: ProgressMode::Auto,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--backend" => {
+                let name = it.next().ok_or("--backend needs threads|sharded|subprocess")?;
+                out.backend = match name.as_str() {
+                    "threads" => BackendKind::Threads,
+                    "sharded" => BackendKind::Sharded,
+                    "subprocess" => BackendKind::Subprocess { command: self_worker_command()? },
+                    other => return Err(format!("unknown backend: {other}")),
+                };
+            }
+            "--progress" => {
+                let name = it.next().ok_or("--progress needs off|plain|live|auto")?;
+                out.progress = ProgressMode::parse(name)
+                    .ok_or_else(|| format!("unknown progress mode: {name}"))?;
+            }
             "--figures" => {
                 let list = it.next().ok_or("--figures needs a comma-separated list")?;
                 out.figures = list
@@ -269,7 +306,13 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let fa = parse_figure_args(args)?;
-    let opts = EngineOptions { threads: fa.threads, cache_dir: fa.out.clone(), force: fa.force };
+    let opts = EngineOptions {
+        threads: fa.threads,
+        cache_dir: fa.out.clone(),
+        force: fa.force,
+        backend: fa.backend,
+        progress: fa.progress,
+    };
     let mut results = ResultSet::new();
     harness::collect(&fa.figures, fa.scale, &opts, &mut results).map_err(|e| e.to_string())?;
     for def in &fa.figures {
@@ -325,6 +368,43 @@ fn cmd_render(args: &[String]) -> Result<(), String> {
         }
         "csv" => print!("{}", artifact::to_csv(sorted(&results))),
         _ => unreachable!("validated in parse_figure_args"),
+    }
+    Ok(())
+}
+
+/// The subprocess-backend worker loop: one canonical `RunSpec` JSON line
+/// per request on stdin, one `RunResult` JSON line per answer on stdout
+/// (flushed per line — the parent blocks on it), until stdin closes.
+/// Blank lines are ignored so the stream is easy to drive by hand.
+fn cmd_worker() -> Result<(), String> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("reading spec line: {e}"))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let spec: RunSpec = ltc_sim::serde_json::from_str(trimmed)
+            .map_err(|e| format!("bad RunSpec line `{trimmed}`: {e}"))?;
+        // A version mismatch means this worker binary carries different
+        // model behaviour than the dispatching parent. Answering anyway
+        // would store stale-model results under the new version's cache
+        // key — the exact aliasing `model_version` exists to prevent —
+        // so refuse and let the parent surface the transport error.
+        if spec.model_version != ltc_sim::engine::MODEL_VERSION {
+            return Err(format!(
+                "spec model_version {} does not match this worker's MODEL_VERSION {} \
+                 (mixed ltsim builds?): {trimmed}",
+                spec.model_version,
+                ltc_sim::engine::MODEL_VERSION
+            ));
+        }
+        let result = spec.execute();
+        writeln!(out, "{}", ltc_sim::serde_json::to_string(&result))
+            .and_then(|()| out.flush())
+            .map_err(|e| format!("writing result line: {e}"))?;
     }
     Ok(())
 }

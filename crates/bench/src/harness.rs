@@ -241,7 +241,7 @@ pub fn figure_main(name: &str) {
 /// uncached run).
 fn parse_figure_flags(args: &[String]) -> Result<(Scale, EngineOptions), String> {
     let scale = if args.iter().any(|a| a == "--quick") { Scale::quick() } else { Scale::full() };
-    let mut opts = EngineOptions { threads: scale.threads, cache_dir: None, force: false };
+    let mut opts = EngineOptions { threads: scale.threads, ..EngineOptions::default() };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {

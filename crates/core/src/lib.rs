@@ -1,5 +1,14 @@
 //! Last-Touch Correlated Data Streaming (LT-cords).
 //!
+//! # Naming: package `ltc_core`, library `ltcords`
+//!
+//! The *package* follows the workspace's `ltc_*` convention (it is listed
+//! as `ltc_core` in every manifest), while the *library target* is
+//! deliberately named `ltcords` — the paper's name for the design — so
+//! imports read as the paper does: `use ltcords::{LtCords, ...}`. This
+//! split is intentional and stable; depend on the package as `ltc_core`,
+//! import it as `ltcords`. (Also recorded in the README crate map.)
+//!
 //! This crate implements the paper's primary contribution: a practical
 //! address-correlating prefetcher that records last-touch correlation data
 //! **off chip, in the order it is discovered** (cache-miss order), and

@@ -194,10 +194,11 @@ mod tests {
         let csv = to_csv([(&spec, &result), (&mspec, &mresult)]);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 3);
-        assert!(lines[0].contains("spec.benchmark"));
+        assert!(lines[0].starts_with("spec.model_version,spec.benchmark"));
         assert!(lines[0].contains("result.data.correct"));
         assert!(lines[0].contains("result.data.eliminated"));
-        assert!(lines[1].starts_with("gzip,"));
-        assert!(lines[2].starts_with("gcc,"));
+        let version = crate::engine::spec::MODEL_VERSION;
+        assert!(lines[1].starts_with(&format!("{version},gzip,")));
+        assert!(lines[2].starts_with(&format!("{version},gcc,")));
     }
 }

@@ -1,0 +1,470 @@
+//! Pluggable execution backends.
+//!
+//! The [`crate::engine::Scheduler`] *plans* — collects specs, dedupes
+//! them, probes the artifact cache — and hands whatever must actually be
+//! simulated to an [`ExecutionBackend`]:
+//!
+//! * [`ThreadPoolBackend`] — the classic scoped-thread pool over a shared
+//!   work index (the pre-backend engine behaviour, ported).
+//! * [`ShardedBackend`] — work stealing over per-worker deques, with the
+//!   estimated-longest specs (timing runs) dealt out first so a straggler
+//!   claimed late cannot serialize the tail of the run.
+//! * [`SubprocessBackend`] — a pool of `ltsim worker` child processes
+//!   speaking newline-delimited JSON ([`RunSpec`] in on stdin,
+//!   [`RunResult`] out on stdout). This proves the spec wire format end
+//!   to end; pointing the same protocol at a remote transport is the
+//!   multi-machine path the ROADMAP names.
+//!
+//! Backends report per-spec lifecycle events through a [`RunObserver`],
+//! which the scheduler uses for incremental artifact persistence and
+//! progress/ETA reporting — so an interrupted run keeps every completed
+//! simulation no matter which backend ran it.
+
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Write};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::engine::result::RunResult;
+use crate::engine::spec::{Mode, RunSpec};
+use crate::experiment::sweep_bounded;
+
+/// Observes per-spec lifecycle events from inside backend workers.
+/// Implementations must be `Sync`: events arrive concurrently.
+pub trait RunObserver: Sync {
+    /// A worker began executing `spec`.
+    fn started(&self, spec: &RunSpec) {
+        let _ = spec;
+    }
+
+    /// A worker finished `spec` with `result` after `elapsed` wall time.
+    fn finished(&self, spec: &RunSpec, result: &RunResult, elapsed: Duration) {
+        let _ = (spec, result, elapsed);
+    }
+}
+
+/// The no-op observer (tests, library callers without progress).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl RunObserver for NullObserver {}
+
+/// Executes a planned set of specs.
+///
+/// The contract every backend upholds (and `crates/sim/tests/backends.rs`
+/// checks): results come back in input order, every spec is executed
+/// exactly once, and [`RunObserver::finished`] fires for each completed
+/// spec from the worker that produced it.
+pub trait ExecutionBackend {
+    /// Short name for logs and `--backend` parsing.
+    fn name(&self) -> &'static str;
+
+    /// Executes every spec, returning results in `specs` order.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from worker transports (process spawn, pipe,
+    /// protocol). In-process backends are infallible.
+    fn execute(&self, specs: &[RunSpec], observer: &dyn RunObserver) -> io::Result<Vec<RunResult>>;
+}
+
+/// Which backend an [`crate::engine::EngineOptions`] selects; resolved to
+/// a boxed [`ExecutionBackend`] at execution time by [`BackendKind::build`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// [`ThreadPoolBackend`].
+    #[default]
+    Threads,
+    /// [`ShardedBackend`].
+    Sharded,
+    /// [`SubprocessBackend`] spawning `command` (argv) per worker.
+    Subprocess {
+        /// Worker argv, e.g. `["/path/to/ltsim", "worker"]`.
+        command: Vec<String>,
+    },
+}
+
+impl BackendKind {
+    /// Builds the backend with `threads` workers.
+    pub fn build(&self, threads: usize) -> Box<dyn ExecutionBackend> {
+        match self {
+            BackendKind::Threads => Box::new(ThreadPoolBackend { threads }),
+            BackendKind::Sharded => Box::new(ShardedBackend { workers: threads }),
+            BackendKind::Subprocess { command } => {
+                Box::new(SubprocessBackend { command: command.clone(), workers: threads })
+            }
+        }
+    }
+}
+
+/// Runs one spec with observer notifications; shared by all backends so
+/// event semantics cannot drift between them.
+fn run_observed(spec: &RunSpec, observer: &dyn RunObserver) -> RunResult {
+    observer.started(spec);
+    let start = Instant::now();
+    let result = spec.execute();
+    observer.finished(spec, &result, start.elapsed());
+    result
+}
+
+/// The scoped-thread pool: workers claim specs from a shared atomic index
+/// in input order. Simple and fair when spec costs are homogeneous.
+#[derive(Debug, Clone)]
+pub struct ThreadPoolBackend {
+    /// Worker thread count (clamped to at least 1).
+    pub threads: usize,
+}
+
+impl ExecutionBackend for ThreadPoolBackend {
+    fn name(&self) -> &'static str {
+        "threads"
+    }
+
+    fn execute(&self, specs: &[RunSpec], observer: &dyn RunObserver) -> io::Result<Vec<RunResult>> {
+        Ok(sweep_bounded(specs.to_vec(), self.threads, |spec| run_observed(spec, observer)))
+    }
+}
+
+/// Relative cost estimate used to seed [`ShardedBackend`] deques
+/// longest-first. Timing runs simulate a full out-of-order machine per
+/// access and dominate real sweeps; a multi-programmed run with a partner
+/// doubles its access budget and runs two hierarchies.
+fn cost_estimate(spec: &RunSpec) -> u64 {
+    let weight = match &spec.mode {
+        Mode::Timing => 10,
+        Mode::MultiProg { partner: Some(_) } => 4,
+        Mode::MultiProg { partner: None } => 2,
+        Mode::Coverage | Mode::DeadTime | Mode::Correlation | Mode::Ordering => 1,
+    };
+    spec.accesses.saturating_mul(weight).max(1)
+}
+
+/// Work stealing over per-worker deques.
+///
+/// Specs are sorted by [`cost_estimate`] descending and dealt round-robin
+/// across the shards, so every worker starts on a long run and the cheap
+/// tail gets stolen by whoever drains first — the classic fix for a pool
+/// where one late-claimed timing run serializes the finish.
+#[derive(Debug, Clone)]
+pub struct ShardedBackend {
+    /// Worker (and shard) count, clamped to at least 1.
+    pub workers: usize,
+}
+
+impl ShardedBackend {
+    /// Deals spec indices into per-worker deques, longest first.
+    fn seed_shards(&self, specs: &[RunSpec], shards: usize) -> Vec<Mutex<VecDeque<usize>>> {
+        let mut order: Vec<usize> = (0..specs.len()).collect();
+        // Stable sort: equal-cost specs keep input order, so runs are
+        // reproducible given a worker count.
+        order.sort_by_key(|&i| std::cmp::Reverse(cost_estimate(&specs[i])));
+        let deques: Vec<Mutex<VecDeque<usize>>> =
+            (0..shards).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (round, idx) in order.into_iter().enumerate() {
+            deques[round % shards].lock().expect("shard lock").push_back(idx);
+        }
+        deques
+    }
+}
+
+/// Claims the next spec for worker `me`: own deque front first (its
+/// longest remaining work), then victims' backs (their cheapest), which
+/// keeps stolen work small and contention low.
+fn steal(shards: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
+    if let Some(idx) = shards[me].lock().expect("shard lock").pop_front() {
+        return Some(idx);
+    }
+    for offset in 1..shards.len() {
+        let victim = (me + offset) % shards.len();
+        if let Some(idx) = shards[victim].lock().expect("shard lock").pop_back() {
+            return Some(idx);
+        }
+    }
+    None
+}
+
+impl ExecutionBackend for ShardedBackend {
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn execute(&self, specs: &[RunSpec], observer: &dyn RunObserver) -> io::Result<Vec<RunResult>> {
+        let n = specs.len();
+        let workers = self.workers.max(1).min(n.max(1));
+        let shards = self.seed_shards(specs, workers);
+        let slots: Vec<Mutex<Option<RunResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for me in 0..workers {
+                let (shards, slots) = (&shards, &slots);
+                scope.spawn(move || {
+                    while let Some(idx) = steal(shards, me) {
+                        let result = run_observed(&specs[idx], observer);
+                        *slots[idx].lock().expect("slot lock") = Some(result);
+                    }
+                });
+            }
+        });
+        Ok(slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("slot lock").expect("every spec executed"))
+            .collect())
+    }
+}
+
+/// A pool of worker child processes speaking the newline-delimited JSON
+/// protocol: one canonical [`RunSpec`] JSON line in on stdin, one
+/// [`RunResult`] JSON line out on stdout, repeated until stdin closes.
+///
+/// Each worker thread owns one child and feeds it specs from a shared
+/// index; stderr is inherited so worker panics surface in the parent's
+/// output. A child that exits early or answers with unparsable JSON fails
+/// the execution with a descriptive error — results completed by other
+/// workers have already been persisted through the observer.
+#[derive(Debug, Clone)]
+pub struct SubprocessBackend {
+    /// Worker argv (program plus arguments), e.g. `["ltsim", "worker"]`.
+    pub command: Vec<String>,
+    /// Concurrent worker processes, clamped to at least 1.
+    pub workers: usize,
+}
+
+impl ExecutionBackend for SubprocessBackend {
+    fn name(&self) -> &'static str {
+        "subprocess"
+    }
+
+    fn execute(&self, specs: &[RunSpec], observer: &dyn RunObserver) -> io::Result<Vec<RunResult>> {
+        if self.command.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "subprocess backend needs a worker command",
+            ));
+        }
+        let n = specs.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let workers = self.workers.max(1).min(n);
+        let next = AtomicUsize::new(0);
+        // Raised on the first worker failure so the surviving workers
+        // stop claiming new specs: the execution is doomed to return the
+        // error anyway, and without a cache the remaining simulations
+        // would be wasted wall time.
+        let abort = AtomicBool::new(false);
+        let slots: Vec<Mutex<Option<RunResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let first_error: Mutex<Option<io::Error>> = Mutex::new(None);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let (next, abort, slots, first_error) = (&next, &abort, &slots, &first_error);
+                scope.spawn(move || {
+                    if let Err(e) = drive_worker(&self.command, specs, next, abort, slots, observer)
+                    {
+                        abort.store(true, Ordering::Relaxed);
+                        first_error.lock().expect("error lock").get_or_insert(e);
+                    }
+                });
+            }
+        });
+        if let Some(e) = first_error.into_inner().expect("error lock") {
+            return Err(e);
+        }
+        Ok(slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("slot lock").expect("every spec executed"))
+            .collect())
+    }
+}
+
+/// One worker thread's loop: spawn the child, round-trip specs claimed
+/// from the shared index until none remain (or a peer fails), then shut
+/// the child down.
+fn drive_worker(
+    command: &[String],
+    specs: &[RunSpec],
+    next: &AtomicUsize,
+    abort: &AtomicBool,
+    slots: &[Mutex<Option<RunResult>>],
+    observer: &dyn RunObserver,
+) -> io::Result<()> {
+    let mut worker = WorkerProcess::spawn(command)?;
+    loop {
+        if abort.load(Ordering::Relaxed) {
+            break;
+        }
+        let idx = next.fetch_add(1, Ordering::Relaxed);
+        let Some(spec) = specs.get(idx) else { break };
+        observer.started(spec);
+        let start = Instant::now();
+        let result = worker.round_trip(spec)?;
+        observer.finished(spec, &result, start.elapsed());
+        *slots[idx].lock().expect("slot lock") = Some(result);
+    }
+    worker.shutdown()
+}
+
+/// A spawned worker child with its protocol pipes.
+struct WorkerProcess {
+    child: Child,
+    /// `Option` so shutdown (and `Drop`) can close stdin to signal EOF.
+    stdin: Option<ChildStdin>,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl WorkerProcess {
+    fn spawn(command: &[String]) -> io::Result<Self> {
+        let mut child = Command::new(&command[0])
+            .args(&command[1..])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .map_err(|e| {
+                io::Error::new(e.kind(), format!("spawning worker `{}`: {e}", command[0]))
+            })?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        Ok(WorkerProcess { child, stdin: Some(stdin), stdout })
+    }
+
+    /// Sends one spec line, reads one result line.
+    fn round_trip(&mut self, spec: &RunSpec) -> io::Result<RunResult> {
+        let stdin = self.stdin.as_mut().expect("stdin open until shutdown");
+        writeln!(stdin, "{}", spec.key())?;
+        stdin.flush()?;
+        let mut line = String::new();
+        if self.stdout.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("worker exited before answering spec {}", spec.key()),
+            ));
+        }
+        serde_json::from_str(line.trim()).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad RunResult line from worker for spec {}: {e}", spec.key()),
+            )
+        })
+    }
+
+    /// Closes stdin (the protocol's end-of-work signal) and reaps the
+    /// child, surfacing a non-zero exit as an error.
+    fn shutdown(&mut self) -> io::Result<()> {
+        drop(self.stdin.take());
+        let status = self.child.wait()?;
+        if status.success() {
+            Ok(())
+        } else {
+            Err(io::Error::other(format!("worker exited with {status}")))
+        }
+    }
+}
+
+impl Drop for WorkerProcess {
+    /// Error-path cleanup: don't leave a zombie if `shutdown` was never
+    /// reached (a successful `shutdown` makes both calls no-ops).
+    fn drop(&mut self) {
+        drop(self.stdin.take());
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::PredictorKind;
+
+    fn tiny(bench: &str, accesses: u64) -> RunSpec {
+        RunSpec::coverage(bench, PredictorKind::Baseline, accesses, 1)
+    }
+
+    #[test]
+    fn timing_runs_cost_more_than_coverage() {
+        let coverage = tiny("gzip", 10_000);
+        let timing = RunSpec::timing("gzip", PredictorKind::Baseline, 10_000, 1);
+        assert!(cost_estimate(&timing) > cost_estimate(&coverage));
+        let paired = RunSpec::multiprog("gzip", Some("mcf"), PredictorKind::Baseline, 10_000, 1);
+        let alone = RunSpec::multiprog("gzip", None, PredictorKind::Baseline, 10_000, 1);
+        assert!(cost_estimate(&paired) > cost_estimate(&alone));
+    }
+
+    #[test]
+    fn sharded_seeds_longest_first_round_robin() {
+        let backend = ShardedBackend { workers: 2 };
+        let specs = vec![
+            tiny("gzip", 1_000),
+            RunSpec::timing("mcf", PredictorKind::Baseline, 1_000, 1),
+            tiny("art", 2_000),
+            RunSpec::timing("mesa", PredictorKind::Baseline, 2_000, 1),
+        ];
+        let shards = backend.seed_shards(&specs, 2);
+        let front_costs: Vec<u64> = shards
+            .iter()
+            .map(|s| cost_estimate(&specs[*s.lock().unwrap().front().unwrap()]))
+            .collect();
+        // Every worker starts on a timing run, not a cheap coverage run.
+        assert!(front_costs.iter().all(|&c| c >= 10_000), "fronts: {front_costs:?}");
+    }
+
+    #[test]
+    fn backends_preserve_input_order() {
+        let specs = vec![tiny("gzip", 2_000), tiny("mesa", 2_000), tiny("art", 2_000)];
+        for backend in [BackendKind::Threads.build(2), BackendKind::Sharded.build(2)] {
+            let results = backend.execute(&specs, &NullObserver).unwrap();
+            assert_eq!(results.len(), specs.len(), "{}", backend.name());
+            for (spec, result) in specs.iter().zip(&results) {
+                // run_coverage reserves a quarter of the budget as warmup.
+                assert_eq!(
+                    result.as_coverage().expect("coverage result").accesses,
+                    spec.accesses - spec.accesses / 4,
+                    "{}: result out of order for {}",
+                    backend.name(),
+                    spec.key()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_spec_once() {
+        #[derive(Default)]
+        struct Counter {
+            started: AtomicUsize,
+            finished: AtomicUsize,
+        }
+        impl RunObserver for Counter {
+            fn started(&self, _: &RunSpec) {
+                self.started.fetch_add(1, Ordering::Relaxed);
+            }
+            fn finished(&self, _: &RunSpec, _: &RunResult, _: Duration) {
+                self.finished.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let specs: Vec<RunSpec> =
+            ["gzip", "mesa", "art", "mcf", "swim"].iter().map(|b| tiny(b, 2_000)).collect();
+        for kind in [BackendKind::Threads, BackendKind::Sharded] {
+            let counter = Counter::default();
+            kind.build(3).execute(&specs, &counter).unwrap();
+            assert_eq!(counter.started.load(Ordering::Relaxed), specs.len());
+            assert_eq!(counter.finished.load(Ordering::Relaxed), specs.len());
+        }
+    }
+
+    #[test]
+    fn subprocess_backend_rejects_an_empty_command() {
+        let backend = SubprocessBackend { command: Vec::new(), workers: 2 };
+        let err = backend.execute(&[tiny("gzip", 1_000)], &NullObserver).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn subprocess_backend_surfaces_spawn_failure() {
+        let backend = SubprocessBackend {
+            command: vec!["/nonexistent/ltc-worker-binary".to_string(), "worker".to_string()],
+            workers: 1,
+        };
+        let err = backend.execute(&[tiny("gzip", 1_000)], &NullObserver).unwrap_err();
+        assert!(err.to_string().contains("spawning worker"), "{err}");
+    }
+}

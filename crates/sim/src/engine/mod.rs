@@ -10,12 +10,21 @@
 //!
 //! 1. [`spec`] — [`RunSpec`]: the canonical experiment key and its
 //!    execution dispatch. Serialization is canonical and injective, so a
-//!    spec's compact JSON doubles as its dedup and cache key.
+//!    spec's compact JSON doubles as its dedup and cache key — and as the
+//!    wire format of the subprocess worker protocol. The key embeds
+//!    [`spec::MODEL_VERSION`] so artifacts from older model behaviour
+//!    self-detect as stale.
 //! 2. [`scheduler`] — [`Scheduler`]: spec collection, dedup (first-seen
-//!    order), parallel execution, and artifact-cache consultation.
-//! 3. [`result`] — [`RunResult`]/[`ResultSet`]: typed results keyed by
+//!    order), and artifact-cache consultation — the *plan*.
+//! 3. [`backend`] — [`ExecutionBackend`]: the *execution*, pluggable
+//!    behind the scheduler seam: a scoped-thread pool, a work-stealing
+//!    sharded pool, or a pool of `ltsim worker` subprocesses speaking
+//!    JSON lines.
+//! 4. [`progress`] — [`ProgressSink`]: live completed/total, per-spec
+//!    timing and ETA reporting threaded through every backend.
+//! 5. [`result`] — [`RunResult`]/[`ResultSet`]: typed results keyed by
 //!    spec, with provenance counters (simulated vs served from cache).
-//! 4. [`artifact`] — the `results/` cache: one JSON line per run, named
+//! 6. [`artifact`] — the `results/` cache: one JSON line per run, named
 //!    by the spec's FNV-1a hash, plus JSON/CSV export helpers.
 //!
 //! # Example
@@ -35,10 +44,17 @@
 //! ```
 
 pub mod artifact;
+pub mod backend;
+pub mod progress;
 pub mod result;
 pub mod scheduler;
 pub mod spec;
 
+pub use backend::{
+    BackendKind, ExecutionBackend, NullObserver, RunObserver, ShardedBackend, SubprocessBackend,
+    ThreadPoolBackend,
+};
+pub use progress::{NullProgress, ProgressMode, ProgressSink, TextProgress};
 pub use result::{ResultSet, RunResult};
 pub use scheduler::{EngineOptions, Scheduler};
-pub use spec::{Mode, RunSpec};
+pub use spec::{Mode, RunSpec, MODEL_VERSION};

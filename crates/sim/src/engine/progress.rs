@@ -1,0 +1,231 @@
+//! Live progress and ETA reporting for backend execution.
+//!
+//! Backends call into a [`ProgressSink`] as they start and finish specs;
+//! the engine wires the sink through its [`crate::engine::backend::RunObserver`]
+//! so artifact persistence and progress share one event stream. Sinks are
+//! called from worker threads concurrently and must be `Sync`.
+
+use std::io::{IsTerminal, Write};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::engine::spec::RunSpec;
+
+/// How an engine invocation reports execution progress (`ltsim run
+/// --progress`). Progress goes to stderr, so tables on stdout stay clean
+/// for diffing and piping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProgressMode {
+    /// No progress output (library callers, tests).
+    #[default]
+    Off,
+    /// One plain text line per completed spec (CI logs, pipes).
+    Plain,
+    /// A single status line rewritten in place (interactive terminals).
+    Live,
+    /// [`ProgressMode::Live`] when stderr is a terminal,
+    /// [`ProgressMode::Plain`] otherwise.
+    Auto,
+}
+
+impl ProgressMode {
+    /// Parses a `--progress` argument.
+    pub fn parse(name: &str) -> Option<ProgressMode> {
+        match name {
+            "off" => Some(ProgressMode::Off),
+            "plain" => Some(ProgressMode::Plain),
+            "live" => Some(ProgressMode::Live),
+            "auto" => Some(ProgressMode::Auto),
+            _ => None,
+        }
+    }
+
+    /// Builds the sink implementing this mode.
+    pub fn sink(self) -> Box<dyn ProgressSink> {
+        match self {
+            ProgressMode::Off => Box::new(NullProgress),
+            ProgressMode::Plain => Box::new(TextProgress::new(false)),
+            ProgressMode::Live => Box::new(TextProgress::new(true)),
+            ProgressMode::Auto => Box::new(TextProgress::new(std::io::stderr().is_terminal())),
+        }
+    }
+}
+
+/// Receives execution progress events from whatever backend runs the
+/// specs. All methods have no-op defaults so custom sinks implement only
+/// what they report.
+pub trait ProgressSink: Sync + Send {
+    /// Execution is about to start on `total` specs.
+    fn begin(&self, total: usize) {
+        let _ = total;
+    }
+
+    /// A worker picked up `spec`.
+    fn spec_started(&self, spec: &RunSpec) {
+        let _ = spec;
+    }
+
+    /// A worker finished `spec` after `elapsed` of wall time.
+    fn spec_finished(&self, spec: &RunSpec, elapsed: Duration) {
+        let _ = (spec, elapsed);
+    }
+
+    /// Every spec has finished (or execution failed).
+    fn end(&self) {}
+}
+
+/// The silent sink behind [`ProgressMode::Off`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullProgress;
+
+impl ProgressSink for NullProgress {}
+
+/// Plain-text (or live, in-place) progress lines on stderr:
+///
+/// ```text
+/// [  3/17] timing/mcf/lt-cords/6000k/s1  1.84s  (eta 41s)
+/// ```
+///
+/// The ETA extrapolates from wall-clock throughput so far — total wall
+/// time divided by completed specs, times specs remaining — which
+/// accounts for worker parallelism without modelling it.
+pub struct TextProgress {
+    live: bool,
+    state: Mutex<State>,
+}
+
+#[derive(Debug)]
+struct State {
+    total: usize,
+    completed: usize,
+    started: Option<Instant>,
+}
+
+impl TextProgress {
+    /// A sink printing one line per spec (`live: false`) or rewriting a
+    /// single status line in place (`live: true`).
+    pub fn new(live: bool) -> Self {
+        TextProgress { live, state: Mutex::new(State { total: 0, completed: 0, started: None }) }
+    }
+}
+
+impl ProgressSink for TextProgress {
+    fn begin(&self, total: usize) {
+        let mut state = self.state.lock().expect("progress lock");
+        state.total = total;
+        state.completed = 0;
+        state.started = Some(Instant::now());
+    }
+
+    fn spec_finished(&self, spec: &RunSpec, elapsed: Duration) {
+        let mut state = self.state.lock().expect("progress lock");
+        state.completed += 1;
+        let eta = state
+            .started
+            .map(|t| eta_after(t.elapsed(), state.completed, state.total))
+            .unwrap_or_default();
+        let line = status_line(state.completed, state.total, &spec.label(), elapsed, eta);
+        let mut err = std::io::stderr().lock();
+        let _ = if self.live {
+            // \x1b[2K clears the previous (possibly longer) line.
+            write!(err, "\r\x1b[2K{line}")
+        } else {
+            writeln!(err, "{line}")
+        };
+        let _ = err.flush();
+    }
+
+    fn end(&self) {
+        let state = self.state.lock().expect("progress lock");
+        if self.live && state.completed > 0 {
+            let _ = writeln!(std::io::stderr());
+        }
+    }
+}
+
+/// Estimated time remaining from wall time spent and specs completed.
+fn eta_after(wall: Duration, completed: usize, total: usize) -> Duration {
+    if completed == 0 || total <= completed {
+        return Duration::ZERO;
+    }
+    let per_spec = wall / completed as u32;
+    per_spec * (total - completed) as u32
+}
+
+/// One progress line: counter, spec label, per-spec wall time, ETA.
+fn status_line(
+    completed: usize,
+    total: usize,
+    label: &str,
+    elapsed: Duration,
+    eta: Duration,
+) -> String {
+    let width = total.to_string().len();
+    let mut line = format!("[{completed:>width$}/{total}] {label}  {:.2}s", elapsed.as_secs_f64());
+    if completed < total {
+        line.push_str(&format!("  (eta {})", fmt_duration(eta)));
+    }
+    line
+}
+
+/// Compact duration: `47s`, `3m02s`, `1h12m`.
+fn fmt_duration(d: Duration) -> String {
+    let secs = d.as_secs();
+    if secs >= 3600 {
+        format!("{}h{:02}m", secs / 3600, (secs % 3600) / 60)
+    } else if secs >= 60 {
+        format!("{}m{:02}s", secs / 60, secs % 60)
+    } else {
+        format!("{secs}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::PredictorKind;
+
+    #[test]
+    fn status_lines_show_counter_timing_and_eta() {
+        let line = status_line(
+            3,
+            17,
+            "timing/mcf/lt-cords/6000k/s1",
+            Duration::from_millis(1840),
+            Duration::from_secs(41),
+        );
+        assert_eq!(line, "[ 3/17] timing/mcf/lt-cords/6000k/s1  1.84s  (eta 41s)");
+        // The final spec drops the ETA.
+        let last = status_line(17, 17, "x", Duration::from_secs(1), Duration::ZERO);
+        assert!(!last.contains("eta"));
+    }
+
+    #[test]
+    fn eta_extrapolates_wall_clock_throughput() {
+        // 10 s of wall time for 4 of 10 specs → 2.5 s each → 15 s left.
+        let eta = eta_after(Duration::from_secs(10), 4, 10);
+        assert_eq!(eta, Duration::from_secs(15));
+        assert_eq!(eta_after(Duration::from_secs(10), 0, 10), Duration::ZERO);
+        assert_eq!(eta_after(Duration::from_secs(10), 10, 10), Duration::ZERO);
+    }
+
+    #[test]
+    fn durations_format_compactly() {
+        assert_eq!(fmt_duration(Duration::from_secs(47)), "47s");
+        assert_eq!(fmt_duration(Duration::from_secs(182)), "3m02s");
+        assert_eq!(fmt_duration(Duration::from_secs(4320)), "1h12m");
+    }
+
+    #[test]
+    fn sinks_build_for_every_mode() {
+        for mode in [ProgressMode::Off, ProgressMode::Plain, ProgressMode::Live, ProgressMode::Auto]
+        {
+            let sink = mode.sink();
+            sink.begin(0);
+            sink.spec_started(&RunSpec::coverage("gzip", PredictorKind::Baseline, 10, 1));
+            sink.end();
+        }
+        assert_eq!(ProgressMode::parse("plain"), Some(ProgressMode::Plain));
+        assert_eq!(ProgressMode::parse("bogus"), None);
+    }
+}

@@ -1,42 +1,66 @@
-//! Spec collection, dedup, and parallel execution with cache reuse.
+//! Spec planning: collection, dedup, and cache probing.
+//!
+//! The [`Scheduler`] owns the *plan* — what must run — and delegates the
+//! *execution* to whichever [`crate::engine::backend::ExecutionBackend`]
+//! the [`EngineOptions`] select. Artifact persistence and progress
+//! reporting hook into execution through a [`RunObserver`] implemented
+//! here, so they behave identically across backends.
 
 use std::collections::HashSet;
 use std::io;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Duration;
 
 use crate::engine::artifact;
-use crate::engine::result::ResultSet;
+use crate::engine::backend::{BackendKind, RunObserver};
+use crate::engine::progress::{ProgressMode, ProgressSink};
+use crate::engine::result::{ResultSet, RunResult};
 use crate::engine::spec::RunSpec;
-use crate::experiment::sweep_bounded;
 
 /// Execution policy for a [`Scheduler`].
 #[derive(Debug, Clone)]
 pub struct EngineOptions {
-    /// Worker threads for the simulation pool.
+    /// Worker threads (or worker processes) for the simulation pool.
     pub threads: usize,
     /// Artifact cache directory (`results/`); `None` disables caching.
     pub cache_dir: Option<PathBuf>,
     /// When `true`, ignore cached artifacts and re-simulate (artifacts are
     /// rewritten, so the cache heals itself after a model change).
     pub force: bool,
+    /// Which execution backend runs the cache-missing specs.
+    pub backend: BackendKind,
+    /// How execution progress is reported (stderr).
+    pub progress: ProgressMode,
 }
 
 impl Default for EngineOptions {
     fn default() -> Self {
         let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-        EngineOptions { threads, cache_dir: None, force: false }
+        EngineOptions {
+            threads,
+            cache_dir: None,
+            force: false,
+            backend: BackendKind::default(),
+            progress: ProgressMode::default(),
+        }
     }
 }
 
 impl EngineOptions {
     /// No cache: every spec is simulated (tests, benches).
     pub fn in_memory(threads: usize) -> Self {
-        EngineOptions { threads, cache_dir: None, force: false }
+        EngineOptions { threads, ..EngineOptions::default() }
     }
 
     /// With an artifact cache rooted at `dir`.
     pub fn cached(threads: usize, dir: impl Into<PathBuf>) -> Self {
-        EngineOptions { threads, cache_dir: Some(dir.into()), force: false }
+        EngineOptions { threads, cache_dir: Some(dir.into()), ..EngineOptions::default() }
+    }
+
+    /// The same options running on `backend`.
+    pub fn with_backend(self, backend: BackendKind) -> Self {
+        EngineOptions { backend, ..self }
     }
 }
 
@@ -73,10 +97,11 @@ impl Scheduler {
         self.requests.len()
     }
 
-    /// The deduplicated spec set, in first-seen request order.
+    /// The deduplicated spec set, in first-seen request order. Dedup is
+    /// by reference; only the surviving specs are cloned (once).
     pub fn unique(&self) -> Vec<RunSpec> {
-        let mut seen = HashSet::new();
-        self.requests.iter().filter(|s| seen.insert((*s).clone())).cloned().collect()
+        let mut seen: HashSet<&RunSpec> = HashSet::with_capacity(self.requests.len());
+        self.requests.iter().filter(|s| seen.insert(s)).cloned().collect()
     }
 
     /// Executes the unique spec set and returns a fresh [`ResultSet`].
@@ -84,7 +109,8 @@ impl Scheduler {
     /// # Errors
     ///
     /// Returns any artifact-cache I/O error (a corrupt or mismatched
-    /// artifact is treated as a cache miss, not an error).
+    /// artifact is treated as a cache miss, not an error) or backend
+    /// transport error.
     pub fn execute(&self, opts: &EngineOptions) -> io::Result<ResultSet> {
         let mut results = ResultSet::new();
         self.execute_into(&mut results, opts)?;
@@ -94,13 +120,13 @@ impl Scheduler {
     /// Executes every unique spec not already present in `results`.
     ///
     /// Cached artifacts satisfy specs without simulation (unless
-    /// [`EngineOptions::force`]); the rest run in parallel across
-    /// [`EngineOptions::threads`] workers, then are written back to the
-    /// cache. Figures with result-dependent spec sets call this in rounds.
+    /// [`EngineOptions::force`]); the rest go to the selected
+    /// [`EngineOptions::backend`], then are written back to the cache.
+    /// Figures with result-dependent spec sets call this in rounds.
     ///
     /// # Errors
     ///
-    /// Returns any artifact-cache I/O error.
+    /// Returns any artifact-cache I/O error or backend transport error.
     pub fn execute_into(&self, results: &mut ResultSet, opts: &EngineOptions) -> io::Result<()> {
         let pending: Vec<RunSpec> =
             self.unique().into_iter().filter(|s| !results.contains(s)).collect();
@@ -120,24 +146,26 @@ impl Scheduler {
             }
         }
 
-        // Persist each artifact from the worker that produced it, not
-        // after the pool's barrier: an interrupted long run then keeps
-        // every completed simulation, making reruns genuinely
-        // incremental. The first write error is carried out of the pool
-        // and reported after results are collected.
+        // Each artifact persists from the worker that produced it (via
+        // the observer), not after the backend returns: an interrupted
+        // long run then keeps every completed simulation, making reruns
+        // genuinely incremental — whichever backend ran them. The first
+        // write error is carried out and reported after results are
+        // collected.
         if let Some(dir) = &opts.cache_dir {
             std::fs::create_dir_all(dir)?;
         }
-        let store_error: std::sync::Mutex<Option<io::Error>> = std::sync::Mutex::new(None);
-        let outcomes = sweep_bounded(to_run.clone(), opts.threads, |spec| {
-            let result = spec.execute();
-            if let Some(dir) = &opts.cache_dir {
-                if let Err(e) = artifact::store(dir, spec, &result) {
-                    store_error.lock().expect("store-error lock").get_or_insert(e);
-                }
-            }
-            result
-        });
+        let sink = opts.progress.sink();
+        sink.begin(to_run.len());
+        let store_error: Mutex<Option<io::Error>> = Mutex::new(None);
+        let observer = PersistingObserver {
+            cache_dir: opts.cache_dir.as_deref(),
+            store_error: &store_error,
+            sink: sink.as_ref(),
+        };
+        let outcomes = opts.backend.build(opts.threads).execute(&to_run, &observer);
+        sink.end();
+        let outcomes = outcomes?;
         for (spec, result) in to_run.into_iter().zip(outcomes) {
             results.simulated += 1;
             results.insert(spec, result);
@@ -174,6 +202,30 @@ impl Scheduler {
             }
         }
         Ok(missing)
+    }
+}
+
+/// The scheduler's [`RunObserver`]: persists each finished run to the
+/// artifact cache from the worker that produced it, and forwards events
+/// to the progress sink.
+struct PersistingObserver<'a> {
+    cache_dir: Option<&'a Path>,
+    store_error: &'a Mutex<Option<io::Error>>,
+    sink: &'a dyn ProgressSink,
+}
+
+impl RunObserver for PersistingObserver<'_> {
+    fn started(&self, spec: &RunSpec) {
+        self.sink.spec_started(spec);
+    }
+
+    fn finished(&self, spec: &RunSpec, result: &RunResult, elapsed: Duration) {
+        if let Some(dir) = self.cache_dir {
+            if let Err(e) = artifact::store(dir, spec, result) {
+                self.store_error.lock().expect("store-error lock").get_or_insert(e);
+            }
+        }
+        self.sink.spec_finished(spec, elapsed);
     }
 }
 
@@ -219,5 +271,16 @@ mod tests {
         // Re-executing the same request set does nothing new.
         s.execute_into(&mut results, &opts).unwrap();
         assert_eq!(results.simulated(), 1);
+    }
+
+    #[test]
+    fn execute_honours_the_selected_backend() {
+        let mut s = Scheduler::new();
+        s.request(tiny("gzip", 1));
+        s.request(tiny("mesa", 1));
+        let opts = EngineOptions::in_memory(2).with_backend(BackendKind::Sharded);
+        let results = s.execute(&opts).unwrap();
+        assert_eq!(results.simulated(), 2);
+        assert!(results.coverage(&tiny("gzip", 1)).base_l1_misses > 0);
     }
 }

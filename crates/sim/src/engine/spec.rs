@@ -112,18 +112,33 @@ impl<'de> Deserialize<'de> for PredictorKind {
     }
 }
 
-/// The declarative key of one simulation: benchmark, predictor, mode,
-/// access budget, seed.
+/// Behavioural version of the simulation model, embedded in every
+/// [`RunSpec`] key (and therefore every artifact-cache file name).
 ///
-/// Everything about a run is determined by these five fields (the
-/// simulator is deterministic), so the spec is simultaneously the dedup
-/// key, the artifact cache key, and — via [`RunSpec::execute`] — the run
-/// itself. Serialization is canonical (field order fixed, map order
-/// preserved) and injective over the fields: distinct specs always have
-/// distinct [`RunSpec::key`] strings, which `tests/engine.rs` asserts by
-/// property test.
+/// **Bump rule:** increment once per change that alters any simulation
+/// *result* — predictor logic, cache/timing model, trace generation, or
+/// report contents. Refactors, new backends, CLI and rendering changes do
+/// not bump it. Bumping changes every spec key, so cached artifacts from
+/// the previous model self-detect as stale (cache misses) and re-simulate
+/// without `--force`. The rule is documented for operators in
+/// EXPERIMENTS.md.
+pub const MODEL_VERSION: u32 = 1;
+
+/// The declarative key of one simulation: benchmark, predictor, mode,
+/// access budget, seed — plus the model version the simulator had when
+/// the spec was created.
+///
+/// Everything about a run is determined by these fields (the simulator is
+/// deterministic), so the spec is simultaneously the dedup key, the
+/// artifact cache key, and — via [`RunSpec::execute`] — the run itself.
+/// Serialization is canonical (field order fixed, map order preserved)
+/// and injective over the fields: distinct specs always have distinct
+/// [`RunSpec::key`] strings, which `tests/engine.rs` asserts by property
+/// test.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RunSpec {
+    /// Simulation-model version ([`MODEL_VERSION`] at creation time).
+    pub model_version: u32,
     /// Suite benchmark name (the focus program for multi-programmed runs).
     pub benchmark: String,
     /// Predictor configuration under test.
@@ -140,6 +155,7 @@ impl RunSpec {
     /// A coverage run.
     pub fn coverage(benchmark: &str, predictor: PredictorKind, accesses: u64, seed: u64) -> Self {
         RunSpec {
+            model_version: MODEL_VERSION,
             benchmark: benchmark.to_string(),
             predictor,
             mode: Mode::Coverage,
@@ -150,12 +166,20 @@ impl RunSpec {
 
     /// A timing run.
     pub fn timing(benchmark: &str, predictor: PredictorKind, accesses: u64, seed: u64) -> Self {
-        RunSpec { benchmark: benchmark.to_string(), predictor, mode: Mode::Timing, accesses, seed }
+        RunSpec {
+            model_version: MODEL_VERSION,
+            benchmark: benchmark.to_string(),
+            predictor,
+            mode: Mode::Timing,
+            accesses,
+            seed,
+        }
     }
 
     /// A dead-time measurement (baseline machine).
     pub fn dead_time(benchmark: &str, accesses: u64, seed: u64) -> Self {
         RunSpec {
+            model_version: MODEL_VERSION,
             benchmark: benchmark.to_string(),
             predictor: PredictorKind::Baseline,
             mode: Mode::DeadTime,
@@ -167,6 +191,7 @@ impl RunSpec {
     /// A temporal-correlation measurement (baseline machine).
     pub fn correlation(benchmark: &str, accesses: u64, seed: u64) -> Self {
         RunSpec {
+            model_version: MODEL_VERSION,
             benchmark: benchmark.to_string(),
             predictor: PredictorKind::Baseline,
             mode: Mode::Correlation,
@@ -178,6 +203,7 @@ impl RunSpec {
     /// A last-touch ordering measurement (baseline machine).
     pub fn ordering(benchmark: &str, accesses: u64, seed: u64) -> Self {
         RunSpec {
+            model_version: MODEL_VERSION,
             benchmark: benchmark.to_string(),
             predictor: PredictorKind::Baseline,
             mode: Mode::Ordering,
@@ -195,6 +221,7 @@ impl RunSpec {
         seed: u64,
     ) -> Self {
         RunSpec {
+            model_version: MODEL_VERSION,
             benchmark: focus.to_string(),
             predictor,
             mode: Mode::MultiProg { partner: partner.map(str::to_string) },
@@ -291,6 +318,7 @@ impl RunSpec {
 impl Serialize for RunSpec {
     fn to_value(&self) -> Value {
         Value::Map(vec![
+            ("model_version".to_string(), Value::U64(u64::from(self.model_version))),
             ("benchmark".to_string(), self.benchmark.to_value()),
             ("predictor".to_string(), self.predictor.to_value()),
             ("mode".to_string(), self.mode.to_value()),
@@ -303,6 +331,10 @@ impl Serialize for RunSpec {
 impl<'de> Deserialize<'de> for RunSpec {
     fn from_value(value: &Value) -> Result<Self, DeError> {
         Ok(RunSpec {
+            // A missing field (pre-versioning artifacts) is an error, so
+            // old cache files degrade to misses rather than aliasing the
+            // current model.
+            model_version: serde::field(value, "model_version", "RunSpec")?,
             benchmark: serde::field(value, "benchmark", "RunSpec")?,
             predictor: serde::field(value, "predictor", "RunSpec")?,
             mode: serde::field(value, "mode", "RunSpec")?,
@@ -364,6 +396,27 @@ mod tests {
         for v in &variants {
             assert_ne!(base.key(), v.key());
         }
+    }
+
+    #[test]
+    fn model_version_is_part_of_the_key() {
+        let a = RunSpec::coverage("gzip", PredictorKind::Baseline, 1_000, 1);
+        assert_eq!(a.model_version, MODEL_VERSION);
+        let mut b = a.clone();
+        b.model_version += 1;
+        assert_ne!(a.key(), b.key());
+        assert_ne!(a.hash_hex(), b.hash_hex());
+        let parsed: RunSpec = serde_json::from_str(&b.key()).expect("parses");
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn unversioned_spec_json_no_longer_parses() {
+        // A pre-versioning artifact's stored spec must fail to parse, so
+        // the cache load degrades to a miss instead of serving stale
+        // model output.
+        let legacy = r#"{"benchmark":"gzip","predictor":"baseline","mode":"coverage","accesses":1000,"seed":1}"#;
+        assert!(serde_json::from_str::<RunSpec>(legacy).is_err());
     }
 
     #[test]

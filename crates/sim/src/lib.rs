@@ -8,8 +8,10 @@
 //!   coverage, timing and multi-programmed experiment drivers, and a
 //!   parallel sweep helper.
 //! * [`engine`] — the unified experiment engine: declarative [`RunSpec`]
-//!   keys, a deduplicating parallel [`engine::Scheduler`], spec-keyed
-//!   [`engine::ResultSet`]s and the serialized `results/` artifact cache.
+//!   keys, a deduplicating [`engine::Scheduler`] planning over pluggable
+//!   [`engine::ExecutionBackend`]s (thread pool, work-stealing shards,
+//!   subprocess workers), spec-keyed [`engine::ResultSet`]s and the
+//!   serialized `results/` artifact cache.
 //! * [`report`] — fixed-width table formatting for paper-style output.
 //!
 //! # Example
@@ -25,12 +27,19 @@ pub mod engine;
 pub mod experiment;
 pub mod report;
 
-pub use engine::{EngineOptions, Mode, ResultSet, RunResult, RunSpec, Scheduler};
+pub use engine::{
+    BackendKind, EngineOptions, ExecutionBackend, Mode, ProgressMode, ProgressSink, ResultSet,
+    RunResult, RunSpec, Scheduler,
+};
 pub use experiment::{
     run_coverage, run_multiprog, run_timing, sweep, MultiProgReport, PredictorKind,
     COVERAGE_ACCESSES, TIMING_ACCESSES,
 };
 pub use report::Table;
+
+// The serde_json shim, re-exported for worker-protocol peers (`ltsim
+// worker` parses spec lines with the same parser the engine writes with).
+pub use serde_json;
 
 pub use ltc_analysis as analysis;
 pub use ltc_cache as cache;

@@ -1,0 +1,123 @@
+//! Backend parity and robustness: every execution backend must produce
+//! the same `ResultSet` for the same plan, and the work-stealing sharded
+//! backend must complete every spec no matter how adversarially the spec
+//! list is ordered.
+//!
+//! (The subprocess backend joins the parity matrix in
+//! `crates/bench/tests/worker_protocol.rs`, which can locate the built
+//! `ltsim` binary.)
+
+use ltc_sim::engine::{BackendKind, EngineOptions, ResultSet, RunSpec, Scheduler};
+use ltc_sim::experiment::PredictorKind;
+use proptest::prelude::*;
+
+/// A mode mix small enough to run many times: coverage, timing,
+/// analysis-only and multi-programmed specs.
+fn mixed_specs() -> Vec<RunSpec> {
+    vec![
+        RunSpec::coverage("gzip", PredictorKind::Baseline, 4_000, 1),
+        RunSpec::coverage("mesa", PredictorKind::LtCords, 4_000, 1),
+        RunSpec::timing("mcf", PredictorKind::Baseline, 3_000, 1),
+        RunSpec::timing("art", PredictorKind::LtCords, 3_000, 1),
+        RunSpec::dead_time("swim", 4_000, 1),
+        RunSpec::correlation("gcc", 4_000, 1),
+        RunSpec::multiprog("gcc", Some("mcf"), PredictorKind::LtCords, 3_000, 1),
+    ]
+}
+
+fn run_with(backend: BackendKind, specs: &[RunSpec], threads: usize) -> ResultSet {
+    let mut sched = Scheduler::new();
+    sched.request_all(specs.iter().cloned());
+    sched
+        .execute(&EngineOptions::in_memory(threads).with_backend(backend))
+        .expect("in-process backends cannot hit I/O errors")
+}
+
+/// The thread-pool and sharded backends agree result-for-result on the
+/// same plan (the deterministic-simulation contract behind `--backend`
+/// being a pure performance choice).
+#[test]
+fn threads_and_sharded_backends_agree() {
+    let specs = mixed_specs();
+    let baseline = run_with(BackendKind::Threads, &specs, 3);
+    let sharded = run_with(BackendKind::Sharded, &specs, 3);
+    assert_eq!(baseline.simulated(), specs.len() as u64);
+    assert_eq!(sharded.simulated(), specs.len() as u64);
+    for spec in &specs {
+        assert_eq!(
+            baseline.get(spec).expect("baseline result"),
+            sharded.get(spec).expect("sharded result"),
+            "backends disagree on {}",
+            spec.key()
+        );
+    }
+}
+
+/// Parity holds when the plan mixes cache hits and fresh work: a cache
+/// warmed by one backend serves another byte-for-byte.
+#[test]
+fn backends_share_one_artifact_cache() {
+    let dir = std::env::temp_dir().join(format!("ltc-backend-cache-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let specs = mixed_specs();
+    let opts = EngineOptions::cached(3, &dir);
+
+    let mut sched = Scheduler::new();
+    sched.request_all(specs.iter().cloned());
+    let warm = sched.execute(&opts).unwrap();
+    assert_eq!(warm.simulated(), specs.len() as u64);
+
+    let served = sched.execute(&opts.clone().with_backend(BackendKind::Sharded)).unwrap();
+    assert_eq!(served.simulated(), 0, "a warm cache must satisfy every backend");
+    assert_eq!(served.cache_hits(), specs.len() as u64);
+    for spec in &specs {
+        assert_eq!(warm.get(spec), served.get(spec));
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Builds an adversarial spec list from proptest-chosen shape parameters:
+/// duplicates allowed, expensive timing runs salted anywhere in the
+/// order, benchmark/seed variety to defeat dedup.
+fn adversarial_specs(raw: &[(usize, usize, u64)]) -> Vec<RunSpec> {
+    let benches = ["gzip", "mesa", "art", "mcf", "swim", "gcc"];
+    raw.iter()
+        .map(|&(bench, mode, seed)| {
+            let name = benches[bench % benches.len()];
+            match mode % 4 {
+                // Timing is the expensive straggler the sharded backend
+                // schedules first; everything else is cheap filler.
+                0 => RunSpec::timing(name, PredictorKind::Baseline, 2_000, seed),
+                1 => RunSpec::coverage(name, PredictorKind::Baseline, 1_500, seed),
+                2 => RunSpec::dead_time(name, 1_500, seed),
+                _ => RunSpec::multiprog(name, Some("gzip"), PredictorKind::Baseline, 1_000, seed),
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The sharded backend completes every spec — results for the whole
+    /// plan, in request order, none lost to a straggling or starved
+    /// shard — under adversarial orderings and worker counts.
+    #[test]
+    fn sharded_backend_completes_adversarial_orderings(
+        raw in prop::collection::vec((0usize..6, 0usize..4, 1u64..4), 1..14),
+        threads in 1usize..5,
+    ) {
+        let specs = adversarial_specs(&raw);
+        let mut sched = Scheduler::new();
+        sched.request_all(specs.iter().cloned());
+        let unique = sched.unique();
+        let results = sched
+            .execute(&EngineOptions::in_memory(threads).with_backend(BackendKind::Sharded))
+            .expect("in-memory execution cannot fail");
+        prop_assert_eq!(results.simulated(), unique.len() as u64);
+        prop_assert_eq!(results.len(), unique.len());
+        for spec in &unique {
+            prop_assert!(results.get(spec).is_some(), "missing result for {}", spec.key());
+        }
+    }
+}

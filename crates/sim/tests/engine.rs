@@ -157,6 +157,46 @@ proptest! {
     }
 }
 
+/// Bumping the model version invalidates cached artifacts without
+/// `--force`: the versioned spec keys to a different artifact, and even a
+/// stale file copied into its slot fails the stored-spec check. An
+/// unchanged version keeps serving pure cache hits.
+#[test]
+fn model_version_bump_invalidates_cache_without_force() {
+    let dir = tmp_dir("model-version");
+    let spec = tiny("gzip");
+    let opts = EngineOptions::cached(2, &dir);
+
+    let mut sched = Scheduler::new();
+    sched.request(spec.clone());
+    assert_eq!(sched.execute(&opts).unwrap().simulated(), 1);
+    // Unchanged version: the second pass is pure cache.
+    let warm = sched.execute(&opts).unwrap();
+    assert_eq!(warm.simulated(), 0);
+    assert_eq!(warm.cache_hits(), 1);
+
+    // Simulate a model-behaviour change: the same experiment under a
+    // bumped MODEL_VERSION. Its key (and artifact file name) differ, so
+    // the old artifact is invisible...
+    let mut bumped = spec.clone();
+    bumped.model_version += 1;
+    assert_eq!(artifact::load(&dir, &bumped).unwrap(), None);
+    // ...and even a stale file squatting on the new name degrades to a
+    // miss via the stored-spec comparison.
+    std::fs::copy(artifact::path_for(&dir, &spec), artifact::path_for(&dir, &bumped)).unwrap();
+    assert_eq!(artifact::load(&dir, &bumped).unwrap(), None);
+
+    // The engine therefore re-simulates the bumped spec with no --force.
+    let mut fresh = Scheduler::new();
+    fresh.request(bumped.clone());
+    let results = fresh.execute(&opts).unwrap();
+    assert_eq!(results.simulated(), 1, "stale cache must self-detect");
+    assert_eq!(results.cache_hits(), 0);
+    // The bumped artifact now stands on its own for future runs.
+    assert!(artifact::load(&dir, &bumped).unwrap().is_some());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// The `ResultSet` counters distinguish provenance across mixed passes.
 #[test]
 fn counters_split_simulated_and_cached() {
