@@ -72,8 +72,11 @@ pub struct CoverageReport {
     pub base_data_bytes: u64,
     /// Extra cache-block bytes moved due to mispredicted prefetches.
     pub incorrect_prefetch_bytes: u64,
-    /// Predictor on-chip storage (bytes).
+    /// Predictor on-chip storage (bytes, hardware model).
     pub storage_bytes: u64,
+    /// Predictor resident simulator memory (bytes, honest count) — what
+    /// budget-sweep figures compare exact tables and sketches on.
+    pub memory_bytes: u64,
 }
 
 impl CoverageReport {
@@ -275,6 +278,7 @@ where
         confidence_update_bytes: t.confidence_update_bytes - traffic_before.confidence_update_bytes,
     };
     report.storage_bytes = predictor.storage_bytes();
+    report.memory_bytes = predictor.memory_bytes();
     report
 }
 

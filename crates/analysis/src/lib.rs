@@ -13,6 +13,8 @@
 //! * [`lasttouch_order`] — the last-touch vs cache-miss order disparity of
 //!   Section 5.2 (Figure 7).
 //! * [`deadtime`] — block dead-time measurement (Figure 2).
+//! * [`stream`] — the bounded-memory one-pass miss/heavy-hitter analysis
+//!   built on the `ltc_stream` summaries (`ltsim stream`).
 //! * [`cdf`] — logarithmic histograms and CDF helpers shared by the above.
 
 pub mod cdf;
@@ -20,9 +22,11 @@ pub mod correlation;
 pub mod coverage;
 pub mod deadtime;
 pub mod lasttouch_order;
+pub mod stream;
 
 pub use cdf::LogHistogram;
 pub use correlation::{CorrelationAnalysis, SequenceLengths};
 pub use coverage::{run_coverage, CoverageConfig, CoverageReport};
 pub use deadtime::DeadTimeTracker;
 pub use lasttouch_order::LastTouchOrderAnalysis;
+pub use stream::{StreamAnalysis, StreamConfig, StreamReport};

@@ -1,0 +1,238 @@
+//! One-pass bounded-memory miss analysis (`ltsim stream`).
+//!
+//! Replays a trace through the baseline hierarchy exactly once and mines
+//! the L1D miss stream with the `ltc_stream` summaries instead of exact
+//! tables: a [`SpaceSaving`] summary of heavy-hitter miss lines and a
+//! [`ChhSummary`] of correlated `(last miss → next miss)` pairs — the
+//! streamed form of the last-touch correlation data the exact analyses
+//! materialize in full. Resident summary memory is bounded by the
+//! configured byte budget regardless of trace length, which is the
+//! property that lets this analysis serve traces the exact tables cannot.
+
+use ltc_cache::{Hierarchy, HierarchyConfig};
+use ltc_stream::{ChhConfig, ChhSummary, SpaceSaving};
+use ltc_trace::TraceSource;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a [`StreamAnalysis`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Total byte budget across both summaries (half each).
+    pub budget_bytes: u64,
+    /// Hash seed for the pair sketch (engine runs pass the trace seed so
+    /// the `RunSpec` fully determines the report).
+    pub seed: u64,
+}
+
+/// Heavy hitters reported per summary (fixed so the report — and with it
+/// the artifact format — does not depend on presentation flags).
+pub const REPORT_TOP: usize = 8;
+
+impl StreamConfig {
+    /// A run with the given summary budget.
+    pub fn with_budget(budget_bytes: u64) -> Self {
+        StreamConfig { budget_bytes, seed: 1 }
+    }
+
+    /// Same budget, explicit seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// One heavy-hitter miss line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeavyLine {
+    /// Line address.
+    pub line: u64,
+    /// Estimated miss count (never below the true count).
+    pub estimate: u64,
+    /// Upper bound on the estimate's overshoot.
+    pub overestimate: u64,
+}
+
+/// One correlated miss transition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CorrelatedMiss {
+    /// The miss line acting as the correlation key.
+    pub last_line: u64,
+    /// The line whose miss follows it.
+    pub next_line: u64,
+    /// Estimated pair count.
+    pub estimate: u64,
+    /// Estimated occurrences of the key line among misses.
+    pub key_estimate: u64,
+}
+
+/// Result of a one-pass streaming miss analysis.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StreamReport {
+    /// Accesses replayed.
+    pub accesses: u64,
+    /// Baseline L1D misses observed.
+    pub misses: u64,
+    /// Configured summary budget (bytes).
+    pub budget_bytes: u64,
+    /// Resident summary memory at end of run (bytes, ≤ budget).
+    pub memory_bytes: u64,
+    /// The ε·N guarantee on heavy-hitter estimates: any line's estimate
+    /// is within this many misses of its true count.
+    pub error_bound: u64,
+    /// Top heavy-hitter miss lines, most frequent first.
+    pub heavy: Vec<HeavyLine>,
+    /// Strongest correlated miss transitions, most frequent first.
+    pub correlated: Vec<CorrelatedMiss>,
+}
+
+impl StreamReport {
+    /// Baseline L1D miss ratio.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Fraction of all misses attributed to the reported heavy hitters
+    /// (by estimate, so it can slightly overcount).
+    pub fn heavy_fraction(&self) -> f64 {
+        if self.misses == 0 {
+            0.0
+        } else {
+            let sum: u64 = self.heavy.iter().map(|h| h.estimate).sum();
+            sum as f64 / self.misses as f64
+        }
+    }
+}
+
+/// The one-pass analysis driver.
+#[derive(Debug)]
+pub struct StreamAnalysis;
+
+impl StreamAnalysis {
+    /// Replays up to `limit` accesses from `source` and summarizes the
+    /// miss stream within `cfg.budget_bytes` of summary memory.
+    pub fn run<S: TraceSource + ?Sized>(
+        source: &mut S,
+        limit: u64,
+        cfg: StreamConfig,
+    ) -> StreamReport {
+        let mut hierarchy = Hierarchy::new(HierarchyConfig::paper());
+        let mut heavy = SpaceSaving::with_budget(cfg.budget_bytes / 2);
+        let mut pairs =
+            ChhSummary::new(ChhConfig::with_budget(cfg.budget_bytes / 2).with_seed(cfg.seed));
+        let mut report = StreamReport { budget_bytes: cfg.budget_bytes, ..StreamReport::default() };
+        let mut last_miss: Option<u64> = None;
+
+        for _ in 0..limit {
+            let Some(a) = source.next_access() else { break };
+            report.accesses += 1;
+            let out = hierarchy.access(a.addr, a.kind);
+            if out.l1.hit {
+                continue;
+            }
+            report.misses += 1;
+            let line = a.addr.line(64).0;
+            heavy.observe(line);
+            if let Some(prev) = last_miss {
+                pairs.observe(prev, line);
+            }
+            last_miss = Some(line);
+        }
+
+        report.memory_bytes = heavy.memory_bytes() + pairs.memory_bytes();
+        report.error_bound = heavy.max_error();
+        report.heavy = heavy
+            .top()
+            .into_iter()
+            .take(REPORT_TOP)
+            .map(|(line, e)| HeavyLine { line, estimate: e.count, overestimate: e.overestimate })
+            .collect();
+
+        // Rank every monitored (key → value) transition by pair estimate.
+        let mut correlated: Vec<CorrelatedMiss> = Vec::new();
+        for (key, key_est) in pairs.key_estimates() {
+            for p in pairs.correlated(key).unwrap_or_default() {
+                correlated.push(CorrelatedMiss {
+                    last_line: key,
+                    next_line: p.value,
+                    estimate: p.estimate,
+                    key_estimate: key_est.count,
+                });
+            }
+        }
+        correlated.sort_by_key(|c| (std::cmp::Reverse(c.estimate), c.last_line, c.next_line));
+        correlated.truncate(REPORT_TOP);
+        report.correlated = correlated;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltc_trace::{Addr, MemoryAccess, Pc, Replay};
+
+    /// A recurring conflict loop whose misses alternate over a fixed line
+    /// cycle, so the transition structure is fully predictable.
+    fn conflict_loop(aliases: u64, passes: usize) -> Replay {
+        let span = 512 * 64;
+        let mut v = Vec::new();
+        for _ in 0..passes {
+            for alias in 0..aliases {
+                v.push(MemoryAccess::load(Pc(0x400 + alias * 8), Addr(alias * span)));
+            }
+        }
+        Replay::once(v)
+    }
+
+    #[test]
+    fn finds_the_recurring_miss_cycle() {
+        let mut t = conflict_loop(4, 200);
+        let r = StreamAnalysis::run(&mut t, u64::MAX, StreamConfig::with_budget(64 << 10));
+        assert_eq!(r.accesses, 800);
+        assert!(r.misses >= 790, "4 aliases in a 2-way set miss every time");
+        assert_eq!(r.heavy.len(), 4, "exactly four lines miss");
+        assert!(r.heavy_fraction() > 0.95, "the cycle is the whole miss stream");
+        // Every transition in the cycle is a -> a+span (mod 4 aliases).
+        let span = 512 * 64;
+        let top = &r.correlated[0];
+        assert_eq!((top.next_line + 4 * span - top.last_line) % (4 * span), span);
+        assert!(top.estimate > 100);
+    }
+
+    #[test]
+    fn memory_bounded_for_any_trace_length() {
+        let budget = 32 << 10;
+        for passes in [50usize, 2000] {
+            let mut t = conflict_loop(8, passes);
+            let r = StreamAnalysis::run(&mut t, u64::MAX, StreamConfig::with_budget(budget));
+            assert!(
+                r.memory_bytes <= budget,
+                "resident {} exceeds budget {budget} at {passes} passes",
+                r.memory_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_serde() {
+        let mut t = conflict_loop(4, 50);
+        let r = StreamAnalysis::run(&mut t, u64::MAX, StreamConfig::with_budget(32 << 10));
+        let json = serde_json::to_string(&r);
+        let parsed: StreamReport = serde_json::from_str(&json).expect("parses");
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cfg = StreamConfig::with_budget(32 << 10).with_seed(7);
+        let mut a = conflict_loop(6, 100);
+        let mut b = conflict_loop(6, 100);
+        let ra = StreamAnalysis::run(&mut a, u64::MAX, cfg);
+        let rb = StreamAnalysis::run(&mut b, u64::MAX, cfg);
+        assert_eq!(ra, rb);
+    }
+}

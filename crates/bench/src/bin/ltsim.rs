@@ -12,11 +12,13 @@
 //! ltsim run      [--figures a,b,..] [--out DIR] [--quick] [--force] [--threads N]
 //!                [--backend threads|sharded|subprocess] [--progress off|plain|live|auto]
 //! ltsim render   [--figures a,b,..] [--out DIR] [--format table|json|csv]
+//! ltsim stream   <benchmark|all> [--budget BYTES] [--accesses N] [--seed N]
+//!                [--out DIR] [--force] [--threads N] [--backend ...] [--progress ...]
 //! ltsim worker
 //! ```
 //!
-//! Predictors: `baseline`, `lt-cords`, `dbcp`, `dbcp-unlimited`, `ghb`,
-//! `stride`, `perfect-l1`, `4mb-l2`.
+//! Predictors: `baseline`, `lt-cords`, `dbcp`, `dbcp-unlimited`,
+//! `sketch-dbcp`, `ghb`, `stride`, `perfect-l1`, `4mb-l2`.
 //!
 //! The figure subcommands route through `ltc_sim::engine`: `plan` prints
 //! the deduplicated spec set the figures need, `run` executes it (reusing
@@ -29,6 +31,11 @@
 //! subcommand, which reads one canonical `RunSpec` JSON line per request
 //! from stdin and answers each with one `RunResult` JSON line on stdout
 //! until stdin closes.
+//!
+//! `stream` runs the bounded-memory one-pass miss analysis. Its runs are
+//! ordinary `RunSpec`s (mode `stream`, budget in the key), so they
+//! dedupe, cache and execute through the same scheduler and backends as
+//! the figures.
 
 use std::io::{BufRead, Write};
 
@@ -45,6 +52,7 @@ fn parse_kind(name: &str) -> Result<PredictorKind, String> {
         "lt-cords" | "ltcords" => PredictorKind::LtCords,
         "dbcp" => PredictorKind::Dbcp2Mb,
         "dbcp-unlimited" => PredictorKind::DbcpUnlimited,
+        "sketch-dbcp" => PredictorKind::SketchDbcp(DEFAULT_STREAM_BUDGET),
         "ghb" => PredictorKind::Ghb,
         "stride" => PredictorKind::Stride,
         "perfect-l1" => PredictorKind::PerfectL1,
@@ -66,10 +74,11 @@ fn main() {
         Some("plan") => cmd_plan(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("render") => cmd_render(&args[1..]),
+        Some("stream") => cmd_stream(&args[1..]),
         Some("worker") => cmd_worker(),
         _ => {
             eprintln!(
-                "usage: ltsim <list|coverage|timing|compare|power|record|replay|plan|run|render|worker> ..."
+                "usage: ltsim <list|coverage|timing|compare|power|record|replay|plan|run|render|stream|worker> ..."
             );
             std::process::exit(2);
         }
@@ -204,12 +213,8 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
 struct FigureArgs {
     figures: Vec<&'static FigureDef>,
     scale: Scale,
-    out: Option<std::path::PathBuf>,
-    force: bool,
-    threads: usize,
     format: String,
-    backend: BackendKind,
-    progress: ProgressMode,
+    opts: EngineOptions,
 }
 
 /// The worker argv for `--backend subprocess`: this very binary,
@@ -220,35 +225,63 @@ fn self_worker_command() -> Result<Vec<String>, String> {
     Ok(vec![exe.to_string_lossy().into_owned(), "worker".to_string()])
 }
 
+/// Parses one engine flag (`--out`, `--force`, `--threads`, `--backend`,
+/// `--progress`) into `opts`. Shared by the figure subcommands and
+/// `stream` so the engine surface cannot drift between them. Returns
+/// `Ok(false)` when `arg` is not an engine flag.
+fn parse_engine_flag(
+    arg: &str,
+    it: &mut std::slice::Iter<'_, String>,
+    opts: &mut EngineOptions,
+) -> Result<bool, String> {
+    match arg {
+        "--out" => opts.cache_dir = Some(it.next().ok_or("--out needs a directory")?.into()),
+        "--force" => opts.force = true,
+        "--threads" => {
+            opts.threads = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n: &usize| n > 0)
+                .ok_or("--threads needs a positive number")?;
+        }
+        "--backend" => {
+            let name = it.next().ok_or("--backend needs threads|sharded|subprocess")?;
+            opts.backend = match name.as_str() {
+                "threads" => BackendKind::Threads,
+                "sharded" => BackendKind::Sharded,
+                "subprocess" => BackendKind::Subprocess { command: self_worker_command()? },
+                other => return Err(format!("unknown backend: {other}")),
+            };
+        }
+        "--progress" => {
+            let name = it.next().ok_or("--progress needs off|plain|live|auto")?;
+            opts.progress = ProgressMode::parse(name)
+                .ok_or_else(|| format!("unknown progress mode: {name}"))?;
+        }
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
 fn parse_figure_args(args: &[String]) -> Result<FigureArgs, String> {
     let scale = if args.iter().any(|a| a == "--quick") { Scale::quick() } else { Scale::full() };
     let mut out = FigureArgs {
         figures: harness::registry().iter().collect(),
         scale,
-        out: None,
-        force: false,
-        threads: scale.threads,
         format: "table".to_string(),
-        backend: BackendKind::Threads,
-        progress: ProgressMode::Auto,
+        opts: EngineOptions {
+            threads: scale.threads,
+            backend: BackendKind::Threads,
+            progress: ProgressMode::Auto,
+            ..EngineOptions::default()
+        },
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
+        if parse_engine_flag(a, &mut it, &mut out.opts)? {
+            continue;
+        }
         match a.as_str() {
-            "--backend" => {
-                let name = it.next().ok_or("--backend needs threads|sharded|subprocess")?;
-                out.backend = match name.as_str() {
-                    "threads" => BackendKind::Threads,
-                    "sharded" => BackendKind::Sharded,
-                    "subprocess" => BackendKind::Subprocess { command: self_worker_command()? },
-                    other => return Err(format!("unknown backend: {other}")),
-                };
-            }
-            "--progress" => {
-                let name = it.next().ok_or("--progress needs off|plain|live|auto")?;
-                out.progress = ProgressMode::parse(name)
-                    .ok_or_else(|| format!("unknown progress mode: {name}"))?;
-            }
             "--figures" => {
                 let list = it.next().ok_or("--figures needs a comma-separated list")?;
                 out.figures = list
@@ -258,15 +291,6 @@ fn parse_figure_args(args: &[String]) -> Result<FigureArgs, String> {
                             .ok_or_else(|| format!("unknown figure: {name}"))
                     })
                     .collect::<Result<_, _>>()?;
-            }
-            "--out" => out.out = Some(it.next().ok_or("--out needs a directory")?.into()),
-            "--force" => out.force = true,
-            "--threads" => {
-                out.threads = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or("--threads needs a positive number")?;
-                out.threads = out.threads.max(1);
             }
             "--format" => {
                 out.format = it.next().ok_or("--format needs table|json|csv")?.clone();
@@ -306,21 +330,14 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let fa = parse_figure_args(args)?;
-    let opts = EngineOptions {
-        threads: fa.threads,
-        cache_dir: fa.out.clone(),
-        force: fa.force,
-        backend: fa.backend,
-        progress: fa.progress,
-    };
     let mut results = ResultSet::new();
-    harness::collect(&fa.figures, fa.scale, &opts, &mut results).map_err(|e| e.to_string())?;
+    harness::collect(&fa.figures, fa.scale, &fa.opts, &mut results).map_err(|e| e.to_string())?;
     for def in &fa.figures {
         println!("{}\n", def.title);
         println!("{}", (def.render)(fa.scale, &results));
     }
     println!("engine: {} simulated, {} from cache", results.simulated(), results.cache_hits());
-    if let Some(dir) = &fa.out {
+    if let Some(dir) = &fa.opts.cache_dir {
         println!("artifacts: {} runs under {}", results.len(), dir.display());
     }
     Ok(())
@@ -335,7 +352,11 @@ fn sorted(results: &ResultSet) -> Vec<(&ltc_sim::engine::RunSpec, &ltc_sim::engi
 
 fn cmd_render(args: &[String]) -> Result<(), String> {
     let fa = parse_figure_args(args)?;
-    let dir = fa.out.as_deref().ok_or("render needs --out DIR (the artifact cache to read)")?;
+    let dir = fa
+        .opts
+        .cache_dir
+        .as_deref()
+        .ok_or("render needs --out DIR (the artifact cache to read)")?;
     let mut results = ResultSet::new();
     let missing = harness::load_cached(&fa.figures, fa.scale, dir, &mut results)
         .map_err(|e| e.to_string())?;
@@ -369,6 +390,114 @@ fn cmd_render(args: &[String]) -> Result<(), String> {
         "csv" => print!("{}", artifact::to_csv(sorted(&results))),
         _ => unreachable!("validated in parse_figure_args"),
     }
+    Ok(())
+}
+
+/// Default summary budget for `ltsim stream` and the `sketch-dbcp`
+/// predictor shorthand: 256 KiB — 1/8 of the exact DBCP table's nominal
+/// 2 MB, a mid-ladder point of the `sketch` figure. (That figure's
+/// *headline* point is 1.5 MiB, 1/8 of the exact table's resident
+/// bytes — see `ltc_bench::figures::sketch::HEADLINE_BUDGET`.)
+const DEFAULT_STREAM_BUDGET: u64 = 256 << 10;
+
+/// Smallest accepted `--budget`: below this the summaries cannot hold a
+/// single set of keys and construction would panic mid-run.
+const MIN_STREAM_BUDGET: u64 = 4 << 10;
+
+/// Parses a byte count with an optional `k`/`m` suffix (`64k`, `1M`).
+fn parse_bytes(raw: &str) -> Result<u64, String> {
+    let lower = raw.to_ascii_lowercase();
+    let (digits, shift) = match lower.strip_suffix(['k', 'm']) {
+        Some(d) if lower.ends_with('k') => (d, 10),
+        Some(d) => (d, 20),
+        None => (lower.as_str(), 0),
+    };
+    digits
+        .parse::<u64>()
+        .ok()
+        .filter(|&n| n > 0)
+        .map(|n| n << shift)
+        .ok_or_else(|| format!("bad byte count: {raw}"))
+}
+
+/// `ltsim stream`: one-pass bounded-memory miss analysis through the
+/// engine. Each benchmark becomes one `RunSpec` (mode `stream`, budget in
+/// the key), so runs dedupe against each other and the artifact cache and
+/// execute on any backend.
+fn cmd_stream(args: &[String]) -> Result<(), String> {
+    let target = args.first().ok_or("stream needs a benchmark name (or `all`)")?;
+    let benchmarks: Vec<&'static str> = if target == "all" {
+        suite::benchmarks().iter().map(|e| e.name).collect()
+    } else {
+        vec![suite::by_name(target).ok_or_else(|| format!("unknown benchmark: {target}"))?.name]
+    };
+    let mut budget = DEFAULT_STREAM_BUDGET;
+    let mut accesses: u64 = 2_000_000;
+    let mut seed: u64 = 1;
+    let mut opts = EngineOptions { threads: 4, ..EngineOptions::default() };
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        if parse_engine_flag(a, &mut it, &mut opts)? {
+            continue;
+        }
+        match a.as_str() {
+            "--budget" => budget = parse_bytes(it.next().ok_or("--budget needs a byte count")?)?,
+            "--accesses" => {
+                accesses = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--accesses needs a positive number")?;
+            }
+            "--seed" => {
+                seed = it.next().and_then(|v| v.parse().ok()).ok_or("--seed needs a number")?;
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    if budget < MIN_STREAM_BUDGET {
+        return Err(format!("--budget must be at least {MIN_STREAM_BUDGET} bytes (got {budget})"));
+    }
+
+    let specs: Vec<RunSpec> =
+        benchmarks.iter().map(|b| RunSpec::stream(b, budget, accesses, seed)).collect();
+    let mut sched = ltc_sim::engine::Scheduler::new();
+    sched.request_all(specs.iter().cloned());
+    let mut results = ResultSet::new();
+    sched.execute_into(&mut results, &opts).map_err(|e| e.to_string())?;
+
+    for spec in &specs {
+        let r = results.stream(spec);
+        println!("benchmark        {}", spec.benchmark);
+        println!("accesses         {}", r.accesses);
+        println!("L1D misses       {} ({})", r.misses, pct1(r.miss_rate()));
+        println!(
+            "summary memory   {} of {} budget",
+            ltc_sim::report::bytes(r.memory_bytes),
+            ltc_sim::report::bytes(r.budget_bytes)
+        );
+        println!("error bound      ±{} misses (ε·N)", r.error_bound);
+        let mut heavy = Table::new(vec!["heavy-hitter line", "est. misses", "overestimate ≤"]);
+        for h in &r.heavy {
+            heavy.row(vec![
+                format!("{:#012x}", h.line),
+                h.estimate.to_string(),
+                h.overestimate.to_string(),
+            ]);
+        }
+        print!("{}", heavy.render());
+        let mut pairs = Table::new(vec!["last miss", "next miss", "est. pairs", "est. key misses"]);
+        for c in &r.correlated {
+            pairs.row(vec![
+                format!("{:#012x}", c.last_line),
+                format!("{:#012x}", c.next_line),
+                c.estimate.to_string(),
+                c.key_estimate.to_string(),
+            ]);
+        }
+        print!("{}", pairs.render());
+        println!();
+    }
+    println!("engine: {} simulated, {} from cache", results.simulated(), results.cache_hits());
     Ok(())
 }
 

@@ -1,0 +1,5 @@
+//! Prints the sketch budget sweep (SketchDbcp vs exact DBCP coverage) via the experiment engine.
+//! Flags: `--quick`, `--out DIR`, `--force`, `--threads N`.
+fn main() {
+    ltc_bench::harness::figure_main("sketch");
+}

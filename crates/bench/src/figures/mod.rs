@@ -15,6 +15,7 @@
 //! | [`table3`] | Table 3 — speedup comparison |
 //! | [`fig12`] | Figure 12 — memory bus utilization breakdown |
 //! | [`ablations`] | design-choice ablations beyond the paper's figures |
+//! | [`sketch`] | sketch budget sweep — `SketchDbcp` vs exact DBCP |
 
 pub mod ablations;
 pub mod fig02;
@@ -26,6 +27,7 @@ pub mod fig09;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;
+pub mod sketch;
 pub mod table1;
 pub mod table2;
 pub mod table3;

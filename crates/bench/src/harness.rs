@@ -114,6 +114,12 @@ pub fn registry() -> &'static [FigureDef] {
             specs: ablations::specs,
             render: |scale, rs| ablations::render(&ablations::points(scale, rs)),
         },
+        FigureDef {
+            name: "sketch",
+            title: "Sketch budget sweep: SketchDbcp coverage vs exact DBCP",
+            specs: sketch::specs,
+            render: |scale, rs| sketch::render(&sketch::points(scale, rs)),
+        },
     ]
 }
 
@@ -135,7 +141,7 @@ const MAX_ROUNDS: usize = 8;
 ///
 /// # Panics
 ///
-/// Panics if a figure keeps requesting new specs after [`MAX_ROUNDS`]
+/// Panics if a figure keeps requesting new specs after `MAX_ROUNDS`
 /// rounds (a broken `specs` implementation).
 pub fn collect(
     figures: &[&FigureDef],

@@ -24,6 +24,7 @@ fn worker_round_trips_spec_lines() {
         RunSpec::coverage("gzip", PredictorKind::Baseline, 4_000, 1),
         RunSpec::timing("mesa", PredictorKind::LtCords, 3_000, 2),
         RunSpec::dead_time("swim", 4_000, 1),
+        RunSpec::stream("mcf", 64 << 10, 4_000, 1),
     ];
     let cmd = worker_command();
     let mut child = Command::new(&cmd[0])

@@ -156,6 +156,10 @@ impl Prefetcher for DbcpPrefetcher {
     fn storage_bytes(&self) -> u64 {
         self.table.storage_bytes() + self.history.storage_bytes()
     }
+
+    fn memory_bytes(&self) -> u64 {
+        self.table.memory_bytes() + self.history.storage_bytes()
+    }
 }
 
 #[cfg(test)]

@@ -165,6 +165,12 @@ impl Prefetcher for GhbPrefetcher {
         // IT entry ~10 B (tag + pointer), GHB entry ~12 B (addr + pointer).
         self.index.len() as u64 * 10 + self.ring.len() as u64 * 12
     }
+
+    fn memory_bytes(&self) -> u64 {
+        // Fixed arrays: resident memory is the full-width entries.
+        self.index.len() as u64 * std::mem::size_of::<ItEntry>() as u64
+            + self.ring.len() as u64 * std::mem::size_of::<GhbEntry>() as u64
+    }
 }
 
 #[cfg(test)]

@@ -21,6 +21,7 @@ pub mod ghb;
 pub mod null;
 pub mod prefetcher;
 pub mod queue;
+pub mod sketch;
 pub mod stride;
 pub mod table;
 
@@ -29,5 +30,6 @@ pub use ghb::{GhbConfig, GhbPrefetcher};
 pub use null::NullPrefetcher;
 pub use prefetcher::{PredictorTraffic, PrefetchLevel, PrefetchRequest, Prefetcher};
 pub use queue::RequestQueue;
+pub use sketch::{SketchDbcp, SketchDbcpConfig};
 pub use stride::{StrideConfig, StridePrefetcher};
 pub use table::{CorrelationTable, TableConfig};

@@ -108,6 +108,11 @@ impl Prefetcher for StridePrefetcher {
         // ~17 bytes per entry: tag + addr + stride + counter.
         self.table.len() as u64 * 17
     }
+
+    fn memory_bytes(&self) -> u64 {
+        // Fixed array: resident memory is the full-width entries.
+        self.table.len() as u64 * std::mem::size_of::<StrideEntry>() as u64
+    }
 }
 
 #[cfg(test)]

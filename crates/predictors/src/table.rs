@@ -118,6 +118,23 @@ impl CorrelationTable {
         }
     }
 
+    /// Actual resident simulator memory: the entry array for the finite
+    /// organization, the hash map (entry payload plus the modelled ~48
+    /// bytes of bucket/allocator overhead per entry) for the unlimited
+    /// one. This is what an honest budget comparison against sketch
+    /// summaries must charge, not the 5-byte hardware model.
+    pub fn memory_bytes(&self) -> u64 {
+        const MAP_NODE_OVERHEAD: u64 = 48;
+        let entry = std::mem::size_of::<Entry>() as u64;
+        match self.cfg.capacity {
+            Some(_) => self.sets.len() as u64 * entry,
+            None => {
+                let payload = std::mem::size_of::<(Signature, (Addr, Confidence))>() as u64;
+                self.map.len() as u64 * (payload + MAP_NODE_OVERHEAD)
+            }
+        }
+    }
+
     #[inline]
     fn set_range(&self, sig: Signature) -> std::ops::Range<usize> {
         let set = (sig.0 as usize) & (self.set_count - 1);

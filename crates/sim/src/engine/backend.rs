@@ -136,14 +136,18 @@ fn cost_estimate(spec: &RunSpec) -> u64 {
         Mode::Timing => 10,
         Mode::MultiProg { partner: Some(_) } => 4,
         Mode::MultiProg { partner: None } => 2,
-        Mode::Coverage | Mode::DeadTime | Mode::Correlation | Mode::Ordering => 1,
+        Mode::Coverage
+        | Mode::DeadTime
+        | Mode::Correlation
+        | Mode::Ordering
+        | Mode::Stream { .. } => 1,
     };
     spec.accesses.saturating_mul(weight).max(1)
 }
 
 /// Work stealing over per-worker deques.
 ///
-/// Specs are sorted by [`cost_estimate`] descending and dealt round-robin
+/// Specs are sorted by `cost_estimate` descending and dealt round-robin
 /// across the shards, so every worker starts on a long run and the cheap
 /// tail gets stolen by whoever drains first — the classic fix for a pool
 /// where one late-claimed timing run serializes the finish.

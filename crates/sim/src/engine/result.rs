@@ -2,7 +2,9 @@
 
 use std::collections::HashMap;
 
-use ltc_analysis::{CorrelationAnalysis, CoverageReport, DeadTimeTracker, LastTouchOrderAnalysis};
+use ltc_analysis::{
+    CorrelationAnalysis, CoverageReport, DeadTimeTracker, LastTouchOrderAnalysis, StreamReport,
+};
 use ltc_timing::TimingReport;
 use serde::{DeError, Deserialize, Serialize, Value};
 
@@ -24,6 +26,8 @@ pub enum RunResult {
     Ordering(LastTouchOrderAnalysis),
     /// A multi-programmed run ([`crate::engine::Mode::MultiProg`]).
     MultiProg(MultiProgReport),
+    /// A streaming sketch analysis ([`crate::engine::Mode::Stream`]).
+    Stream(StreamReport),
 }
 
 impl RunResult {
@@ -36,6 +40,7 @@ impl RunResult {
             RunResult::Correlation(_) => "correlation",
             RunResult::Ordering(_) => "ordering",
             RunResult::MultiProg(_) => "multiprog",
+            RunResult::Stream(_) => "stream",
         }
     }
 
@@ -65,6 +70,7 @@ impl Serialize for RunResult {
             RunResult::Correlation(r) => r.to_value(),
             RunResult::Ordering(r) => r.to_value(),
             RunResult::MultiProg(r) => r.to_value(),
+            RunResult::Stream(r) => r.to_value(),
         };
         Value::Map(vec![
             ("kind".to_string(), Value::Str(self.kind().to_string())),
@@ -86,6 +92,7 @@ impl<'de> Deserialize<'de> for RunResult {
             "correlation" => Ok(RunResult::Correlation(CorrelationAnalysis::from_value(data)?)),
             "ordering" => Ok(RunResult::Ordering(LastTouchOrderAnalysis::from_value(data)?)),
             "multiprog" => Ok(RunResult::MultiProg(MultiProgReport::from_value(data)?)),
+            "stream" => Ok(RunResult::Stream(StreamReport::from_value(data)?)),
             other => Err(DeError(format!("unknown result kind `{other}`"))),
         }
     }
@@ -226,6 +233,18 @@ impl ResultSet {
     pub fn multiprog(&self, spec: &RunSpec) -> &MultiProgReport {
         self.demand(spec, "multiprog", |r| match r {
             RunResult::MultiProg(m) => Some(m),
+            _ => None,
+        })
+    }
+
+    /// The streaming sketch report for `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result is absent or of the wrong mode.
+    pub fn stream(&self, spec: &RunSpec) -> &StreamReport {
+        self.demand(spec, "stream", |r| match r {
+            RunResult::Stream(s) => Some(s),
             _ => None,
         })
     }

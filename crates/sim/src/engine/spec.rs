@@ -1,6 +1,8 @@
 //! Declarative experiment keys.
 
-use ltc_analysis::{CorrelationAnalysis, DeadTimeTracker, LastTouchOrderAnalysis};
+use ltc_analysis::{
+    CorrelationAnalysis, DeadTimeTracker, LastTouchOrderAnalysis, StreamAnalysis, StreamConfig,
+};
 use ltc_trace::suite;
 use ltcords::LtCordsConfig;
 use serde::{DeError, Deserialize, Serialize, Value};
@@ -31,6 +33,13 @@ pub enum Mode {
         /// Partner benchmark, or `None` for the standalone bar.
         partner: Option<String>,
     },
+    /// One-pass bounded-memory miss/heavy-hitter analysis (`ltsim
+    /// stream`). The summary byte budget is part of the key: runs with
+    /// different budgets are different experiments.
+    Stream {
+        /// Summary byte budget.
+        budget_bytes: u64,
+    },
 }
 
 impl Mode {
@@ -43,6 +52,7 @@ impl Mode {
             Mode::Correlation => "correlation",
             Mode::Ordering => "ordering",
             Mode::MultiProg { .. } => "multiprog",
+            Mode::Stream { .. } => "stream",
         }
     }
 }
@@ -53,6 +63,9 @@ impl Serialize for Mode {
             Mode::MultiProg { partner } => {
                 Value::Map(vec![("multiprog".to_string(), partner.to_value())])
             }
+            Mode::Stream { budget_bytes } => {
+                Value::Map(vec![("stream".to_string(), Value::U64(*budget_bytes))])
+            }
             simple => Value::Str(simple.name().to_string()),
         }
     }
@@ -62,6 +75,9 @@ impl<'de> Deserialize<'de> for Mode {
     fn from_value(value: &Value) -> Result<Self, DeError> {
         if let Some(partner) = value.get("multiprog") {
             return Ok(Mode::MultiProg { partner: Option::<String>::from_value(partner)? });
+        }
+        if let Some(budget) = value.get("stream") {
+            return Ok(Mode::Stream { budget_bytes: u64::from_value(budget)? });
         }
         match value.as_str() {
             Some("coverage") => Ok(Mode::Coverage),
@@ -85,6 +101,9 @@ impl Serialize for PredictorKind {
             PredictorKind::DbcpBytes(bytes) => {
                 Value::Map(vec![("dbcp-bytes".to_string(), Value::U64(*bytes))])
             }
+            PredictorKind::SketchDbcp(bytes) => {
+                Value::Map(vec![("sketch-dbcp".to_string(), Value::U64(*bytes))])
+            }
             simple => Value::Str(simple.name().to_string()),
         }
     }
@@ -97,6 +116,9 @@ impl<'de> Deserialize<'de> for PredictorKind {
         }
         if let Some(bytes) = value.get("dbcp-bytes") {
             return Ok(PredictorKind::DbcpBytes(u64::from_value(bytes)?));
+        }
+        if let Some(bytes) = value.get("sketch-dbcp") {
+            return Ok(PredictorKind::SketchDbcp(u64::from_value(bytes)?));
         }
         match value.as_str() {
             Some("baseline") => Ok(PredictorKind::Baseline),
@@ -122,7 +144,10 @@ impl<'de> Deserialize<'de> for PredictorKind {
 /// the previous model self-detect as stale (cache misses) and re-simulate
 /// without `--force`. The rule is documented for operators in
 /// EXPERIMENTS.md.
-pub const MODEL_VERSION: u32 = 1;
+///
+/// Version history: 2 — `CoverageReport` gained the `memory_bytes` field
+/// (honest resident-memory accounting for the sketch budget sweep).
+pub const MODEL_VERSION: u32 = 2;
 
 /// The declarative key of one simulation: benchmark, predictor, mode,
 /// access budget, seed — plus the model version the simulator had when
@@ -212,6 +237,19 @@ impl RunSpec {
         }
     }
 
+    /// A one-pass streaming miss analysis (baseline machine) with the
+    /// given summary byte budget.
+    pub fn stream(benchmark: &str, budget_bytes: u64, accesses: u64, seed: u64) -> Self {
+        RunSpec {
+            model_version: MODEL_VERSION,
+            benchmark: benchmark.to_string(),
+            predictor: PredictorKind::Baseline,
+            mode: Mode::Stream { budget_bytes },
+            accesses,
+            seed,
+        }
+    }
+
     /// A multi-programmed coverage run.
     pub fn multiprog(
         focus: &str,
@@ -247,6 +285,7 @@ impl RunSpec {
     pub fn label(&self) -> String {
         let mode = match &self.mode {
             Mode::MultiProg { partner: Some(p) } => format!("multiprog+{p}"),
+            Mode::Stream { budget_bytes } => format!("stream[{budget_bytes}B]"),
             m => m.name().to_string(),
         };
         let predictor = match self.predictor {
@@ -255,6 +294,7 @@ impl RunSpec {
                 cfg.sig_cache_entries, cfg.frames, cfg.fragment_len
             ),
             PredictorKind::DbcpBytes(b) => format!("dbcp[{b}B]"),
+            PredictorKind::SketchDbcp(b) => format!("sketch-dbcp[{b}B]"),
             simple => simple.name().to_string(),
         };
         format!(
@@ -305,6 +345,14 @@ impl RunSpec {
                 self.accesses,
                 self.seed,
             )),
+            Mode::Stream { budget_bytes } => {
+                let mut src = self.build_source();
+                RunResult::Stream(StreamAnalysis::run(
+                    &mut src,
+                    self.accesses,
+                    StreamConfig::with_budget(*budget_bytes).with_seed(self.seed),
+                ))
+            }
         }
     }
 
@@ -370,6 +418,8 @@ mod tests {
             RunSpec::ordering("gcc", 25_000, 1),
             RunSpec::multiprog("gcc", Some("mcf"), PredictorKind::LtCords, 40_000, 1),
             RunSpec::multiprog("gcc", None, PredictorKind::LtCords, 40_000, 1),
+            RunSpec::stream("mcf", 256 << 10, 60_000, 1),
+            RunSpec::coverage("art", PredictorKind::SketchDbcp(128 << 10), 50_000, 2),
             RunSpec::coverage(
                 "em3d",
                 PredictorKind::LtCordsWith(LtCordsConfig::fig9_sweep(4096)),
@@ -417,6 +467,17 @@ mod tests {
         // model output.
         let legacy = r#"{"benchmark":"gzip","predictor":"baseline","mode":"coverage","accesses":1000,"seed":1}"#;
         assert!(serde_json::from_str::<RunSpec>(legacy).is_err());
+    }
+
+    #[test]
+    fn stream_budget_is_part_of_the_key() {
+        let a = RunSpec::stream("gzip", 128 << 10, 1000, 1);
+        let b = RunSpec::stream("gzip", 256 << 10, 1000, 1);
+        assert_ne!(a.key(), b.key());
+        assert_ne!(a.hash_hex(), b.hash_hex());
+        let sketch_a = RunSpec::coverage("gzip", PredictorKind::SketchDbcp(64 << 10), 1000, 1);
+        let sketch_b = RunSpec::coverage("gzip", PredictorKind::SketchDbcp(32 << 10), 1000, 1);
+        assert_ne!(sketch_a.key(), sketch_b.key());
     }
 
     #[test]

@@ -4,7 +4,7 @@ use ltc_analysis::{run_coverage as run_coverage_inner, CoverageConfig, CoverageR
 use ltc_cache::Hierarchy;
 use ltc_predictors::{
     DbcpConfig, DbcpPrefetcher, GhbConfig, GhbPrefetcher, NullPrefetcher, PrefetchLevel,
-    Prefetcher, StrideConfig, StridePrefetcher,
+    Prefetcher, SketchDbcp, SketchDbcpConfig, StrideConfig, StridePrefetcher,
 };
 use ltc_timing::{TimingConfig, TimingReport, TimingSim};
 use ltc_trace::{suite, MultiProgram};
@@ -37,6 +37,9 @@ pub enum PredictorKind {
     Dbcp2Mb,
     /// DBCP with an arbitrary table budget in bytes (Figure 4 sweep).
     DbcpBytes(u64),
+    /// Sketch-backed DBCP with a correlated-heavy-hitter summary fitting
+    /// the given byte budget (the sketch budget-sweep figure).
+    SketchDbcp(u64),
     /// GHB PC/DC (Table 1: 256-entry IT/GHB, depth 4).
     Ghb,
     /// Classic per-PC stride prefetcher.
@@ -55,6 +58,7 @@ impl PredictorKind {
             PredictorKind::DbcpUnlimited => "dbcp-unlimited",
             PredictorKind::Dbcp2Mb => "dbcp",
             PredictorKind::DbcpBytes(_) => "dbcp-sized",
+            PredictorKind::SketchDbcp(_) => "sketch-dbcp",
             PredictorKind::Ghb => "ghb",
             PredictorKind::Stride => "stride",
             PredictorKind::BigL2 => "4mb-l2",
@@ -76,6 +80,9 @@ impl PredictorKind {
             PredictorKind::Dbcp2Mb => Box::new(DbcpPrefetcher::new(DbcpConfig::paper_2mb())),
             PredictorKind::DbcpBytes(bytes) => {
                 Box::new(DbcpPrefetcher::new(DbcpConfig::with_table_bytes(*bytes)))
+            }
+            PredictorKind::SketchDbcp(bytes) => {
+                Box::new(SketchDbcp::new(SketchDbcpConfig::with_budget_bytes(*bytes)))
             }
             PredictorKind::Ghb => Box::new(GhbPrefetcher::new(GhbConfig::default())),
             PredictorKind::Stride => Box::new(StridePrefetcher::new(StrideConfig::default())),
@@ -277,6 +284,7 @@ mod tests {
             PredictorKind::DbcpUnlimited,
             PredictorKind::Dbcp2Mb,
             PredictorKind::DbcpBytes(1 << 20),
+            PredictorKind::SketchDbcp(256 << 10),
             PredictorKind::Ghb,
             PredictorKind::Stride,
             PredictorKind::BigL2,

@@ -45,6 +45,7 @@ pub use ltc_analysis as analysis;
 pub use ltc_cache as cache;
 pub use ltc_lasttouch as lasttouch;
 pub use ltc_predictors as predictors;
+pub use ltc_stream as stream;
 pub use ltc_timing as timing;
 pub use ltc_trace as trace;
 pub use ltcords as core;

@@ -103,6 +103,9 @@ pub fn bytes(v: u64) -> String {
     }
     if unit == 0 {
         format!("{v}B")
+    } else if value < 10.0 && value.fract() != 0.0 {
+        // One decimal for small non-integral values (1.5MB, not "2MB").
+        format!("{value:.1}{}", UNITS[unit])
     } else {
         format!("{value:.0}{}", UNITS[unit])
     }
@@ -143,5 +146,6 @@ mod tests {
         assert_eq!(bytes(512), "512B");
         assert_eq!(bytes(2048), "2KB");
         assert_eq!(bytes(160 << 20), "160MB");
+        assert_eq!(bytes(1536 << 10), "1.5MB");
     }
 }

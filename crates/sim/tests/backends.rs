@@ -22,6 +22,8 @@ fn mixed_specs() -> Vec<RunSpec> {
         RunSpec::dead_time("swim", 4_000, 1),
         RunSpec::correlation("gcc", 4_000, 1),
         RunSpec::multiprog("gcc", Some("mcf"), PredictorKind::LtCords, 3_000, 1),
+        RunSpec::stream("mcf", 64 << 10, 4_000, 1),
+        RunSpec::coverage("art", PredictorKind::SketchDbcp(64 << 10), 4_000, 1),
     ]
 }
 

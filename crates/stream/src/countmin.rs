@@ -1,0 +1,185 @@
+//! The Count-Min sketch (Cormode & Muthukrishnan).
+//!
+//! A `depth × width` grid of counters. Each row hashes the key with an
+//! independent seed; an estimate is the minimum over the key's counters,
+//! so it never undercounts and overcounts by at most `e·N / width` with
+//! probability `1 − exp(−depth)`. Unlike [`crate::SpaceSaving`] it
+//! answers for *any* key, at the cost of never knowing which keys are hot.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use crate::mix64;
+
+/// Count-Min sketch over `u64` keys with deterministic seeding.
+///
+/// Row seeds are drawn from the workspace's [`StdRng`] stream, so two
+/// sketches built with the same `(width, depth, seed)` are byte-for-byte
+/// interchangeable — a property the artifact cache relies on.
+///
+/// # Example
+///
+/// ```
+/// use ltc_stream::CountMin;
+///
+/// let mut cm = CountMin::new(1 << 10, 4, 42);
+/// for _ in 0..5 {
+///     cm.observe(7);
+/// }
+/// assert!(cm.estimate(7) >= 5, "estimates never undercount");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CountMin {
+    width: usize,
+    depth: usize,
+    row_seeds: Vec<u64>,
+    counters: Vec<u64>,
+    total: u64,
+}
+
+impl CountMin {
+    /// Creates a sketch of `depth` rows of `width` counters (width is
+    /// rounded up to a power of two for mask indexing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `depth` is zero.
+    pub fn new(width: usize, depth: usize, seed: u64) -> Self {
+        assert!(width > 0 && depth > 0, "Count-Min needs width >= 1 and depth >= 1");
+        let width = width.next_power_of_two();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let row_seeds = (0..depth).map(|_| rng.next_u64()).collect();
+        CountMin { width, depth, row_seeds, counters: vec![0; width * depth], total: 0 }
+    }
+
+    /// Creates the widest power-of-two sketch of the given depth that fits
+    /// `budget_bytes` of counters (at least one counter per row).
+    pub fn with_budget(budget_bytes: u64, depth: usize, seed: u64) -> Self {
+        assert!(depth > 0, "Count-Min needs depth >= 1");
+        let per_row = (budget_bytes / 8 / depth as u64).max(1);
+        // next_power_of_two rounds up; halve back down if that overshoots.
+        let mut width = per_row.next_power_of_two();
+        if width > per_row {
+            width /= 2;
+        }
+        CountMin::new(width.max(1) as usize, depth, seed)
+    }
+
+    /// Counters per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Observations so far (`N`).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Resident bytes: the counter grid plus row seeds.
+    pub fn memory_bytes(&self) -> u64 {
+        (self.counters.len() as u64 + self.row_seeds.len() as u64) * 8
+    }
+
+    #[inline]
+    fn slot(&self, row: usize, key: u64) -> usize {
+        row * self.width + (mix64(key ^ self.row_seeds[row]) as usize & (self.width - 1))
+    }
+
+    /// Records `n` occurrences of `key`.
+    pub fn observe_n(&mut self, key: u64, n: u64) {
+        self.total += n;
+        for row in 0..self.depth {
+            let slot = self.slot(row, key);
+            self.counters[slot] += n;
+        }
+    }
+
+    /// Records one occurrence of `key`.
+    pub fn observe(&mut self, key: u64) {
+        self.observe_n(key, 1);
+    }
+
+    /// The (never undercounting) estimate for `key`.
+    pub fn estimate(&self, key: u64) -> u64 {
+        (0..self.depth).map(|row| self.counters[self.slot(row, key)]).min().unwrap_or(0)
+    }
+
+    /// Zeroes every counter (geometry and seeds are retained).
+    pub fn clear(&mut self) {
+        self.counters.iter_mut().for_each(|c| *c = 0);
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_undercounts() {
+        let mut cm = CountMin::new(64, 4, 1);
+        for key in 0..1000u64 {
+            cm.observe_n(key, key % 7 + 1);
+        }
+        for key in 0..1000u64 {
+            assert!(cm.estimate(key) > key % 7);
+        }
+    }
+
+    #[test]
+    fn unseen_keys_stay_small() {
+        let mut cm = CountMin::new(1 << 12, 4, 9);
+        for key in 0..100u64 {
+            cm.observe(key);
+        }
+        // A wide sketch over a tiny stream rarely collides on all rows.
+        let ghosts = (10_000..10_100u64).filter(|&k| cm.estimate(k) > 0).count();
+        assert!(ghosts < 5, "too many phantom counts: {ghosts}");
+    }
+
+    #[test]
+    fn same_seed_is_identical() {
+        let mut a = CountMin::new(128, 3, 7);
+        let mut b = CountMin::new(128, 3, 7);
+        for key in 0..500u64 {
+            a.observe(key * 31);
+            b.observe(key * 31);
+        }
+        for key in 0..500u64 {
+            assert_eq!(a.estimate(key * 31), b.estimate(key * 31));
+        }
+    }
+
+    #[test]
+    fn different_seeds_hash_differently() {
+        let a = CountMin::new(1 << 10, 2, 1);
+        let b = CountMin::new(1 << 10, 2, 2);
+        let differs = (0..64u64).any(|k| a.slot(0, k) != b.slot(0, k));
+        assert!(differs, "row seeds must change the hash");
+    }
+
+    #[test]
+    fn budget_bounds_memory() {
+        for budget in [64u64, 1 << 10, 1 << 16, (1 << 16) + 123] {
+            let cm = CountMin::with_budget(budget, 2, 1);
+            assert!(
+                cm.counters.len() as u64 * 8 <= budget.max(2 * 8 * 2),
+                "counter grid must fit {budget}"
+            );
+        }
+    }
+
+    #[test]
+    fn clear_zeroes_counts() {
+        let mut cm = CountMin::new(32, 2, 1);
+        cm.observe(5);
+        cm.clear();
+        assert_eq!(cm.estimate(5), 0);
+        assert_eq!(cm.total(), 0);
+    }
+}

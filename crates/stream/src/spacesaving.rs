@@ -1,0 +1,324 @@
+//! The Space-Saving top-k frequency summary (Metwally et al.).
+//!
+//! Tracks at most `capacity` distinct keys. A monitored key's counter is
+//! exact plus at most its recorded `overestimate`; an unmonitored key has
+//! been observed at most `max_error()` times. Both bounds follow from the
+//! classic guarantee: with capacity `k` over a stream of `N` observations,
+//! every estimation error is at most `N / k` (the ε·N bound with
+//! ε = 1/k). The summary is deterministic: identical observation sequences
+//! produce identical states (min-replacement ties break by slot index).
+
+use std::collections::{BTreeSet, HashMap};
+use std::hash::Hash;
+
+/// What [`SpaceSaving::observe`] did with the key.
+///
+/// Exposed so composite summaries (the nested CHH of [`crate::chh`]) can
+/// maintain per-slot companion state: `slot` indices are stable for the
+/// lifetime of a monitored key and recycled on replacement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Observed {
+    /// The key was already monitored; its counter grew.
+    Incremented(u32),
+    /// The key took a fresh slot (summary not yet full).
+    Inserted(u32),
+    /// The key displaced the minimum-count key from `slot`.
+    Replaced(u32),
+}
+
+impl Observed {
+    /// The slot now holding the observed key.
+    pub fn slot(self) -> u32 {
+        match self {
+            Observed::Incremented(s) | Observed::Inserted(s) | Observed::Replaced(s) => s,
+        }
+    }
+}
+
+/// A monitored key's estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Estimate {
+    /// Estimated count (never below the true count).
+    pub count: u64,
+    /// Upper bound on the overestimation (the displaced minimum at
+    /// adoption time; 0 for keys monitored since their first occurrence).
+    pub overestimate: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<K> {
+    key: K,
+    count: u64,
+    overestimate: u64,
+}
+
+/// Modelled bookkeeping bytes per monitored key beyond the entry payload:
+/// the `(count, slot)` order-set node and the key→slot index node,
+/// including allocator/container overhead.
+const NODE_BYTES: u64 = 48;
+
+/// Deterministic Space-Saving summary over `Copy` keys.
+///
+/// # Example
+///
+/// ```
+/// use ltc_stream::SpaceSaving;
+///
+/// let mut ss = SpaceSaving::new(2);
+/// for key in [7u64, 7, 7, 9, 9, 4] {
+///     ss.observe(key);
+/// }
+/// let est = ss.estimate(&7).unwrap();
+/// assert!(est.count >= 3, "estimates never undercount");
+/// assert!(ss.memory_bytes() <= SpaceSaving::<u64>::entry_bytes() * 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpaceSaving<K> {
+    capacity: usize,
+    entries: Vec<Entry<K>>,
+    index: HashMap<K, u32>,
+    /// Live `(count, slot)` pairs ordered for O(log k) min retrieval.
+    order: BTreeSet<(u64, u32)>,
+    total: u64,
+}
+
+impl<K: Eq + Hash + Copy> SpaceSaving<K> {
+    /// Creates a summary monitoring at most `capacity` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "Space-Saving needs capacity >= 1");
+        SpaceSaving {
+            capacity,
+            entries: Vec::new(),
+            index: HashMap::new(),
+            order: BTreeSet::new(),
+            total: 0,
+        }
+    }
+
+    /// Modelled resident bytes per monitored key (entry payload plus
+    /// index/order bookkeeping) — the unit [`SpaceSaving::with_budget`]
+    /// divides a byte budget by.
+    pub fn entry_bytes() -> u64 {
+        std::mem::size_of::<Entry<K>>() as u64 + NODE_BYTES
+    }
+
+    /// Creates a summary sized to fit `budget_bytes`
+    /// (at least one entry).
+    pub fn with_budget(budget_bytes: u64) -> Self {
+        SpaceSaving::new((budget_bytes / Self::entry_bytes()).max(1) as usize)
+    }
+
+    /// Maximum monitored keys.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Monitored keys right now.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Observations so far (`N`).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The ε·N error bound: any estimate is within `total / capacity` of
+    /// the true count, and any unmonitored key occurred at most this often.
+    pub fn max_error(&self) -> u64 {
+        self.total / self.capacity as u64
+    }
+
+    /// Modelled resident bytes (entry payloads + per-key bookkeeping).
+    /// Bounded by `capacity * entry_bytes()` regardless of stream length.
+    pub fn memory_bytes(&self) -> u64 {
+        self.entries.len() as u64 * Self::entry_bytes()
+    }
+
+    /// Records `n` occurrences of `key`.
+    pub fn observe_n(&mut self, key: K, n: u64) -> Observed {
+        self.total += n;
+        if let Some(&slot) = self.index.get(&key) {
+            let e = &mut self.entries[slot as usize];
+            self.order.remove(&(e.count, slot));
+            e.count += n;
+            self.order.insert((e.count, slot));
+            return Observed::Incremented(slot);
+        }
+        if self.entries.len() < self.capacity {
+            let slot = self.entries.len() as u32;
+            self.entries.push(Entry { key, count: n, overestimate: 0 });
+            self.index.insert(key, slot);
+            self.order.insert((n, slot));
+            return Observed::Inserted(slot);
+        }
+        // Displace the minimum-count key (deterministic: lowest slot on
+        // count ties) and inherit its counter as the overestimate.
+        let &(min_count, slot) = self.order.iter().next().expect("capacity >= 1");
+        self.order.remove(&(min_count, slot));
+        let e = &mut self.entries[slot as usize];
+        self.index.remove(&e.key);
+        *e = Entry { key, count: min_count + n, overestimate: min_count };
+        self.index.insert(key, slot);
+        self.order.insert((min_count + n, slot));
+        Observed::Replaced(slot)
+    }
+
+    /// Records one occurrence of `key`.
+    pub fn observe(&mut self, key: K) -> Observed {
+        self.observe_n(key, 1)
+    }
+
+    /// The estimate for `key`, or `None` if it is not monitored (its true
+    /// count is then at most [`SpaceSaving::max_error`]).
+    pub fn estimate(&self, key: &K) -> Option<Estimate> {
+        self.index.get(key).map(|&slot| {
+            let e = &self.entries[slot as usize];
+            Estimate { count: e.count, overestimate: e.overestimate }
+        })
+    }
+
+    /// The slot holding `key`, if monitored. Slots are stable while the
+    /// key stays monitored and recycled on replacement (see [`Observed`]).
+    pub fn slot(&self, key: &K) -> Option<u32> {
+        self.index.get(key).copied()
+    }
+
+    /// Iterates monitored `(key, estimate)` pairs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, Estimate)> + '_ {
+        self.entries
+            .iter()
+            .map(|e| (e.key, Estimate { count: e.count, overestimate: e.overestimate }))
+    }
+
+    /// Monitored keys sorted by descending estimated count (slot index
+    /// breaks ties, so the order is deterministic).
+    pub fn top(&self) -> Vec<(K, Estimate)> {
+        let mut slots: Vec<u32> = (0..self.entries.len() as u32).collect();
+        slots.sort_by_key(|&s| (std::cmp::Reverse(self.entries[s as usize].count), s));
+        slots
+            .into_iter()
+            .map(|s| {
+                let e = &self.entries[s as usize];
+                (e.key, Estimate { count: e.count, overestimate: e.overestimate })
+            })
+            .collect()
+    }
+
+    /// Forgets everything (capacity is retained).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.index.clear();
+        self.order.clear();
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_capacity() {
+        let mut ss = SpaceSaving::new(8);
+        for i in 0..5u64 {
+            ss.observe_n(i, i + 1);
+        }
+        for i in 0..5u64 {
+            let e = ss.estimate(&i).unwrap();
+            assert_eq!(e.count, i + 1);
+            assert_eq!(e.overestimate, 0);
+        }
+        assert_eq!(ss.total(), 1 + 2 + 3 + 4 + 5);
+    }
+
+    #[test]
+    fn replacement_inherits_min_count() {
+        let mut ss = SpaceSaving::new(2);
+        ss.observe_n(1u64, 5);
+        ss.observe_n(2, 3);
+        let o = ss.observe(9); // displaces key 2 (count 3)
+        assert_eq!(o, Observed::Replaced(1));
+        let e = ss.estimate(&9).unwrap();
+        assert_eq!(e.count, 4);
+        assert_eq!(e.overestimate, 3);
+        assert!(ss.estimate(&2).is_none());
+    }
+
+    #[test]
+    fn error_stays_within_bound() {
+        // Skewed stream: key k occurs 2^(10-k) times, shuffled deterministically.
+        let mut stream = Vec::new();
+        for k in 0..10u64 {
+            stream.extend(std::iter::repeat(k).take(1 << (10 - k)));
+        }
+        // Interleave by striding.
+        let mut ss = SpaceSaving::new(4);
+        let mut truth = std::collections::HashMap::new();
+        for i in 0..stream.len() {
+            let key = stream[(i * 7919) % stream.len()];
+            ss.observe(key);
+            *truth.entry(key).or_insert(0u64) += 1;
+        }
+        for (key, est) in ss.iter() {
+            let t = truth[&key];
+            assert!(est.count >= t, "never undercounts");
+            assert!(est.count - t <= ss.max_error(), "ε·N bound");
+        }
+    }
+
+    #[test]
+    fn memory_is_bounded_by_capacity() {
+        let mut ss = SpaceSaving::new(16);
+        for i in 0..100_000u64 {
+            ss.observe(i);
+        }
+        assert_eq!(ss.len(), 16);
+        assert_eq!(ss.memory_bytes(), 16 * SpaceSaving::<u64>::entry_bytes());
+    }
+
+    #[test]
+    fn with_budget_fits_the_budget() {
+        let budget = 4096;
+        let ss = SpaceSaving::<u64>::with_budget(budget);
+        assert!(ss.capacity() as u64 * SpaceSaving::<u64>::entry_bytes() <= budget);
+        assert!(ss.capacity() >= 1);
+    }
+
+    #[test]
+    fn top_is_sorted_and_deterministic() {
+        let mut ss = SpaceSaving::new(8);
+        for (k, n) in [(3u64, 9u64), (1, 4), (2, 9), (5, 1)] {
+            ss.observe_n(k, n);
+        }
+        let top: Vec<u64> = ss.top().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(top, vec![3, 2, 1, 5], "count desc, slot order on ties");
+    }
+
+    #[test]
+    fn clear_resets_state() {
+        let mut ss = SpaceSaving::new(2);
+        ss.observe(1u64);
+        ss.clear();
+        assert!(ss.is_empty());
+        assert_eq!(ss.total(), 0);
+        assert!(ss.estimate(&1).is_none());
+        ss.observe(2);
+        assert_eq!(ss.estimate(&2).unwrap().count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity >= 1")]
+    fn zero_capacity_rejected() {
+        let _ = SpaceSaving::<u64>::new(0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests for the sketch guarantees: the Space-Saving ε·N bound,
+//! CHH recall on skewed synthetic streams (driven by the `trace::gen`
+//! workload generators), and seed-determinism of every summary.
+
+use std::collections::HashMap;
+
+use ltc_stream::{ChhConfig, ChhSummary, CountMin, SpaceSaving};
+use ltc_trace::gen::{ChaseConfig, ChaseGen};
+use ltc_trace::TraceSource;
+use proptest::prelude::*;
+
+/// Minimum fraction of the true top correlated pairs the CHH summary must
+/// recover on a skewed recurring stream (the summary's configured
+/// recall target for this budget).
+const RECALL_THRESHOLD: f64 = 0.8;
+
+/// A deterministic skewed miss-like stream: consecutive line-address
+/// pairs from a pointer chase with a hot subset (the `trace::gen`
+/// workload model for mcf-style codes).
+fn chase_pairs(seed: u64, len: usize) -> Vec<(u64, u64)> {
+    let mut gen = ChaseGen::new(ChaseConfig {
+        nodes: 512,
+        hot_fraction: 0.7,
+        hot_set_fraction: 0.05,
+        seed,
+        ..ChaseConfig::default()
+    });
+    let lines: Vec<u64> = gen.collect_accesses(len + 1).iter().map(|a| a.addr.line(64).0).collect();
+    lines.windows(2).map(|w| (w[0], w[1])).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Space-Saving never undercounts and overcounts by at most ε·N
+    /// (ε = 1/capacity), for arbitrary streams and capacities.
+    #[test]
+    fn space_saving_stays_within_epsilon_n(
+        capacity in 1usize..24,
+        stream in prop::collection::vec((0u64..40, 1u64..6), 1..300),
+    ) {
+        let mut ss = SpaceSaving::new(capacity);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &(key, reps) in &stream {
+            ss.observe_n(key, reps);
+            *truth.entry(key).or_insert(0) += reps;
+        }
+        let n: u64 = truth.values().sum();
+        prop_assert_eq!(ss.total(), n);
+        let bound = ss.max_error();
+        prop_assert_eq!(bound, n / capacity as u64);
+        for (key, est) in ss.iter() {
+            let t = truth[&key];
+            prop_assert!(est.count >= t, "undercounted {key}: {} < {t}", est.count);
+            prop_assert!(est.count - t <= bound, "ε·N violated for {key}");
+            prop_assert!(est.count - t <= est.overestimate, "per-entry bound violated");
+        }
+        // Completeness half of the guarantee: anything truly above ε·N is
+        // monitored.
+        for (key, &t) in &truth {
+            if t > bound {
+                prop_assert!(ss.estimate(key).is_some(), "hot key {key} ({t} > {bound}) evicted");
+            }
+        }
+    }
+
+    /// The CHH summary recalls the dominant correlated pairs of a skewed
+    /// recurring stream produced by the workload generators.
+    #[test]
+    fn chh_recall_meets_threshold_on_skewed_stream(seed in 0u64..12) {
+        let pairs = chase_pairs(seed, 40_000);
+        let mut chh = ChhSummary::new(ChhConfig::with_budget(96 << 10).with_seed(seed));
+        let mut truth: HashMap<(u64, u64), u64> = HashMap::new();
+        for &(k, v) in &pairs {
+            chh.observe(k, v);
+            *truth.entry((k, v)).or_insert(0) += 1;
+        }
+        // The true top-20 pairs, most frequent first.
+        let mut ranked: Vec<(&(u64, u64), &u64)> = truth.iter().collect();
+        ranked.sort_by_key(|&(pair, count)| (std::cmp::Reverse(*count), *pair));
+        let top: Vec<(u64, u64)> = ranked.iter().take(20).map(|&(p, _)| *p).collect();
+        let recalled = top
+            .iter()
+            .filter(|(k, v)| {
+                chh.correlated(*k).is_some_and(|c| c.iter().any(|p| p.value == *v))
+            })
+            .count();
+        let recall = recalled as f64 / top.len() as f64;
+        prop_assert!(
+            recall >= RECALL_THRESHOLD,
+            "recall {recall:.2} below {RECALL_THRESHOLD} at seed {seed}"
+        );
+    }
+
+    /// Summaries are pure functions of (configuration, stream): replaying
+    /// the same generator stream into same-seeded summaries reproduces
+    /// every estimate and the exact memory footprint.
+    #[test]
+    fn summaries_are_deterministic_for_a_fixed_seed(seed in 0u64..1000) {
+        let pairs = chase_pairs(seed, 5_000);
+        let mut cm_a = CountMin::with_budget(8 << 10, 3, seed);
+        let mut cm_b = CountMin::with_budget(8 << 10, 3, seed);
+        let cfg = ChhConfig::with_budget(32 << 10).with_seed(seed);
+        let mut chh_a = ChhSummary::new(cfg);
+        let mut chh_b = ChhSummary::new(cfg);
+        for &(k, v) in &pairs {
+            cm_a.observe(k);
+            cm_b.observe(k);
+            chh_a.observe(k, v);
+            chh_b.observe(k, v);
+        }
+        for &(k, _) in pairs.iter().take(200) {
+            prop_assert_eq!(cm_a.estimate(k), cm_b.estimate(k));
+            prop_assert_eq!(chh_a.correlated(k), chh_b.correlated(k));
+        }
+        prop_assert_eq!(cm_a.memory_bytes(), cm_b.memory_bytes());
+        prop_assert_eq!(chh_a.memory_bytes(), chh_b.memory_bytes());
+    }
+}
+
+/// Resident memory is a function of the budget, not the stream: a 25x
+/// longer stream leaves `memory_bytes()` under the same bound.
+#[test]
+fn chh_memory_is_independent_of_stream_length() {
+    let budget = 64 << 10;
+    let mut footprints = Vec::new();
+    for len in [20_000usize, 500_000] {
+        let mut chh = ChhSummary::new(ChhConfig::with_budget(budget));
+        for (k, v) in chase_pairs(3, len) {
+            chh.observe(k, v);
+        }
+        assert!(
+            chh.memory_bytes() <= budget,
+            "resident {} exceeds budget {budget} at len {len}",
+            chh.memory_bytes()
+        );
+        footprints.push(chh.memory_bytes());
+    }
+    assert_eq!(footprints[0], footprints[1], "both lengths saturate the same summary size");
+}

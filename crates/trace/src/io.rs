@@ -2,9 +2,11 @@
 //!
 //! Records traces to a simple length-delimited binary format so expensive
 //! generator runs (or externally gathered traces) can be replayed exactly.
-//! Each record is 22 bytes: PC (8), address (8), gap (4), and a flag byte
-//! packing the access kind and dependence bit, preceded by a 16-byte file
-//! header with a magic and version.
+//! Each record is 21 bytes — PC (8), address (8), gap (4), and a flag
+//! byte packing the access kind and dependence bit — preceded by a
+//! 16-byte file header: magic (4), version (4), record count (8). The
+//! `on_disk_layout_matches_docs` unit test pins these numbers so the
+//! prose cannot drift from `RECORD_BYTES` and `HEADER_BYTES` again.
 
 use std::io::{self, Read, Write};
 
@@ -17,8 +19,10 @@ use crate::source::{Replay, TraceSource};
 const MAGIC: u32 = 0x4c54_4354;
 /// Format version.
 const VERSION: u32 = 1;
-/// Bytes per serialized record.
+/// Bytes per serialized record: PC (8) + address (8) + gap (4) + flags (1).
 const RECORD_BYTES: usize = 21;
+/// File header bytes: magic (4) + version (4) + record count (8).
+const HEADER_BYTES: usize = 16;
 
 /// Serializes accesses from `source` into `writer`, up to `limit` records.
 /// Returns the number of records written.
@@ -47,7 +51,7 @@ where
     S: TraceSource + ?Sized,
     W: Write,
 {
-    let mut header = BytesMut::with_capacity(16);
+    let mut header = BytesMut::with_capacity(HEADER_BYTES);
     header.put_u32(MAGIC);
     header.put_u32(VERSION);
     header.put_u64(0); // record count, unknown for streaming writes
@@ -88,7 +92,7 @@ pub fn read_trace<R: Read>(mut reader: R) -> io::Result<Replay> {
     let mut raw = Vec::new();
     reader.read_to_end(&mut raw)?;
     let mut bytes = Bytes::from(raw);
-    if bytes.remaining() < 16 {
+    if bytes.remaining() < HEADER_BYTES {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated trace header"));
     }
     let magic = bytes.get_u32();
@@ -146,7 +150,34 @@ mod tests {
         let mut buf = Vec::new();
         let n = write_trace(&mut src, &mut buf, 100).unwrap();
         assert_eq!(n, 100);
-        assert_eq!(buf.len(), 16 + 100 * RECORD_BYTES);
+        assert_eq!(buf.len(), HEADER_BYTES + 100 * RECORD_BYTES);
+    }
+
+    /// Pins the exact on-disk layout the module docs describe: a 16-byte
+    /// header (magic, version, count) followed by 21-byte records
+    /// (PC 8 + address 8 + gap 4 + flags 1).
+    #[test]
+    fn on_disk_layout_matches_docs() {
+        assert_eq!(HEADER_BYTES, 16);
+        assert_eq!(RECORD_BYTES, 21);
+        assert_eq!(RECORD_BYTES, 8 + 8 + 4 + 1);
+
+        let access = MemoryAccess::store(Pc(0x1122_3344_5566_7788), Addr(0x99aa_bbcc_ddee_ff00))
+            .with_dependent(true)
+            .with_gap(0x0a0b_0c0d);
+        let mut buf = Vec::new();
+        write_trace(&mut Replay::once(vec![access]), &mut buf, 10).unwrap();
+        assert_eq!(buf.len(), HEADER_BYTES + RECORD_BYTES, "one record, one header");
+
+        // Header: magic, version, count placeholder — all big-endian.
+        assert_eq!(&buf[0..4], &MAGIC.to_be_bytes());
+        assert_eq!(&buf[4..8], &VERSION.to_be_bytes());
+        assert_eq!(&buf[8..16], &0u64.to_be_bytes());
+        // Record: PC, address, gap, flags (bit 0 store, bit 1 dependent).
+        assert_eq!(&buf[16..24], &access.pc.0.to_be_bytes());
+        assert_eq!(&buf[24..32], &access.addr.0.to_be_bytes());
+        assert_eq!(&buf[32..36], &access.gap.to_be_bytes());
+        assert_eq!(buf[36], 0b11);
     }
 
     #[test]

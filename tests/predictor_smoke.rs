@@ -20,6 +20,7 @@ fn all_kinds() -> Vec<PredictorKind> {
             PredictorKind::DbcpUnlimited => (),
             PredictorKind::Dbcp2Mb => (),
             PredictorKind::DbcpBytes(_) => (),
+            PredictorKind::SketchDbcp(_) => (),
             PredictorKind::Ghb => (),
             PredictorKind::Stride => (),
             PredictorKind::BigL2 => (),
@@ -33,6 +34,7 @@ fn all_kinds() -> Vec<PredictorKind> {
         PredictorKind::DbcpUnlimited,
         PredictorKind::Dbcp2Mb,
         PredictorKind::DbcpBytes(1 << 20),
+        PredictorKind::SketchDbcp(256 << 10),
         PredictorKind::Ghb,
         PredictorKind::Stride,
         PredictorKind::BigL2,

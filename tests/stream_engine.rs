@@ -1,0 +1,62 @@
+//! `ltsim stream` engine contract: stream runs are ordinary `RunSpec`s,
+//! so they dedupe and cache like any figure run, and the analysis's
+//! resident summary memory is bounded by the configured budget no matter
+//! how long the trace is.
+
+use ltc_sim::engine::{EngineOptions, RunSpec, Scheduler};
+
+/// The acceptance property of the sketch subsystem: doubling, or
+/// octupling, the trace length leaves the summary's resident bytes
+/// untouched — the budget is the bound, the trace length is irrelevant.
+#[test]
+fn resident_summary_memory_is_bounded_by_budget_independent_of_trace_length() {
+    let budget = 96 << 10;
+    let mut footprints = Vec::new();
+    for accesses in [50_000u64, 400_000] {
+        let spec = RunSpec::stream("swim", budget, accesses, 1);
+        let mut sched = Scheduler::new();
+        sched.request(spec.clone());
+        let results = sched.execute(&EngineOptions::in_memory(2)).unwrap();
+        let report = results.stream(&spec);
+        assert_eq!(report.accesses, accesses);
+        assert!(report.misses > 0, "swim must miss");
+        assert!(
+            report.memory_bytes <= budget,
+            "resident {} exceeds budget {budget} at {accesses} accesses",
+            report.memory_bytes
+        );
+        footprints.push(report.memory_bytes);
+    }
+    assert_eq!(footprints[0], footprints[1], "summary allocation is budget-, not trace-, sized");
+}
+
+/// Stream runs participate in the engine exactly like figure runs:
+/// duplicates collapse, artifacts round-trip through the cache, and a
+/// second pass simulates nothing.
+#[test]
+fn stream_specs_dedupe_and_cache_through_the_engine() {
+    let dir = std::env::temp_dir().join(format!("ltc-stream-engine-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = RunSpec::stream("mcf", 64 << 10, 30_000, 1);
+    let opts = EngineOptions::cached(2, &dir);
+
+    let mut sched = Scheduler::new();
+    sched.request(spec.clone());
+    sched.request(spec.clone()); // duplicate request collapses
+    let first = sched.execute(&opts).unwrap();
+    assert_eq!(first.simulated(), 1, "duplicates must dedupe");
+
+    let second = sched.execute(&opts).unwrap();
+    assert_eq!(second.simulated(), 0, "second pass must be pure cache");
+    assert_eq!(second.cache_hits(), 1);
+    assert_eq!(
+        first.stream(&spec),
+        second.stream(&spec),
+        "cached stream report must round-trip losslessly"
+    );
+
+    // Budget is part of the key: a different budget is a different run.
+    let other = RunSpec::stream("mcf", 128 << 10, 30_000, 1);
+    assert_ne!(spec.key(), other.key());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
