@@ -10,8 +10,8 @@
 //! property that lets this analysis serve traces the exact tables cannot.
 
 use ltc_cache::{Hierarchy, HierarchyConfig};
-use ltc_stream::{ChhConfig, ChhSummary, SpaceSaving};
-use ltc_trace::TraceSource;
+use ltc_stream::{ChhConfig, ChhState, ChhSummary, MergeError, SpaceSaving, SpaceSavingState};
+use ltc_trace::{TraceSegment, TraceSource};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of a [`StreamAnalysis`] run.
@@ -27,6 +27,16 @@ pub struct StreamConfig {
 /// Heavy hitters reported per summary (fixed so the report — and with it
 /// the artifact format — does not depend on presentation flags).
 pub const REPORT_TOP: usize = 8;
+
+/// Uncounted accesses a segment worker replays through its hierarchy
+/// before its slice begins, so the cache state at the boundary
+/// approximates the single-pass state (the classic warm-up of sampled
+/// simulation). Sized to refill the paper hierarchy's ~32 K L2 lines a
+/// few times over for any access pattern the suite generates; slices
+/// starting within this window warm on their whole prefix and match the
+/// single pass exactly. Changing this constant changes segmented
+/// results — bump `MODEL_VERSION`.
+pub const SEGMENT_WARMUP: u64 = 150_000;
 
 impl StreamConfig {
     /// A run with the given summary budget.
@@ -107,6 +117,119 @@ impl StreamReport {
     }
 }
 
+/// One worker's summary of one trace segment: the serializable sketch
+/// states plus the counts and boundary misses the reduce step needs.
+///
+/// This is the unit that crosses the worker protocol in segmented runs
+/// (`ltsim stream --segments N`): each worker replays only its
+/// [`TraceSegment`] and returns a `StreamPartial`;
+/// [`merge_partials`] combines them — in segment order — into the same
+/// [`StreamReport`] shape a single-pass run produces.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StreamPartial {
+    /// Accesses this segment replayed.
+    pub accesses: u64,
+    /// Baseline L1D misses this segment observed.
+    pub misses: u64,
+    /// Configured summary budget (bytes) — a shape parameter.
+    pub budget_bytes: u64,
+    /// Hash seed — a shape parameter.
+    pub seed: u64,
+    /// This worker's resident summary memory (bytes, ≤ budget).
+    pub memory_bytes: u64,
+    /// First missed line of the segment (stitches the boundary pair with
+    /// the previous segment's `last_miss` at reduce time).
+    pub first_miss: Option<u64>,
+    /// Last missed line of the segment.
+    pub last_miss: Option<u64>,
+    /// The heavy-hitter Space-Saving summary.
+    pub heavy: SpaceSavingState,
+    /// The correlated-pair CHH summary.
+    pub pairs: ChhState,
+}
+
+/// Combines per-segment partial summaries — in segment order — into one
+/// [`StreamReport`].
+///
+/// Heavy-hitter and pair summaries merge under their documented merged
+/// error bounds ([`SpaceSaving::merge`], [`ChhSummary::merge`]); the
+/// boundary miss transition between consecutive segments (last miss of
+/// segment `i` → first miss of segment `i+1`) is re-observed here so the
+/// pair stream loses nothing to the cuts. The report's `memory_bytes` is
+/// the **maximum** resident footprint over the workers — the honest
+/// per-worker bound a segmented run guarantees (no single worker ever
+/// holds more than the budget; the partials exist sequentially at the
+/// reducer only as serialized state).
+///
+/// # Errors
+///
+/// Returns a [`MergeError`] when `parts` is empty or the partials were
+/// built with different budgets or seeds — summaries of different shape
+/// cannot be combined (checked per sketch, surfaced as a typed error all
+/// the way up through the engine and the worker protocol).
+pub fn merge_partials(parts: &[StreamPartial]) -> Result<StreamReport, MergeError> {
+    let first = parts.first().ok_or_else(|| MergeError::State {
+        summary: "stream-partial",
+        reason: "no partial summaries to merge".to_string(),
+    })?;
+    let mut heavy = SpaceSaving::from_state(&first.heavy)?;
+    let mut pairs = ChhSummary::from_state(&first.pairs)?;
+    let mut report = StreamReport {
+        accesses: first.accesses,
+        misses: first.misses,
+        budget_bytes: first.budget_bytes,
+        memory_bytes: first.memory_bytes,
+        ..StreamReport::default()
+    };
+    let mut last_miss = first.last_miss;
+    for part in &parts[1..] {
+        heavy.merge(&SpaceSaving::from_state(&part.heavy)?)?;
+        pairs.merge(&ChhSummary::from_state(&part.pairs)?)?;
+        if let (Some(prev), Some(next)) = (last_miss, part.first_miss) {
+            pairs.observe(prev, next);
+        }
+        if part.last_miss.is_some() {
+            last_miss = part.last_miss;
+        }
+        report.accesses += part.accesses;
+        report.misses += part.misses;
+        report.memory_bytes = report.memory_bytes.max(part.memory_bytes);
+    }
+    finalize(report, &heavy, &pairs)
+}
+
+/// Builds the reported tables from the (merged or single-pass) summaries.
+fn finalize(
+    mut report: StreamReport,
+    heavy: &SpaceSaving<u64>,
+    pairs: &ChhSummary,
+) -> Result<StreamReport, MergeError> {
+    report.error_bound = heavy.max_error();
+    report.heavy = heavy
+        .top()
+        .into_iter()
+        .take(REPORT_TOP)
+        .map(|(line, e)| HeavyLine { line, estimate: e.count, overestimate: e.overestimate })
+        .collect();
+
+    // Rank every monitored (key → value) transition by pair estimate.
+    let mut correlated: Vec<CorrelatedMiss> = Vec::new();
+    for (key, key_est) in pairs.key_estimates() {
+        for p in pairs.correlated(key).unwrap_or_default() {
+            correlated.push(CorrelatedMiss {
+                last_line: key,
+                next_line: p.value,
+                estimate: p.estimate,
+                key_estimate: key_est.count,
+            });
+        }
+    }
+    correlated.sort_by_key(|c| (std::cmp::Reverse(c.estimate), c.last_line, c.next_line));
+    correlated.truncate(REPORT_TOP);
+    report.correlated = correlated;
+    Ok(report)
+}
+
 /// The one-pass analysis driver.
 #[derive(Debug)]
 pub struct StreamAnalysis;
@@ -119,54 +242,74 @@ impl StreamAnalysis {
         limit: u64,
         cfg: StreamConfig,
     ) -> StreamReport {
+        let whole = TraceSegment { index: 0, segments: 1, start: 0, len: limit };
+        let partial = Self::run_segment(source, whole, cfg);
+        merge_partials(&[partial]).expect("a single partial always merges")
+    }
+
+    /// Replays only `segment` of the trace and returns the partial
+    /// summary for later merging.
+    ///
+    /// The worker generates (but does not simulate) the prefix before
+    /// its slice, then replays the last [`SEGMENT_WARMUP`] of those
+    /// prefix accesses through its hierarchy — uncounted — so the cache
+    /// state at the slice boundary approximates the single-pass state.
+    /// A slice whose `start` is within the warm-up window replays the
+    /// *whole* prefix and its miss counts match a single pass exactly;
+    /// deeper slices keep a small residual cold-start drift (misses the
+    /// warmed window could not re-create), the documented approximation
+    /// of segmented streaming. The boundary pair into the segment is
+    /// deferred to [`merge_partials`] via
+    /// [`StreamPartial::first_miss`]/[`StreamPartial::last_miss`].
+    pub fn run_segment<S: TraceSource + ?Sized>(
+        source: &mut S,
+        segment: TraceSegment,
+        cfg: StreamConfig,
+    ) -> StreamPartial {
+        let warm = segment.start.min(SEGMENT_WARMUP);
+        for _ in 0..segment.start - warm {
+            if source.next_access().is_none() {
+                break;
+            }
+        }
         let mut hierarchy = Hierarchy::new(HierarchyConfig::paper());
+        for _ in 0..warm {
+            let Some(a) = source.next_access() else { break };
+            hierarchy.access(a.addr, a.kind);
+        }
         let mut heavy = SpaceSaving::with_budget(cfg.budget_bytes / 2);
         let mut pairs =
             ChhSummary::new(ChhConfig::with_budget(cfg.budget_bytes / 2).with_seed(cfg.seed));
-        let mut report = StreamReport { budget_bytes: cfg.budget_bytes, ..StreamReport::default() };
+        let mut partial = StreamPartial {
+            budget_bytes: cfg.budget_bytes,
+            seed: cfg.seed,
+            ..StreamPartial::default()
+        };
         let mut last_miss: Option<u64> = None;
 
-        for _ in 0..limit {
+        for _ in 0..segment.len {
             let Some(a) = source.next_access() else { break };
-            report.accesses += 1;
+            partial.accesses += 1;
             let out = hierarchy.access(a.addr, a.kind);
             if out.l1.hit {
                 continue;
             }
-            report.misses += 1;
+            partial.misses += 1;
             let line = a.addr.line(64).0;
             heavy.observe(line);
             if let Some(prev) = last_miss {
                 pairs.observe(prev, line);
+            } else {
+                partial.first_miss = Some(line);
             }
             last_miss = Some(line);
         }
 
-        report.memory_bytes = heavy.memory_bytes() + pairs.memory_bytes();
-        report.error_bound = heavy.max_error();
-        report.heavy = heavy
-            .top()
-            .into_iter()
-            .take(REPORT_TOP)
-            .map(|(line, e)| HeavyLine { line, estimate: e.count, overestimate: e.overestimate })
-            .collect();
-
-        // Rank every monitored (key → value) transition by pair estimate.
-        let mut correlated: Vec<CorrelatedMiss> = Vec::new();
-        for (key, key_est) in pairs.key_estimates() {
-            for p in pairs.correlated(key).unwrap_or_default() {
-                correlated.push(CorrelatedMiss {
-                    last_line: key,
-                    next_line: p.value,
-                    estimate: p.estimate,
-                    key_estimate: key_est.count,
-                });
-            }
-        }
-        correlated.sort_by_key(|c| (std::cmp::Reverse(c.estimate), c.last_line, c.next_line));
-        correlated.truncate(REPORT_TOP);
-        report.correlated = correlated;
-        report
+        partial.memory_bytes = heavy.memory_bytes() + pairs.memory_bytes();
+        partial.last_miss = last_miss;
+        partial.heavy = heavy.to_state();
+        partial.pairs = pairs.to_state();
+        partial
     }
 }
 
@@ -234,5 +377,79 @@ mod tests {
         let ra = StreamAnalysis::run(&mut a, u64::MAX, cfg);
         let rb = StreamAnalysis::run(&mut b, u64::MAX, cfg);
         assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn merged_segments_match_single_pass_within_bounds() {
+        let cfg = StreamConfig::with_budget(64 << 10).with_seed(1);
+        let accesses = 1_600u64;
+        let mut whole = conflict_loop(4, 400);
+        let single = StreamAnalysis::run(&mut whole, accesses, cfg);
+
+        for segments in [2u32, 4] {
+            let partials: Vec<StreamPartial> = ltc_trace::TraceSegment::split(accesses, segments)
+                .into_iter()
+                .map(|seg| {
+                    let mut src = conflict_loop(4, 400);
+                    let partial = StreamAnalysis::run_segment(&mut src, seg, cfg);
+                    assert!(
+                        partial.memory_bytes <= cfg.budget_bytes,
+                        "worker resident {} exceeds budget",
+                        partial.memory_bytes
+                    );
+                    partial
+                })
+                .collect();
+            let merged = merge_partials(&partials).unwrap();
+            assert_eq!(merged.accesses, single.accesses);
+            // Segment boundaries restart the hierarchy cold; this trace
+            // misses on essentially every access anyway, so the counts
+            // must agree almost exactly.
+            assert!(merged.misses >= single.misses);
+            assert!(merged.misses - single.misses <= u64::from(segments) * 8);
+            // The same four lines dominate both reports, within the
+            // merged ε·N bound.
+            assert_eq!(merged.heavy.len(), single.heavy.len());
+            for (m, s) in merged.heavy.iter().zip(&single.heavy) {
+                assert_eq!(m.line, s.line);
+                assert!(m.estimate.abs_diff(s.estimate) <= merged.error_bound + single.error_bound);
+            }
+            // The boundary stitching preserves the miss cycle's dominant
+            // transitions.
+            assert_eq!(merged.correlated[0].last_line, single.correlated[0].last_line);
+            assert_eq!(merged.correlated[0].next_line, single.correlated[0].next_line);
+        }
+    }
+
+    #[test]
+    fn merge_partials_rejects_mismatched_shapes() {
+        let mut a = conflict_loop(4, 50);
+        let mut b = conflict_loop(4, 50);
+        let whole = ltc_trace::TraceSegment { index: 0, segments: 1, start: 0, len: 200 };
+        let pa = StreamAnalysis::run_segment(&mut a, whole, StreamConfig::with_budget(32 << 10));
+        let pb = StreamAnalysis::run_segment(&mut b, whole, StreamConfig::with_budget(64 << 10));
+        let err = merge_partials(&[pa.clone(), pb]).unwrap_err();
+        assert!(matches!(err, ltc_stream::MergeError::Shape { .. }), "typed error, not a panic");
+
+        let mut c = conflict_loop(4, 50);
+        let pc = StreamAnalysis::run_segment(
+            &mut c,
+            whole,
+            StreamConfig::with_budget(32 << 10).with_seed(9),
+        );
+        assert!(merge_partials(&[pa, pc]).is_err(), "seed mismatch must be refused");
+        assert!(merge_partials(&[]).is_err(), "empty partials are an error");
+    }
+
+    #[test]
+    fn partial_round_trips_through_serde() {
+        let mut t = conflict_loop(4, 100);
+        let seg = ltc_trace::TraceSegment::nth(400, 2, 1);
+        let p = StreamAnalysis::run_segment(&mut t, seg, StreamConfig::with_budget(32 << 10));
+        let parsed: StreamPartial =
+            serde_json::from_str(&serde_json::to_string(&p)).expect("parses");
+        assert_eq!(parsed, p);
+        // A revived partial merges identically to the original.
+        assert_eq!(merge_partials(&[parsed]).unwrap(), merge_partials(&[p]).unwrap());
     }
 }

@@ -12,7 +12,7 @@
 //! ltsim run      [--figures a,b,..] [--out DIR] [--quick] [--force] [--threads N]
 //!                [--backend threads|sharded|subprocess] [--progress off|plain|live|auto]
 //! ltsim render   [--figures a,b,..] [--out DIR] [--format table|json|csv]
-//! ltsim stream   <benchmark|all> [--budget BYTES] [--accesses N] [--seed N]
+//! ltsim stream   <benchmark|all> [--budget BYTES] [--segments N] [--accesses N] [--seed N]
 //!                [--out DIR] [--force] [--threads N] [--backend ...] [--progress ...]
 //! ltsim worker
 //! ```
@@ -35,7 +35,10 @@
 //! `stream` runs the bounded-memory one-pass miss analysis. Its runs are
 //! ordinary `RunSpec`s (mode `stream`, budget in the key), so they
 //! dedupe, cache and execute through the same scheduler and backends as
-//! the figures.
+//! the figures. `--segments N` splits each trace into N slices that the
+//! selected backend summarizes in parallel (each worker within the byte
+//! budget) and merges into one report — see EXPERIMENTS.md "Segmented
+//! streaming" for when the merge is exact vs approximate.
 
 use std::io::{BufRead, Write};
 
@@ -420,10 +423,21 @@ fn parse_bytes(raw: &str) -> Result<u64, String> {
         .ok_or_else(|| format!("bad byte count: {raw}"))
 }
 
+/// Largest accepted `--segments` — a sanity cap on fan-out (the
+/// scheduler would happily queue thousands of slices), not an accuracy
+/// guarantee: whether a slice outlasts the hierarchy warm-up depends on
+/// `--accesses / --segments`, so short traces can go cold-boundary
+/// noisy well below this cap (see EXPERIMENTS.md "Segmented
+/// streaming").
+const MAX_STREAM_SEGMENTS: u32 = 256;
+
 /// `ltsim stream`: one-pass bounded-memory miss analysis through the
 /// engine. Each benchmark becomes one `RunSpec` (mode `stream`, budget in
 /// the key), so runs dedupe against each other and the artifact cache and
-/// execute on any backend.
+/// execute on any backend. With `--segments N` (N > 1) each benchmark
+/// becomes a `stream-segmented` parent spec instead: the scheduler fans
+/// its N per-segment children out across the selected backend and merges
+/// their partial summaries into one report.
 fn cmd_stream(args: &[String]) -> Result<(), String> {
     let target = args.first().ok_or("stream needs a benchmark name (or `all`)")?;
     let benchmarks: Vec<&'static str> = if target == "all" {
@@ -432,6 +446,7 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         vec![suite::by_name(target).ok_or_else(|| format!("unknown benchmark: {target}"))?.name]
     };
     let mut budget = DEFAULT_STREAM_BUDGET;
+    let mut segments: u32 = 1;
     let mut accesses: u64 = 2_000_000;
     let mut seed: u64 = 1;
     let mut opts = EngineOptions { threads: 4, ..EngineOptions::default() };
@@ -442,6 +457,13 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         }
         match a.as_str() {
             "--budget" => budget = parse_bytes(it.next().ok_or("--budget needs a byte count")?)?,
+            "--segments" => {
+                segments = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|n: &u32| (1..=MAX_STREAM_SEGMENTS).contains(n))
+                    .ok_or(format!("--segments needs a number in 1..={MAX_STREAM_SEGMENTS}"))?;
+            }
             "--accesses" => {
                 accesses = it
                     .next()
@@ -458,8 +480,16 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         return Err(format!("--budget must be at least {MIN_STREAM_BUDGET} bytes (got {budget})"));
     }
 
-    let specs: Vec<RunSpec> =
-        benchmarks.iter().map(|b| RunSpec::stream(b, budget, accesses, seed)).collect();
+    let specs: Vec<RunSpec> = benchmarks
+        .iter()
+        .map(|b| {
+            if segments > 1 {
+                RunSpec::stream_segmented(b, budget, segments, accesses, seed)
+            } else {
+                RunSpec::stream(b, budget, accesses, seed)
+            }
+        })
+        .collect();
     let mut sched = ltc_sim::engine::Scheduler::new();
     sched.request_all(specs.iter().cloned());
     let mut results = ResultSet::new();
@@ -468,12 +498,16 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     for spec in &specs {
         let r = results.stream(spec);
         println!("benchmark        {}", spec.benchmark);
+        if segments > 1 {
+            println!("segments         {segments} (parallel workers, summaries merged)");
+        }
         println!("accesses         {}", r.accesses);
         println!("L1D misses       {} ({})", r.misses, pct1(r.miss_rate()));
         println!(
-            "summary memory   {} of {} budget",
+            "summary memory   {} of {} budget{}",
             ltc_sim::report::bytes(r.memory_bytes),
-            ltc_sim::report::bytes(r.budget_bytes)
+            ltc_sim::report::bytes(r.budget_bytes),
+            if segments > 1 { " (max per worker)" } else { "" }
         );
         println!("error bound      ±{} misses (ε·N)", r.error_bound);
         let mut heavy = Table::new(vec!["heavy-hitter line", "est. misses", "overestimate ≤"]);

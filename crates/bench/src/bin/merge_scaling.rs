@@ -1,0 +1,6 @@
+//! Prints the merge scaling sweep (segmented streaming vs the single-pass
+//! report) via the experiment engine.
+//! Flags: `--quick`, `--out DIR`, `--force`, `--threads N`.
+fn main() {
+    ltc_bench::harness::figure_main("merge");
+}

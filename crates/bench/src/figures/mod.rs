@@ -16,6 +16,7 @@
 //! | [`fig12`] | Figure 12 — memory bus utilization breakdown |
 //! | [`ablations`] | design-choice ablations beyond the paper's figures |
 //! | [`sketch`] | sketch budget sweep — `SketchDbcp` vs exact DBCP |
+//! | [`merge`] | merge scaling sweep — segmented streaming vs single pass |
 
 pub mod ablations;
 pub mod fig02;
@@ -27,6 +28,7 @@ pub mod fig09;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;
+pub mod merge;
 pub mod sketch;
 pub mod table1;
 pub mod table2;

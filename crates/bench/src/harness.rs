@@ -120,6 +120,12 @@ pub fn registry() -> &'static [FigureDef] {
             specs: sketch::specs,
             render: |scale, rs| sketch::render(&sketch::points(scale, rs)),
         },
+        FigureDef {
+            name: "merge",
+            title: "Merge scaling sweep: segmented streaming vs single pass",
+            specs: merge::specs,
+            render: |scale, rs| merge::render(&merge::points(scale, rs)),
+        },
     ]
 }
 

@@ -25,6 +25,9 @@ fn worker_round_trips_spec_lines() {
         RunSpec::timing("mesa", PredictorKind::LtCords, 3_000, 2),
         RunSpec::dead_time("swim", 4_000, 1),
         RunSpec::stream("mcf", 64 << 10, 4_000, 1),
+        // A segment child: the partial sketch summaries travel back over
+        // the protocol as a `stream-partial` result line.
+        RunSpec::stream_segment("mcf", 64 << 10, 4, 1, 4_000, 1),
     ];
     let cmd = worker_command();
     let mut child = Command::new(&cmd[0])
@@ -116,6 +119,64 @@ fn all_three_backends_render_identical_tables() {
     assert_eq!(simulated[1], simulated[2]);
     assert_eq!(rendered[0], rendered[1], "threads vs sharded tables differ");
     assert_eq!(rendered[1], rendered[2], "sharded vs subprocess tables differ");
+}
+
+/// Segmented streaming across all three backends: the per-segment
+/// partial summaries — serialized sketch state — round-trip over the
+/// worker protocol, and the merged reports are byte-for-byte identical
+/// canonical JSON whichever backend ran the segments (completing the
+/// parity matrix started in `crates/sim/tests/backends.rs`).
+#[test]
+fn segmented_stream_reports_identical_across_all_backends() {
+    let specs = [
+        RunSpec::stream_segmented("mcf", 64 << 10, 4, 8_000, 1),
+        RunSpec::stream_segmented("swim", 64 << 10, 3, 8_000, 1),
+    ];
+    let backends = [
+        BackendKind::Threads,
+        BackendKind::Sharded,
+        BackendKind::Subprocess { command: worker_command() },
+    ];
+    let mut rendered: Vec<Vec<String>> = Vec::new();
+    for backend in backends {
+        let mut sched = Scheduler::new();
+        sched.request_all(specs.iter().cloned());
+        let results = sched.execute(&EngineOptions::in_memory(3).with_backend(backend)).unwrap();
+        assert_eq!(results.simulated(), 7, "4 + 3 segment children, parents reduced");
+        rendered.push(
+            specs
+                .iter()
+                .map(|spec| serde_json::to_string(results.get(spec).expect("merged report")))
+                .collect(),
+        );
+    }
+    assert_eq!(rendered[0], rendered[1], "threads vs sharded merged reports differ");
+    assert_eq!(rendered[1], rendered[2], "sharded vs subprocess merged reports differ");
+}
+
+/// Shape checking survives the worker protocol: partial summaries that
+/// crossed the subprocess boundary still carry their construction shape,
+/// so merging two workers' partials from differently-configured runs is
+/// the same typed `MergeError` it would be in process — not a panic, not
+/// silent corruption.
+#[test]
+fn worker_partials_keep_their_shape_across_the_protocol() {
+    let small = RunSpec::stream_segment("mcf", 64 << 10, 2, 0, 4_000, 1);
+    let large = RunSpec::stream_segment("mcf", 128 << 10, 2, 1, 4_000, 1);
+    let opts = EngineOptions::in_memory(2)
+        .with_backend(BackendKind::Subprocess { command: worker_command() });
+    let mut sched = Scheduler::new();
+    sched.request(small.clone());
+    sched.request(large.clone());
+    let results = sched.execute(&opts).unwrap();
+    let a = results.stream_partial(&small).clone();
+    let b = results.stream_partial(&large).clone();
+    let err = ltc_sim::analysis::merge_partials(&[a, b]).unwrap_err();
+    assert!(
+        matches!(err, ltc_sim::stream::MergeError::Shape { .. }),
+        "expected a typed shape error, got {err}"
+    );
+    assert!(err.to_string().contains("cannot merge"), "{err}");
 }
 
 /// The subprocess transport honours the scheduler contract end to end:

@@ -135,12 +135,21 @@ fn cost_estimate(spec: &RunSpec) -> u64 {
     let weight = match &spec.mode {
         Mode::Timing => 10,
         Mode::MultiProg { partner: Some(_) } => 4,
-        Mode::MultiProg { partner: None } => 2,
+        // A segmented parent executed directly replays every segment
+        // sequentially (the scheduler normally expands it instead).
+        Mode::MultiProg { partner: None } | Mode::StreamSegmented { .. } => 2,
         Mode::Coverage
         | Mode::DeadTime
         | Mode::Correlation
         | Mode::Ordering
         | Mode::Stream { .. } => 1,
+        // One slice: simulate `accesses / segments`, but generate up to
+        // the slice's end to skip there — later slices cost more
+        // generation, earlier ones more simulation; call it one unit of
+        // the *slice* budget so a many-segment fan-out seeds fairly.
+        Mode::StreamSegment { segments, .. } => {
+            return (spec.accesses / u64::from(*segments).max(1)).max(1);
+        }
     };
     spec.accesses.saturating_mul(weight).max(1)
 }

@@ -26,6 +26,10 @@
 //!    spec, with provenance counters (simulated vs served from cache).
 //! 6. [`artifact`] — the `results/` cache: one JSON line per run, named
 //!    by the spec's FNV-1a hash, plus JSON/CSV export helpers.
+//! 7. [`segmented`] — fan-out/reduce for segmented streaming runs: a
+//!    `stream-segmented` spec expands to per-segment child specs before
+//!    backend dispatch and its report is merged from their partial
+//!    summaries.
 //!
 //! # Example
 //!
@@ -48,6 +52,7 @@ pub mod backend;
 pub mod progress;
 pub mod result;
 pub mod scheduler;
+pub mod segmented;
 pub mod spec;
 
 pub use backend::{

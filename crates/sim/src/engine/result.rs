@@ -3,7 +3,8 @@
 use std::collections::HashMap;
 
 use ltc_analysis::{
-    CorrelationAnalysis, CoverageReport, DeadTimeTracker, LastTouchOrderAnalysis, StreamReport,
+    CorrelationAnalysis, CoverageReport, DeadTimeTracker, LastTouchOrderAnalysis, StreamPartial,
+    StreamReport,
 };
 use ltc_timing::TimingReport;
 use serde::{DeError, Deserialize, Serialize, Value};
@@ -26,8 +27,15 @@ pub enum RunResult {
     Ordering(LastTouchOrderAnalysis),
     /// A multi-programmed run ([`crate::engine::Mode::MultiProg`]).
     MultiProg(MultiProgReport),
-    /// A streaming sketch analysis ([`crate::engine::Mode::Stream`]).
+    /// A streaming sketch analysis ([`crate::engine::Mode::Stream`] or
+    /// the merged report of a [`crate::engine::Mode::StreamSegmented`]
+    /// run).
     Stream(StreamReport),
+    /// One worker's partial summary of a trace segment
+    /// ([`crate::engine::Mode::StreamSegment`]) — serializable sketch
+    /// state awaiting the reduce step. Boxed: the sketch snapshot dwarfs
+    /// every report variant.
+    StreamPartial(Box<StreamPartial>),
 }
 
 impl RunResult {
@@ -41,6 +49,7 @@ impl RunResult {
             RunResult::Ordering(_) => "ordering",
             RunResult::MultiProg(_) => "multiprog",
             RunResult::Stream(_) => "stream",
+            RunResult::StreamPartial(_) => "stream-partial",
         }
     }
 
@@ -71,6 +80,7 @@ impl Serialize for RunResult {
             RunResult::Ordering(r) => r.to_value(),
             RunResult::MultiProg(r) => r.to_value(),
             RunResult::Stream(r) => r.to_value(),
+            RunResult::StreamPartial(r) => r.to_value(),
         };
         Value::Map(vec![
             ("kind".to_string(), Value::Str(self.kind().to_string())),
@@ -93,6 +103,9 @@ impl<'de> Deserialize<'de> for RunResult {
             "ordering" => Ok(RunResult::Ordering(LastTouchOrderAnalysis::from_value(data)?)),
             "multiprog" => Ok(RunResult::MultiProg(MultiProgReport::from_value(data)?)),
             "stream" => Ok(RunResult::Stream(StreamReport::from_value(data)?)),
+            "stream-partial" => {
+                Ok(RunResult::StreamPartial(Box::new(StreamPartial::from_value(data)?)))
+            }
             other => Err(DeError(format!("unknown result kind `{other}`"))),
         }
     }
@@ -245,6 +258,18 @@ impl ResultSet {
     pub fn stream(&self, spec: &RunSpec) -> &StreamReport {
         self.demand(spec, "stream", |r| match r {
             RunResult::Stream(s) => Some(s),
+            _ => None,
+        })
+    }
+
+    /// The partial segment summary for `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result is absent or of the wrong mode.
+    pub fn stream_partial(&self, spec: &RunSpec) -> &StreamPartial {
+        self.demand(spec, "stream-partial", |r| match r {
+            RunResult::StreamPartial(p) => Some(p),
             _ => None,
         })
     }

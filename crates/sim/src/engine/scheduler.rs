@@ -16,6 +16,7 @@ use crate::engine::artifact;
 use crate::engine::backend::{BackendKind, RunObserver};
 use crate::engine::progress::{ProgressMode, ProgressSink};
 use crate::engine::result::{ResultSet, RunResult};
+use crate::engine::segmented;
 use crate::engine::spec::RunSpec;
 
 /// Execution policy for a [`Scheduler`].
@@ -124,15 +125,32 @@ impl Scheduler {
     /// [`EngineOptions::backend`], then are written back to the cache.
     /// Figures with result-dependent spec sets call this in rounds.
     ///
+    /// Segmented streaming parents ([`crate::engine::Mode::StreamSegmented`])
+    /// never reach the backend themselves: a cache-missing parent expands
+    /// into its per-segment child specs (which probe the cache
+    /// individually), the children execute on the selected backend like
+    /// any other spec — in parallel, over the worker protocol for
+    /// `subprocess` — and the parent's merged report is reduced from
+    /// their partial summaries and persisted under the parent's own key.
+    ///
     /// # Errors
     ///
-    /// Returns any artifact-cache I/O error or backend transport error.
+    /// Returns any artifact-cache I/O error, backend transport error, or
+    /// segment-reduce error (shape-mismatched partials).
     pub fn execute_into(&self, results: &mut ResultSet, opts: &EngineOptions) -> io::Result<()> {
         let pending: Vec<RunSpec> =
             self.unique().into_iter().filter(|s| !results.contains(s)).collect();
 
         let mut to_run = Vec::new();
+        let mut queued: HashSet<RunSpec> = HashSet::new();
+        let mut parents = Vec::new();
         for spec in pending {
+            // A parent's expansion below may have satisfied this spec
+            // (a directly-requested child) after `pending` was computed;
+            // loading it again would double-count the cache hit.
+            if results.contains(&spec) {
+                continue;
+            }
             let cached = match &opts.cache_dir {
                 Some(dir) if !opts.force => artifact::load(dir, &spec)?,
                 _ => None,
@@ -142,7 +160,38 @@ impl Scheduler {
                     results.cache_hits += 1;
                     results.insert(spec, result);
                 }
-                None => to_run.push(spec),
+                None => match segmented::children(&spec) {
+                    Some(children) => {
+                        for child in children {
+                            if results.contains(&child) || queued.contains(&child) {
+                                continue;
+                            }
+                            let cached = match &opts.cache_dir {
+                                Some(dir) if !opts.force => artifact::load(dir, &child)?,
+                                _ => None,
+                            };
+                            match cached {
+                                Some(result) => {
+                                    results.cache_hits += 1;
+                                    results.insert(child, result);
+                                }
+                                None => {
+                                    queued.insert(child.clone());
+                                    to_run.push(child);
+                                }
+                            }
+                        }
+                        parents.push(spec);
+                    }
+                    // A child spec requested directly may already be
+                    // queued (or cache-satisfied) by its parent's
+                    // expansion above, and vice versa.
+                    None if !queued.contains(&spec) && !results.contains(&spec) => {
+                        queued.insert(spec.clone());
+                        to_run.push(spec);
+                    }
+                    None => {}
+                },
             }
         }
 
@@ -169,6 +218,18 @@ impl Scheduler {
         for (spec, result) in to_run.into_iter().zip(outcomes) {
             results.simulated += 1;
             results.insert(spec, result);
+        }
+        // Reduce each segmented parent from its children's partial
+        // summaries and persist the merged report under the parent's own
+        // key, so the next pass serves the parent without touching the
+        // children. The reduce itself is not a simulation — the counters
+        // already reflect the child executions.
+        for parent in parents {
+            let merged = segmented::reduce(&parent, results)?;
+            if let Some(dir) = &opts.cache_dir {
+                artifact::store(dir, &parent, &merged)?;
+            }
+            results.insert(parent, merged);
         }
         match store_error.into_inner().expect("store-error lock") {
             Some(e) => Err(e),

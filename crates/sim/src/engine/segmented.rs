@@ -1,0 +1,156 @@
+//! Fan-out and reduce for segmented streaming runs.
+//!
+//! A [`Mode::StreamSegmented`] spec is a *composite* experiment: one
+//! logical trace split into `segments` slices, each summarized by an
+//! ordinary [`Mode::StreamSegment`] child spec, and the partial
+//! summaries merged back (`ltc_analysis::merge_partials`) into the one
+//! report the parent stands for. The scheduler expands parents into
+//! children before handing work to the execution backend — so the
+//! slices run in parallel on *any* backend, including `subprocess`,
+//! where the partial summaries travel back over the worker JSON-lines
+//! protocol as `stream-partial` results — and calls [`reduce`] once the
+//! children are in.
+//!
+//! The split is deliberately visible in every key: a child's cache key
+//! carries the budget, the segment count and the segment index, so
+//! `--segments 4` and `--segments 8` runs (whose slices cover different
+//! access ranges) can never alias each other's artifacts.
+
+use std::io;
+
+use ltc_analysis::merge_partials;
+
+use crate::engine::result::{ResultSet, RunResult};
+use crate::engine::spec::{Mode, RunSpec};
+
+/// The per-segment child specs of a segmented parent, in segment order —
+/// or `None` if `spec` is not a [`Mode::StreamSegmented`] run.
+pub fn children(spec: &RunSpec) -> Option<Vec<RunSpec>> {
+    match spec.mode {
+        Mode::StreamSegmented { budget_bytes, segments } => Some(
+            (0..segments)
+                .map(|segment| {
+                    RunSpec::stream_segment(
+                        &spec.benchmark,
+                        budget_bytes,
+                        segments,
+                        segment,
+                        spec.accesses,
+                        spec.seed,
+                    )
+                })
+                .collect(),
+        ),
+        _ => None,
+    }
+}
+
+/// Merges a parent's child results out of `results` into the parent's
+/// [`RunResult::Stream`] report.
+///
+/// # Errors
+///
+/// Returns `InvalidData` when a child result is missing or of the wrong
+/// kind (a scheduler contract violation) or when the partial summaries
+/// refuse to merge (`ltc_stream::MergeError`, e.g. shape-mismatched
+/// partials smuggled in from a differently-configured worker) — typed
+/// errors, never panics, because child results cross process boundaries.
+pub fn reduce(parent: &RunSpec, results: &ResultSet) -> io::Result<RunResult> {
+    let children = children(parent).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("spec {} is not a segmented streaming run", parent.key()),
+        )
+    })?;
+    let partials: Vec<_> = children
+        .iter()
+        .map(|child| match results.get(child) {
+            Some(RunResult::StreamPartial(p)) => Ok((**p).clone()),
+            Some(other) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("segment {} answered with a {} result", child.key(), other.kind()),
+            )),
+            None => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("missing segment result for {}", child.key()),
+            )),
+        })
+        .collect::<io::Result<_>>()?;
+    let report = merge_partials(&partials).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("cannot reduce segments of {}: {e}", parent.key()),
+        )
+    })?;
+    Ok(RunResult::Stream(report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltc_analysis::StreamReport;
+
+    fn parent() -> RunSpec {
+        RunSpec::stream_segmented("mcf", 64 << 10, 3, 6_000, 1)
+    }
+
+    #[test]
+    fn children_cover_every_segment_in_order() {
+        let kids = children(&parent()).unwrap();
+        assert_eq!(kids.len(), 3);
+        for (i, kid) in kids.iter().enumerate() {
+            assert_eq!(
+                kid.mode,
+                Mode::StreamSegment { budget_bytes: 64 << 10, segments: 3, segment: i as u32 }
+            );
+            assert_eq!(kid.benchmark, "mcf");
+            assert_eq!((kid.accesses, kid.seed), (6_000, 1));
+        }
+        assert!(children(&RunSpec::stream("mcf", 64 << 10, 6_000, 1)).is_none());
+    }
+
+    #[test]
+    fn reduce_demands_every_child() {
+        let results = ResultSet::new();
+        let err = reduce(&parent(), &results).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("missing segment"), "{err}");
+    }
+
+    #[test]
+    fn reduce_rejects_wrong_result_kinds() {
+        let mut results = ResultSet::new();
+        for child in children(&parent()).unwrap() {
+            results.insert(child, RunResult::Stream(StreamReport::default()));
+        }
+        let err = reduce(&parent(), &results).unwrap_err();
+        assert!(err.to_string().contains("answered with a stream result"), "{err}");
+    }
+
+    #[test]
+    fn reduce_matches_the_parent_spec_executed_directly() {
+        let spec = RunSpec::stream_segmented("gzip", 64 << 10, 2, 4_000, 1);
+        let mut results = ResultSet::new();
+        for child in children(&spec).unwrap() {
+            let result = child.execute();
+            results.insert(child, result);
+        }
+        let reduced = reduce(&spec, &results).unwrap();
+        assert_eq!(reduced, spec.execute(), "fan-out + reduce must equal sequential execution");
+    }
+
+    #[test]
+    fn reduce_surfaces_shape_mismatch_as_typed_error() {
+        // Smuggle in a partial from a differently-budgeted run: the
+        // reduce step must refuse with an error naming the merge problem.
+        let spec = RunSpec::stream_segmented("gzip", 64 << 10, 2, 4_000, 1);
+        let kids = children(&spec).unwrap();
+        let mut results = ResultSet::new();
+        results.insert(kids[0].clone(), kids[0].execute());
+        let alien = RunSpec::stream_segment("gzip", 128 << 10, 2, 1, 4_000, 1);
+        results.insert(kids[1].clone(), alien.execute());
+        let err = reduce(&spec, &results).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("cannot merge"), "{err}");
+    }
+}

@@ -40,6 +40,31 @@ pub enum Mode {
         /// Summary byte budget.
         budget_bytes: u64,
     },
+    /// One worker's slice of a segmented streaming run: replay segment
+    /// `segment` of `segments` even slices of the trace and return the
+    /// partial summaries ([`RunResult::StreamPartial`]). Budget, segment
+    /// count **and** segment index are all part of the key, so
+    /// `--segments 4` and `--segments 8` runs can never collide in the
+    /// artifact cache.
+    StreamSegment {
+        /// Summary byte budget.
+        budget_bytes: u64,
+        /// Total segments the trace splits into.
+        segments: u32,
+        /// This slice's 0-based index.
+        segment: u32,
+    },
+    /// A whole segmented streaming run: the merged report of `segments`
+    /// [`Mode::StreamSegment`] children. The scheduler fans the children
+    /// out across the selected backend and reduces them
+    /// ([`crate::engine::segmented`]); executing the spec directly (a
+    /// worker handed the parent) runs the segments sequentially.
+    StreamSegmented {
+        /// Summary byte budget (per worker).
+        budget_bytes: u64,
+        /// Segments the trace splits into.
+        segments: u32,
+    },
 }
 
 impl Mode {
@@ -53,6 +78,8 @@ impl Mode {
             Mode::Ordering => "ordering",
             Mode::MultiProg { .. } => "multiprog",
             Mode::Stream { .. } => "stream",
+            Mode::StreamSegment { .. } => "stream-segment",
+            Mode::StreamSegmented { .. } => "stream-segmented",
         }
     }
 }
@@ -66,6 +93,21 @@ impl Serialize for Mode {
             Mode::Stream { budget_bytes } => {
                 Value::Map(vec![("stream".to_string(), Value::U64(*budget_bytes))])
             }
+            Mode::StreamSegment { budget_bytes, segments, segment } => Value::Map(vec![(
+                "stream-segment".to_string(),
+                Value::Map(vec![
+                    ("budget_bytes".to_string(), Value::U64(*budget_bytes)),
+                    ("segments".to_string(), Value::U64(u64::from(*segments))),
+                    ("segment".to_string(), Value::U64(u64::from(*segment))),
+                ]),
+            )]),
+            Mode::StreamSegmented { budget_bytes, segments } => Value::Map(vec![(
+                "stream-segmented".to_string(),
+                Value::Map(vec![
+                    ("budget_bytes".to_string(), Value::U64(*budget_bytes)),
+                    ("segments".to_string(), Value::U64(u64::from(*segments))),
+                ]),
+            )]),
             simple => Value::Str(simple.name().to_string()),
         }
     }
@@ -78,6 +120,19 @@ impl<'de> Deserialize<'de> for Mode {
         }
         if let Some(budget) = value.get("stream") {
             return Ok(Mode::Stream { budget_bytes: u64::from_value(budget)? });
+        }
+        if let Some(seg) = value.get("stream-segment") {
+            return Ok(Mode::StreamSegment {
+                budget_bytes: serde::field(seg, "budget_bytes", "Mode::StreamSegment")?,
+                segments: serde::field(seg, "segments", "Mode::StreamSegment")?,
+                segment: serde::field(seg, "segment", "Mode::StreamSegment")?,
+            });
+        }
+        if let Some(seg) = value.get("stream-segmented") {
+            return Ok(Mode::StreamSegmented {
+                budget_bytes: serde::field(seg, "budget_bytes", "Mode::StreamSegmented")?,
+                segments: serde::field(seg, "segments", "Mode::StreamSegmented")?,
+            });
         }
         match value.as_str() {
             Some("coverage") => Ok(Mode::Coverage),
@@ -147,7 +202,10 @@ impl<'de> Deserialize<'de> for PredictorKind {
 ///
 /// Version history: 2 — `CoverageReport` gained the `memory_bytes` field
 /// (honest resident-memory accounting for the sketch budget sweep).
-pub const MODEL_VERSION: u32 = 2;
+/// 3 — segmented streaming: mergeable sketch summaries, the
+/// `stream-segment`/`stream-segmented` modes, and `StreamReport`
+/// production routed through the shared merge/finalize path.
+pub const MODEL_VERSION: u32 = 3;
 
 /// The declarative key of one simulation: benchmark, predictor, mode,
 /// access budget, seed — plus the model version the simulator had when
@@ -250,6 +308,57 @@ impl RunSpec {
         }
     }
 
+    /// One worker slice of a segmented streaming run (baseline machine):
+    /// segment `segment` of `segments` even slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is zero or `segment` is out of range — the
+    /// same partition preconditions as `ltc_trace::TraceSegment`.
+    pub fn stream_segment(
+        benchmark: &str,
+        budget_bytes: u64,
+        segments: u32,
+        segment: u32,
+        accesses: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(segments > 0, "a trace splits into at least one segment");
+        assert!(segment < segments, "segment {segment} out of {segments}");
+        RunSpec {
+            model_version: MODEL_VERSION,
+            benchmark: benchmark.to_string(),
+            predictor: PredictorKind::Baseline,
+            mode: Mode::StreamSegment { budget_bytes, segments, segment },
+            accesses,
+            seed,
+        }
+    }
+
+    /// A whole segmented streaming run (baseline machine): `segments`
+    /// parallel worker slices merged into one report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is zero.
+    pub fn stream_segmented(
+        benchmark: &str,
+        budget_bytes: u64,
+        segments: u32,
+        accesses: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(segments > 0, "a trace splits into at least one segment");
+        RunSpec {
+            model_version: MODEL_VERSION,
+            benchmark: benchmark.to_string(),
+            predictor: PredictorKind::Baseline,
+            mode: Mode::StreamSegmented { budget_bytes, segments },
+            accesses,
+            seed,
+        }
+    }
+
     /// A multi-programmed coverage run.
     pub fn multiprog(
         focus: &str,
@@ -286,6 +395,12 @@ impl RunSpec {
         let mode = match &self.mode {
             Mode::MultiProg { partner: Some(p) } => format!("multiprog+{p}"),
             Mode::Stream { budget_bytes } => format!("stream[{budget_bytes}B]"),
+            Mode::StreamSegment { budget_bytes, segments, segment } => {
+                format!("stream[{budget_bytes}B,seg {}/{segments}]", segment + 1)
+            }
+            Mode::StreamSegmented { budget_bytes, segments } => {
+                format!("stream[{budget_bytes}B,{segments}seg]")
+            }
             m => m.name().to_string(),
         };
         let predictor = match self.predictor {
@@ -353,6 +468,33 @@ impl RunSpec {
                     StreamConfig::with_budget(*budget_bytes).with_seed(self.seed),
                 ))
             }
+            Mode::StreamSegment { budget_bytes, segments, segment } => {
+                let mut src = self.build_source();
+                let slice = ltc_trace::TraceSegment::nth(self.accesses, *segments, *segment);
+                RunResult::StreamPartial(Box::new(StreamAnalysis::run_segment(
+                    &mut src,
+                    slice,
+                    StreamConfig::with_budget(*budget_bytes).with_seed(self.seed),
+                )))
+            }
+            Mode::StreamSegmented { .. } => {
+                // A worker handed the parent runs its children
+                // sequentially; the scheduler path fans them out instead
+                // (`crate::engine::segmented`).
+                let children = crate::engine::segmented::children(self)
+                    .expect("StreamSegmented always has children");
+                let partials: Vec<_> = children
+                    .iter()
+                    .map(|child| match child.execute() {
+                        RunResult::StreamPartial(p) => *p,
+                        other => panic!("segment child produced a {} result", other.kind()),
+                    })
+                    .collect();
+                RunResult::Stream(
+                    ltc_analysis::merge_partials(&partials)
+                        .expect("same-spec partials always share a shape"),
+                )
+            }
         }
     }
 
@@ -419,6 +561,8 @@ mod tests {
             RunSpec::multiprog("gcc", Some("mcf"), PredictorKind::LtCords, 40_000, 1),
             RunSpec::multiprog("gcc", None, PredictorKind::LtCords, 40_000, 1),
             RunSpec::stream("mcf", 256 << 10, 60_000, 1),
+            RunSpec::stream_segment("mcf", 256 << 10, 4, 2, 60_000, 1),
+            RunSpec::stream_segmented("mcf", 256 << 10, 4, 60_000, 1),
             RunSpec::coverage("art", PredictorKind::SketchDbcp(128 << 10), 50_000, 2),
             RunSpec::coverage(
                 "em3d",
@@ -478,6 +622,33 @@ mod tests {
         let sketch_a = RunSpec::coverage("gzip", PredictorKind::SketchDbcp(64 << 10), 1000, 1);
         let sketch_b = RunSpec::coverage("gzip", PredictorKind::SketchDbcp(32 << 10), 1000, 1);
         assert_ne!(sketch_a.key(), sketch_b.key());
+    }
+
+    #[test]
+    fn segment_count_and_index_are_part_of_the_key() {
+        // The artifact-cache regression the segmented modes were designed
+        // around: `--segments 4` and `--segments 8` runs (and each slice
+        // within them) must never alias one another — or the unsegmented
+        // stream run.
+        let four = RunSpec::stream_segmented("gzip", 64 << 10, 4, 1000, 1);
+        let eight = RunSpec::stream_segmented("gzip", 64 << 10, 8, 1000, 1);
+        assert_ne!(four.key(), eight.key());
+        assert_ne!(four.hash_hex(), eight.hash_hex());
+        assert_ne!(four.key(), RunSpec::stream("gzip", 64 << 10, 1000, 1).key());
+
+        let slice_a = RunSpec::stream_segment("gzip", 64 << 10, 4, 0, 1000, 1);
+        let slice_b = RunSpec::stream_segment("gzip", 64 << 10, 4, 1, 1000, 1);
+        let slice_other_split = RunSpec::stream_segment("gzip", 64 << 10, 8, 0, 1000, 1);
+        assert_ne!(slice_a.key(), slice_b.key(), "segment index must key");
+        assert_ne!(slice_a.key(), slice_other_split.key(), "segment count must key");
+        assert_ne!(slice_a.hash_hex(), slice_other_split.hash_hex());
+        assert_ne!(slice_a.key(), four.key(), "child and parent must not alias");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn out_of_range_segment_rejected() {
+        let _ = RunSpec::stream_segment("gzip", 64 << 10, 4, 4, 1000, 1);
     }
 
     #[test]

@@ -23,8 +23,10 @@
 
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
+use serde::{Deserialize, Serialize};
 
-use crate::countmin::CountMin;
+use crate::countmin::{CountMin, CountMinState};
+use crate::merge::{MergeError, SketchShape};
 use crate::mix64;
 use crate::spacesaving::Estimate;
 
@@ -138,23 +140,45 @@ impl ChhSummary {
     /// minimum pair sketch (a few hundred bytes), or if `inner_capacity`
     /// or `ways` is zero.
     pub fn new(cfg: ChhConfig) -> Self {
-        assert!(cfg.inner_capacity > 0 && cfg.ways > 0, "CHH needs inner_capacity and ways >= 1");
+        match Self::try_new(cfg) {
+            Ok(summary) => summary,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`ChhSummary::new`]: the single home of the
+    /// budget-to-layout computation, shared with
+    /// [`ChhSummary::from_state`] so a snapshot's configuration is
+    /// validated by exactly the rules construction enforces — a bad
+    /// state from across a process boundary is a typed error, never a
+    /// panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MergeError::State`] when `inner_capacity` or `ways`
+    /// is zero or the budget cannot hold one set of keys beside the
+    /// minimum pair sketch.
+    pub fn try_new(cfg: ChhConfig) -> Result<Self, MergeError> {
+        let invalid = |reason: String| MergeError::State { summary: "chh", reason };
+        if cfg.inner_capacity == 0 || cfg.ways == 0 {
+            return Err(invalid("CHH needs inner_capacity and ways >= 1".to_string()));
+        }
         let pairs = CountMin::with_budget(cfg.budget_bytes / 4, 2, cfg.seed);
         let remaining = cfg.budget_bytes.saturating_sub(pairs.memory_bytes());
         let capacity = (remaining / cfg.bytes_per_key()) as usize;
         // Any set count works (set selection is a multiply-shift range
         // reduction, not a mask), so none of the budget is rounded away.
         let sets = capacity / cfg.ways;
-        assert!(
-            sets >= 1,
-            "CHH budget of {} bytes cannot hold a {}-way set of keys",
-            cfg.budget_bytes,
-            cfg.ways
-        );
+        if sets == 0 {
+            return Err(invalid(format!(
+                "CHH budget of {} bytes cannot hold a {}-way set of keys",
+                cfg.budget_bytes, cfg.ways
+            )));
+        }
         let entries = sets * cfg.ways;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let hash_seed = rng.next_u64();
-        ChhSummary {
+        Ok(ChhSummary {
             cfg,
             outer: vec![OuterEntry::default(); entries],
             inners: vec![InnerSlot::default(); entries * cfg.inner_capacity],
@@ -162,7 +186,7 @@ impl ChhSummary {
             sets,
             hash_seed,
             total: 0,
-        }
+        })
     }
 
     /// The configuration the summary was built with.
@@ -326,6 +350,340 @@ impl ChhSummary {
             overestimate: u64::from(slot.overestimate),
         }
     }
+
+    /// This summary's construction shape (merge precondition): the full
+    /// [`ChhConfig`], since budget, associativity and seed together
+    /// determine the set geometry, the hash seed and the pair-sketch
+    /// layout.
+    pub fn shape(&self) -> SketchShape {
+        SketchShape::new(
+            "chh",
+            vec![
+                ("budget_bytes", self.cfg.budget_bytes),
+                ("inner_capacity", self.cfg.inner_capacity as u64),
+                ("ways", self.cfg.ways as u64),
+                ("seed", self.cfg.seed),
+            ],
+        )
+    }
+
+    /// Folds `other` into `self`, set by set.
+    ///
+    /// Identical configurations hash every key to the same set, so each
+    /// set merges independently under the Space-Saving combine (matched
+    /// keys sum counts and overestimates; a key monitored on only one
+    /// side adds the other set's minimum count — it may have been
+    /// displaced there — when that set is full; top [`ChhConfig::ways`]
+    /// kept, ties broken by key). Matched keys additionally merge their
+    /// inner value summaries under the same discipline at
+    /// [`ChhConfig::inner_capacity`], and the pair sketch merges exactly
+    /// (cell-wise, see [`CountMin::merge`]), which keeps the
+    /// sketch-capped estimates of [`ChhSummary::correlated`] sound.
+    ///
+    /// # Merged error bounds
+    ///
+    /// Per set the bounds are the Space-Saving merge bounds
+    /// ([`crate::SpaceSaving::merge`]) at the set's observation count:
+    /// key estimates never undercount, and a key's error stays within
+    /// the two sides' per-set bounds summed. Aggregated uniformly over
+    /// sets that is the usual expected-case
+    /// [`ChhSummary::max_key_error`] with the summed `N`; survival of a
+    /// truly hot key is guaranteed above twice its set's bound. Inner
+    /// estimates stay capped by the exactly-merged pair sketch.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MergeError`] when the configurations differ.
+    pub fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        self.shape().ensure_matches(&other.shape())?;
+        self.pairs.merge(&other.pairs)?;
+        for set in 0..self.sets {
+            self.merge_set(set, other);
+        }
+        self.total += other.total;
+        Ok(())
+    }
+
+    /// Merges one set of `other` into the same set of `self`.
+    fn merge_set(&mut self, set: usize, other: &Self) {
+        let ways = self.cfg.ways;
+        let range = set * ways..(set + 1) * ways;
+        let mine: Vec<(OuterEntry, Vec<InnerSlot>)> = range
+            .clone()
+            .filter(|&i| self.outer[i].count > 0)
+            .map(|i| (self.outer[i], self.inners[self.inner_range(i)].to_vec()))
+            .collect();
+        let theirs: Vec<(OuterEntry, Vec<InnerSlot>)> = range
+            .clone()
+            .filter(|&i| other.outer[i].count > 0)
+            .map(|i| (other.outer[i], other.inners[other.inner_range(i)].to_vec()))
+            .collect();
+        let m_mine = absent_bound(mine.iter().map(|(e, _)| u64::from(e.count)), ways);
+        let m_theirs = absent_bound(theirs.iter().map(|(e, _)| u64::from(e.count)), ways);
+
+        // The Space-Saving combine over this set's keys, inner summaries
+        // riding along.
+        let mut combined: Vec<(u64, u64, u64, Vec<InnerSlot>)> = Vec::new();
+        for (entry, inner) in &mine {
+            match theirs.iter().find(|(e, _)| e.key == entry.key) {
+                Some((peer, peer_inner)) => combined.push((
+                    entry.key,
+                    u64::from(entry.count) + u64::from(peer.count),
+                    u64::from(entry.overestimate) + u64::from(peer.overestimate),
+                    merge_inner(inner, peer_inner, self.cfg.inner_capacity),
+                )),
+                None => combined.push((
+                    entry.key,
+                    u64::from(entry.count) + m_theirs,
+                    u64::from(entry.overestimate) + m_theirs,
+                    bump_inner(inner, m_theirs),
+                )),
+            }
+        }
+        for (entry, inner) in &theirs {
+            if !mine.iter().any(|(e, _)| e.key == entry.key) {
+                combined.push((
+                    entry.key,
+                    u64::from(entry.count) + m_mine,
+                    u64::from(entry.overestimate) + m_mine,
+                    bump_inner(inner, m_mine),
+                ));
+            }
+        }
+        combined.sort_by_key(|&(key, count, _, _)| (std::cmp::Reverse(count), key));
+        combined.truncate(ways);
+
+        for (offset, idx) in range.enumerate() {
+            let inner_range = self.inner_range(idx);
+            match combined.get(offset) {
+                Some((key, count, overestimate, inner)) => {
+                    self.outer[idx] = OuterEntry {
+                        key: *key,
+                        count: clamp32(*count),
+                        overestimate: clamp32(*overestimate),
+                    };
+                    for (slot, filled) in self.inners[inner_range]
+                        .iter_mut()
+                        .zip(inner.iter().copied().chain(std::iter::repeat(InnerSlot::default())))
+                    {
+                        *slot = filled;
+                    }
+                }
+                None => {
+                    self.outer[idx] = OuterEntry::default();
+                    self.inners[inner_range].iter_mut().for_each(|s| *s = InnerSlot::default());
+                }
+            }
+        }
+    }
+
+    /// The serializable snapshot of this summary: the configuration
+    /// (everything else regenerates from it), sparse occupied
+    /// outer/inner slots, and the pair sketch.
+    pub fn to_state(&self) -> ChhState {
+        let mut state = ChhState {
+            budget_bytes: self.cfg.budget_bytes,
+            inner_capacity: self.cfg.inner_capacity as u64,
+            ways: self.cfg.ways as u64,
+            seed: self.cfg.seed,
+            total: self.total,
+            pairs: self.pairs.to_state(),
+            ..ChhState::default()
+        };
+        for (idx, e) in self.outer.iter().enumerate().filter(|(_, e)| e.count > 0) {
+            state.outer_index.push(idx as u64);
+            state.outer_keys.push(e.key);
+            state.outer_counts.push(u64::from(e.count));
+            state.outer_overestimates.push(u64::from(e.overestimate));
+        }
+        for (idx, s) in self.inners.iter().enumerate().filter(|(_, s)| s.count > 0) {
+            state.inner_index.push(idx as u64);
+            state.inner_values.push(s.value);
+            state.inner_counts.push(u64::from(s.count));
+            state.inner_overestimates.push(u64::from(s.overestimate));
+        }
+        state
+    }
+
+    /// Rebuilds a summary from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MergeError::State`] when the snapshot is inconsistent:
+    /// a configuration too small to construct, ragged or out-of-range
+    /// slot arrays, counts beyond `u32`, or a pair sketch whose shape
+    /// disagrees with the configuration.
+    pub fn from_state(state: &ChhState) -> Result<Self, MergeError> {
+        let cfg = ChhConfig {
+            budget_bytes: state.budget_bytes,
+            inner_capacity: state.inner_capacity as usize,
+            ways: state.ways as usize,
+            seed: state.seed,
+        };
+        let mut chh = ChhSummary::try_new(cfg)?;
+        let pairs = CountMin::from_state(&state.pairs)?;
+        chh.pairs.shape().ensure_matches(&pairs.shape())?;
+        chh.pairs = pairs;
+        chh.total = state.total;
+        fill_sparse(
+            &mut chh.outer,
+            &state.outer_index,
+            &state.outer_keys,
+            &state.outer_counts,
+            &state.outer_overestimates,
+            |key, count, overestimate| OuterEntry { key, count, overestimate },
+            "outer",
+        )?;
+        fill_sparse(
+            &mut chh.inners,
+            &state.inner_index,
+            &state.inner_values,
+            &state.inner_counts,
+            &state.inner_overestimates,
+            |value, count, overestimate| InnerSlot { value, count, overestimate },
+            "inner",
+        )?;
+        Ok(chh)
+    }
+}
+
+/// The Space-Saving absent bound for a set: the minimum monitored count
+/// when every way is occupied, zero otherwise.
+fn absent_bound(counts: impl Iterator<Item = u64> + Clone, capacity: usize) -> u64 {
+    if counts.clone().count() == capacity {
+        counts.min().unwrap_or(0)
+    } else {
+        0
+    }
+}
+
+/// Clamps a merged 64-bit count back into the packed 32-bit field.
+fn clamp32(count: u64) -> u32 {
+    count.min(u64::from(u32::MAX)) as u32
+}
+
+/// Merges two keys' inner value summaries under the Space-Saving combine
+/// at `capacity` slots.
+fn merge_inner(mine: &[InnerSlot], theirs: &[InnerSlot], capacity: usize) -> Vec<InnerSlot> {
+    let occupied_mine: Vec<&InnerSlot> = mine.iter().filter(|s| s.count > 0).collect();
+    let occupied_theirs: Vec<&InnerSlot> = theirs.iter().filter(|s| s.count > 0).collect();
+    let m_mine = absent_bound(occupied_mine.iter().map(|s| u64::from(s.count)), capacity);
+    let m_theirs = absent_bound(occupied_theirs.iter().map(|s| u64::from(s.count)), capacity);
+    let mut combined: Vec<InnerSlot> = Vec::new();
+    for slot in &occupied_mine {
+        let (count, overestimate) = match occupied_theirs.iter().find(|s| s.value == slot.value) {
+            Some(peer) => (
+                u64::from(slot.count) + u64::from(peer.count),
+                u64::from(slot.overestimate) + u64::from(peer.overestimate),
+            ),
+            None => (u64::from(slot.count) + m_theirs, u64::from(slot.overestimate) + m_theirs),
+        };
+        combined.push(InnerSlot {
+            value: slot.value,
+            count: clamp32(count),
+            overestimate: clamp32(overestimate),
+        });
+    }
+    for slot in &occupied_theirs {
+        if !occupied_mine.iter().any(|s| s.value == slot.value) {
+            combined.push(InnerSlot {
+                value: slot.value,
+                count: clamp32(u64::from(slot.count) + m_mine),
+                overestimate: clamp32(u64::from(slot.overestimate) + m_mine),
+            });
+        }
+    }
+    combined.sort_by_key(|s| (std::cmp::Reverse(s.count), s.value));
+    combined.truncate(capacity);
+    combined
+}
+
+/// A single-side key's inner slots carried into the merge: every slot
+/// absorbs the other set's absent bound (the key — and so any of its
+/// values — may have counted up to that much there), preserving the
+/// never-undercount property the pair-sketch cap relies on.
+fn bump_inner(slots: &[InnerSlot], bound: u64) -> Vec<InnerSlot> {
+    slots
+        .iter()
+        .filter(|s| s.count > 0)
+        .map(|s| InnerSlot {
+            value: s.value,
+            count: clamp32(u64::from(s.count) + bound),
+            overestimate: clamp32(u64::from(s.overestimate) + bound),
+        })
+        .collect()
+}
+
+/// Writes sparse `(index, payload, count, overestimate)` arrays into a
+/// zeroed slot array, validating shape as it goes.
+fn fill_sparse<T>(
+    slots: &mut [T],
+    index: &[u64],
+    payloads: &[u64],
+    counts: &[u64],
+    overestimates: &[u64],
+    build: impl Fn(u64, u32, u32) -> T,
+    what: &str,
+) -> Result<(), MergeError> {
+    let invalid = |reason: String| MergeError::State { summary: "chh", reason };
+    if index.len() != payloads.len()
+        || index.len() != counts.len()
+        || index.len() != overestimates.len()
+    {
+        return Err(invalid(format!("ragged {what} arrays")));
+    }
+    let mut prev: Option<u64> = None;
+    for (((&idx, &payload), &count), &overestimate) in
+        index.iter().zip(payloads).zip(counts).zip(overestimates)
+    {
+        if prev.is_some_and(|p| idx <= p) {
+            return Err(invalid(format!("{what} indices must be strictly increasing")));
+        }
+        prev = Some(idx);
+        if idx as usize >= slots.len() {
+            return Err(invalid(format!("{what} index {idx} out of range {}", slots.len())));
+        }
+        if count == 0 || count > u64::from(u32::MAX) || overestimate > u64::from(u32::MAX) {
+            return Err(invalid(format!("{what} count {count} out of range")));
+        }
+        slots[idx as usize] = build(payload, count as u32, overestimate as u32);
+    }
+    Ok(())
+}
+
+/// Serializable snapshot of a [`ChhSummary`] (the wire form of a
+/// segmented worker's partial summary): configuration + sparse occupied
+/// slots + the pair sketch.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChhState {
+    /// Total byte budget ([`ChhConfig::budget_bytes`]).
+    pub budget_bytes: u64,
+    /// Inner summary capacity ([`ChhConfig::inner_capacity`]).
+    pub inner_capacity: u64,
+    /// Outer set associativity ([`ChhConfig::ways`]).
+    pub ways: u64,
+    /// Hash seed ([`ChhConfig::seed`]).
+    pub seed: u64,
+    /// Pairs observed.
+    pub total: u64,
+    /// Occupied outer entry indices, strictly increasing.
+    pub outer_index: Vec<u64>,
+    /// Monitored keys, parallel to `outer_index`.
+    pub outer_keys: Vec<u64>,
+    /// Key counts, parallel to `outer_index`.
+    pub outer_counts: Vec<u64>,
+    /// Key overestimates, parallel to `outer_index`.
+    pub outer_overestimates: Vec<u64>,
+    /// Occupied inner slot indices, strictly increasing.
+    pub inner_index: Vec<u64>,
+    /// Monitored values, parallel to `inner_index`.
+    pub inner_values: Vec<u64>,
+    /// Value counts, parallel to `inner_index`.
+    pub inner_counts: Vec<u64>,
+    /// Value overestimates, parallel to `inner_index`.
+    pub inner_overestimates: Vec<u64>,
+    /// The whole-pair sketch.
+    pub pairs: CountMinState,
 }
 
 #[cfg(test)]
@@ -447,5 +805,118 @@ mod tests {
     fn impossible_budget_rejected() {
         let _ =
             ChhSummary::new(ChhConfig { budget_bytes: 64, inner_capacity: 4, ways: 8, seed: 0 });
+    }
+
+    #[test]
+    fn merge_combines_split_streams() {
+        let cfg = ChhConfig::with_budget(64 << 10).with_seed(3);
+        let mut whole = ChhSummary::new(cfg);
+        let mut left = ChhSummary::new(cfg);
+        let mut right = ChhSummary::new(cfg);
+        for i in 0..4_000u64 {
+            // Two values per key: both the outer keys (23 « capacity) and
+            // the inner values (2 = inner_capacity) fit, so no entry is
+            // ever displaced and the merge must be exact.
+            let (key, value) = (i % 23, (i % 23) * 2 + i % 2);
+            whole.observe(key, value);
+            if i < 2_000 {
+                left.observe(key, value);
+            } else {
+                right.observe(key, value);
+            }
+        }
+        left.merge(&right).unwrap();
+        assert_eq!(left.total(), whole.total());
+        for key in 0..23u64 {
+            assert_eq!(
+                left.key_estimate(key),
+                whole.key_estimate(key),
+                "merged key estimate diverged for {key}"
+            );
+            assert_eq!(left.correlated(key), whole.correlated(key));
+        }
+        assert_eq!(left.memory_bytes(), whole.memory_bytes());
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let cfg = ChhConfig { budget_bytes: 8 << 10, inner_capacity: 2, ways: 2, seed: 5 };
+        let mut a = ChhSummary::new(cfg);
+        let mut b = ChhSummary::new(cfg);
+        for i in 0..3_000u64 {
+            a.observe(i % 41, i % 7);
+            b.observe(i % 53, i % 5);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b).unwrap();
+        let mut ba = b.clone();
+        ba.merge(&a).unwrap();
+        assert_eq!(ab.total(), ba.total());
+        for key in 0..60u64 {
+            assert_eq!(ab.key_estimate(key), ba.key_estimate(key), "key {key}");
+            assert_eq!(ab.correlated(key), ba.correlated(key), "key {key}");
+        }
+    }
+
+    #[test]
+    fn merge_rejects_config_mismatches() {
+        use crate::MergeError;
+        let mut base = ChhSummary::new(ChhConfig::with_budget(16 << 10));
+        let budget = ChhSummary::new(ChhConfig::with_budget(32 << 10));
+        let err = base.merge(&budget).unwrap_err();
+        assert!(matches!(err, MergeError::Shape { summary: "chh", field: "budget_bytes", .. }));
+        let seeded = ChhSummary::new(ChhConfig::with_budget(16 << 10).with_seed(9));
+        assert!(matches!(
+            base.merge(&seeded).unwrap_err(),
+            MergeError::Shape { field: "seed", .. }
+        ));
+        let mut cfg = ChhConfig::with_budget(16 << 10);
+        cfg.ways = 4;
+        assert!(matches!(
+            base.merge(&ChhSummary::new(cfg)).unwrap_err(),
+            MergeError::Shape { field: "ways", .. }
+        ));
+    }
+
+    #[test]
+    fn state_round_trips_exactly() {
+        let mut chh = ChhSummary::new(ChhConfig::with_budget(16 << 10).with_seed(11));
+        for i in 0..5_000u64 {
+            chh.observe(i % 67, i % 13);
+        }
+        let revived = ChhSummary::from_state(&chh.to_state()).unwrap();
+        assert_eq!(revived.total(), chh.total());
+        assert_eq!(revived.memory_bytes(), chh.memory_bytes());
+        for key in 0..67u64 {
+            assert_eq!(revived.key_estimate(key), chh.key_estimate(key));
+            assert_eq!(revived.correlated(key), chh.correlated(key));
+        }
+    }
+
+    #[test]
+    fn invalid_states_are_typed_errors() {
+        use crate::MergeError;
+        let good = ChhSummary::new(ChhConfig::with_budget(16 << 10)).to_state();
+
+        let mut tiny = good.clone();
+        tiny.budget_bytes = 64;
+        assert!(matches!(
+            ChhSummary::from_state(&tiny),
+            Err(MergeError::State { summary: "chh", .. })
+        ));
+
+        let mut chh = ChhSummary::new(ChhConfig::with_budget(16 << 10));
+        chh.observe(1, 2);
+        let mut ragged = chh.to_state();
+        ragged.outer_counts.pop();
+        assert!(ChhSummary::from_state(&ragged).is_err());
+
+        let mut out_of_range = chh.to_state();
+        out_of_range.inner_index[0] = u64::MAX;
+        assert!(ChhSummary::from_state(&out_of_range).is_err());
+
+        let mut alien_pairs = chh.to_state();
+        alien_pairs.pairs.seed ^= 1;
+        assert!(ChhSummary::from_state(&alien_pairs).is_err(), "pair sketch shape must match");
     }
 }

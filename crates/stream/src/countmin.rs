@@ -8,7 +8,9 @@
 
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
+use serde::{Deserialize, Serialize};
 
+use crate::merge::{MergeError, SketchShape};
 use crate::mix64;
 
 /// Count-Min sketch over `u64` keys with deterministic seeding.
@@ -32,6 +34,7 @@ use crate::mix64;
 pub struct CountMin {
     width: usize,
     depth: usize,
+    seed: u64,
     row_seeds: Vec<u64>,
     counters: Vec<u64>,
     total: u64,
@@ -49,7 +52,7 @@ impl CountMin {
         let width = width.next_power_of_two();
         let mut rng = StdRng::seed_from_u64(seed);
         let row_seeds = (0..depth).map(|_| rng.next_u64()).collect();
-        CountMin { width, depth, row_seeds, counters: vec![0; width * depth], total: 0 }
+        CountMin { width, depth, seed, row_seeds, counters: vec![0; width * depth], total: 0 }
     }
 
     /// Creates the widest power-of-two sketch of the given depth that fits
@@ -114,6 +117,96 @@ impl CountMin {
         self.counters.iter_mut().for_each(|c| *c = 0);
         self.total = 0;
     }
+
+    /// This sketch's construction shape (merge precondition): width,
+    /// depth and the seed the row hashes derive from.
+    pub fn shape(&self) -> SketchShape {
+        SketchShape::new(
+            "count-min",
+            vec![("width", self.width as u64), ("depth", self.depth as u64), ("seed", self.seed)],
+        )
+    }
+
+    /// Adds `other`'s counters into `self`, cell by cell.
+    ///
+    /// # Merged error bounds
+    ///
+    /// Counter grids of identical geometry and row seeds are linear in
+    /// the stream: the merged grid equals the grid a single sketch would
+    /// have built over the concatenated stream, so the merge is *exact* —
+    /// estimates still never undercount and the overcount bound is
+    /// `e·N/width` with the summed `N = N₁ + N₂`. Merging is therefore
+    /// associative and commutative with no extra error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MergeError`] when width, depth or seed differ (with a
+    /// different seed the rows hash differently, so cell-wise addition
+    /// would be meaningless).
+    pub fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        self.shape().ensure_matches(&other.shape())?;
+        for (mine, theirs) in self.counters.iter_mut().zip(&other.counters) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        Ok(())
+    }
+
+    /// The serializable snapshot of this sketch (row seeds regenerate
+    /// from the stored seed).
+    pub fn to_state(&self) -> CountMinState {
+        CountMinState {
+            width: self.width as u64,
+            depth: self.depth as u64,
+            seed: self.seed,
+            total: self.total,
+            counters: self.counters.clone(),
+        }
+    }
+
+    /// Rebuilds a sketch from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MergeError::State`] when the counter array does not
+    /// match the stated geometry or the geometry is degenerate.
+    pub fn from_state(state: &CountMinState) -> Result<Self, MergeError> {
+        let invalid = |reason: String| MergeError::State { summary: "count-min", reason };
+        if state.width == 0 || state.depth == 0 {
+            return Err(invalid(format!("degenerate geometry {}x{}", state.width, state.depth)));
+        }
+        if !state.width.is_power_of_two() {
+            return Err(invalid(format!("width {} is not a power of two", state.width)));
+        }
+        let mut cm = CountMin::new(state.width as usize, state.depth as usize, state.seed);
+        if cm.counters.len() != state.counters.len() {
+            return Err(invalid(format!(
+                "{} counters for a {}x{} grid",
+                state.counters.len(),
+                state.width,
+                state.depth
+            )));
+        }
+        cm.counters.clone_from(&state.counters);
+        cm.total = state.total;
+        Ok(cm)
+    }
+}
+
+/// Serializable snapshot of a [`CountMin`] sketch (the wire form of a
+/// segmented worker's partial summary).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CountMinState {
+    /// Counters per row (a power of two).
+    pub width: u64,
+    /// Number of rows.
+    pub depth: u64,
+    /// Seed the row hashes derive from.
+    pub seed: u64,
+    /// Observations summarized (`N`).
+    pub total: u64,
+    /// The `depth × width` counter grid, row-major.
+    pub counters: Vec<u64>,
 }
 
 #[cfg(test)]
@@ -181,5 +274,68 @@ mod tests {
         cm.clear();
         assert_eq!(cm.estimate(5), 0);
         assert_eq!(cm.total(), 0);
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        // Linearity: sketching two halves and merging is byte-identical
+        // to sketching the concatenation.
+        let mut whole = CountMin::new(128, 3, 7);
+        let mut left = CountMin::new(128, 3, 7);
+        let mut right = CountMin::new(128, 3, 7);
+        for key in 0..400u64 {
+            whole.observe(key % 37);
+            if key < 200 {
+                left.observe(key % 37);
+            } else {
+                right.observe(key % 37);
+            }
+        }
+        left.merge(&right).unwrap();
+        assert_eq!(left.total(), whole.total());
+        assert_eq!(left.counters, whole.counters);
+    }
+
+    #[test]
+    fn merge_rejects_shape_mismatches() {
+        use crate::MergeError;
+        let mut base = CountMin::new(64, 2, 1);
+        let err = base.merge(&CountMin::new(128, 2, 1)).unwrap_err();
+        assert!(matches!(err, MergeError::Shape { summary: "count-min", field: "width", .. }));
+        let err = base.merge(&CountMin::new(64, 3, 1)).unwrap_err();
+        assert!(matches!(err, MergeError::Shape { field: "depth", .. }));
+        let err = base.merge(&CountMin::new(64, 2, 2)).unwrap_err();
+        assert!(matches!(err, MergeError::Shape { field: "seed", .. }));
+    }
+
+    #[test]
+    fn state_round_trips_exactly() {
+        let mut cm = CountMin::new(64, 3, 9);
+        for key in 0..300u64 {
+            cm.observe(key * 17);
+        }
+        let revived = CountMin::from_state(&cm.to_state()).unwrap();
+        assert_eq!(revived.total(), cm.total());
+        assert_eq!(revived.counters, cm.counters);
+        for key in 0..300u64 {
+            assert_eq!(revived.estimate(key * 17), cm.estimate(key * 17));
+        }
+    }
+
+    #[test]
+    fn invalid_states_are_typed_errors() {
+        use crate::MergeError;
+        let mut state = CountMin::new(64, 2, 1).to_state();
+        state.counters.pop();
+        assert!(matches!(
+            CountMin::from_state(&state),
+            Err(MergeError::State { summary: "count-min", .. })
+        ));
+        let mut degenerate = CountMin::new(64, 2, 1).to_state();
+        degenerate.depth = 0;
+        assert!(CountMin::from_state(&degenerate).is_err());
+        let mut odd = CountMin::new(64, 2, 1).to_state();
+        odd.width = 65;
+        assert!(CountMin::from_state(&odd).is_err());
     }
 }

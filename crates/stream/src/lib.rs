@@ -25,6 +25,14 @@
 //! property that lets sketch-based experiment runs participate in the
 //! engine's artifact cache.
 //!
+//! Every summary is also **mergeable**: `merge(&mut self, other)` folds a
+//! same-shape peer in (shape checked via [`SketchShape`], mismatches are
+//! typed [`MergeError`]s), with the combined error bounds documented on
+//! each `merge`. Together with the serializable `*State` snapshots this
+//! lets one logical trace be split across workers — each summarizes its
+//! segment in budgeted memory, and the partial summaries combine into one
+//! (`ltsim stream --segments N`).
+//!
 //! # Example
 //!
 //! ```
@@ -43,11 +51,13 @@
 
 pub mod chh;
 pub mod countmin;
+pub mod merge;
 pub mod spacesaving;
 
-pub use chh::{ChhConfig, ChhPair, ChhSummary};
-pub use countmin::CountMin;
-pub use spacesaving::{Estimate, Observed, SpaceSaving};
+pub use chh::{ChhConfig, ChhPair, ChhState, ChhSummary};
+pub use countmin::{CountMin, CountMinState};
+pub use merge::{MergeError, SketchShape};
+pub use spacesaving::{Estimate, Observed, SpaceSaving, SpaceSavingState};
 
 /// Strong 64-bit mixer (the SplitMix64 finalizer), shared by every
 /// summary so their hashing — and therefore their deterministic state —

@@ -1,0 +1,137 @@
+//! The same-shape precondition for summary merging.
+//!
+//! Two summaries can only be combined when they were built identically:
+//! a Space-Saving summary merges with one of the same capacity, a
+//! Count-Min sketch with one of the same geometry and row seeds, a CHH
+//! summary with one of the same budget/associativity/seed. Every summary
+//! describes its own construction as a [`SketchShape`]; `merge` begins by
+//! comparing shapes and returns a typed [`MergeError`] — never a panic —
+//! when they disagree, because mismatches cross process boundaries (a
+//! worker answering a segmented run) where a panic would be a protocol
+//! failure rather than a diagnosable error.
+
+use std::fmt;
+
+/// The construction parameters of a summary, as comparable `(name,
+/// value)` pairs. Two summaries merge iff their shapes are equal.
+///
+/// # Example
+///
+/// ```
+/// use ltc_stream::SpaceSaving;
+///
+/// let a = SpaceSaving::<u64>::new(8);
+/// let b = SpaceSaving::<u64>::new(9);
+/// assert_ne!(a.shape(), b.shape());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SketchShape {
+    /// Which summary kind this shape describes (`"space-saving"`, ...).
+    pub summary: &'static str,
+    /// Construction parameters in declaration order.
+    pub params: Vec<(&'static str, u64)>,
+}
+
+impl SketchShape {
+    /// A shape for `summary` with the given parameters.
+    pub fn new(summary: &'static str, params: Vec<(&'static str, u64)>) -> Self {
+        SketchShape { summary, params }
+    }
+
+    /// `Ok` iff `other` is the same shape; otherwise the first differing
+    /// parameter as a [`MergeError`].
+    pub fn ensure_matches(&self, other: &SketchShape) -> Result<(), MergeError> {
+        if self.summary != other.summary {
+            return Err(MergeError::Shape {
+                summary: self.summary,
+                field: "summary kind",
+                left: 0,
+                right: 1,
+            });
+        }
+        for ((name, left), (_, right)) in self.params.iter().zip(&other.params) {
+            if left != right {
+                return Err(MergeError::Shape {
+                    summary: self.summary,
+                    field: name,
+                    left: *left,
+                    right: *right,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why two summaries could not be combined.
+///
+/// Returned (never panicked) by every `merge` and `from_state` in this
+/// crate, and forwarded as a typed error through the analysis reduce step
+/// and the engine's segmented scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// The summaries were built with different parameters.
+    Shape {
+        /// Which summary kind refused the merge.
+        summary: &'static str,
+        /// The first differing construction parameter.
+        field: &'static str,
+        /// The left-hand (receiver) value.
+        left: u64,
+        /// The right-hand (argument) value.
+        right: u64,
+    },
+    /// A serialized summary state was internally inconsistent.
+    State {
+        /// Which summary kind rejected the state.
+        summary: &'static str,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::Shape { summary, field, left, right } => write!(
+                f,
+                "cannot merge {summary} summaries of different shape: {field} {left} vs {right}"
+            ),
+            MergeError::State { summary, reason } => {
+                write!(f, "invalid {summary} summary state: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_shapes_match() {
+        let a = SketchShape::new("count-min", vec![("width", 64), ("depth", 4)]);
+        assert_eq!(a.ensure_matches(&a.clone()), Ok(()));
+    }
+
+    #[test]
+    fn differing_param_names_the_field() {
+        let a = SketchShape::new("count-min", vec![("width", 64), ("depth", 4)]);
+        let b = SketchShape::new("count-min", vec![("width", 64), ("depth", 2)]);
+        let err = a.ensure_matches(&b).unwrap_err();
+        assert_eq!(
+            err,
+            MergeError::Shape { summary: "count-min", field: "depth", left: 4, right: 2 }
+        );
+        assert!(err.to_string().contains("depth 4 vs 2"), "{err}");
+    }
+
+    #[test]
+    fn differing_kind_is_an_error() {
+        let a = SketchShape::new("count-min", vec![]);
+        let b = SketchShape::new("space-saving", vec![]);
+        assert!(a.ensure_matches(&b).is_err());
+    }
+}

@@ -11,6 +11,10 @@
 use std::collections::{BTreeSet, HashMap};
 use std::hash::Hash;
 
+use serde::{Deserialize, Serialize};
+
+use crate::merge::{MergeError, SketchShape};
+
 /// What [`SpaceSaving::observe`] did with the key.
 ///
 /// Exposed so composite summaries (the nested CHH of [`crate::chh`]) can
@@ -221,6 +225,157 @@ impl<K: Eq + Hash + Copy> SpaceSaving<K> {
         self.order.clear();
         self.total = 0;
     }
+
+    /// The minimum monitored count (0 when empty) — the upper bound on
+    /// any unmonitored key's true count once the summary is full.
+    fn min_count(&self) -> u64 {
+        self.order.iter().next().map(|&(count, _)| count).unwrap_or(0)
+    }
+
+    /// What an absent key may have truly counted in this summary: the
+    /// minimum counter when full (it could have been displaced), zero
+    /// otherwise (below capacity every observed key is monitored).
+    fn absent_bound(&self) -> u64 {
+        if self.entries.len() == self.capacity {
+            self.min_count()
+        } else {
+            0
+        }
+    }
+}
+
+impl<K: Eq + Hash + Copy + Ord> SpaceSaving<K> {
+    /// This summary's construction shape (merge precondition).
+    pub fn shape(&self) -> SketchShape {
+        SketchShape::new("space-saving", vec![("capacity", self.capacity as u64)])
+    }
+
+    /// Folds `other` into `self` (the parallel Space-Saving combine of
+    /// Cafaro et al.): matched keys sum their estimates and
+    /// overestimates; a key monitored on only one side adds the other
+    /// side's absent bound — its minimum counter when full, zero below
+    /// capacity — to both (the key may have been displaced there), and
+    /// the combined entries are cut back to the top
+    /// `capacity` by count (ties broken by key, so merging is
+    /// deterministic and commutative).
+    ///
+    /// # Merged error bounds
+    ///
+    /// Over the combined stream of `N = N₁ + N₂` observations:
+    /// estimates still never undercount; a monitored key's error stays
+    /// within `N₁/k + N₂/k` = [`SpaceSaving::max_error`] of the merged
+    /// summary (each side's per-entry overestimate and absent bound is at
+    /// most `Nᵢ/k`); any key whose true count exceeds `2·max_error()`
+    /// is guaranteed to stay monitored. The last bound is `2ε·N` rather
+    /// than the single-pass `ε·N` because the combined counters can sum
+    /// to `2N` before truncation — the price of merging, documented so
+    /// callers can size capacity accordingly.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MergeError`] when the capacities differ.
+    pub fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        self.shape().ensure_matches(&other.shape())?;
+        let (m_self, m_other) = (self.absent_bound(), other.absent_bound());
+        let mut combined: Vec<(K, u64, u64)> = Vec::with_capacity(self.len() + other.len());
+        for (key, est) in self.iter() {
+            match other.estimate(&key) {
+                Some(o) => {
+                    combined.push((key, est.count + o.count, est.overestimate + o.overestimate));
+                }
+                None => combined.push((key, est.count + m_other, est.overestimate + m_other)),
+            }
+        }
+        for (key, est) in other.iter() {
+            if self.estimate(&key).is_none() {
+                combined.push((key, est.count + m_self, est.overestimate + m_self));
+            }
+        }
+        combined.sort_by_key(|&(key, count, _)| (std::cmp::Reverse(count), key));
+        combined.truncate(self.capacity);
+        let total = self.total + other.total;
+        self.clear();
+        self.total = total;
+        for (slot, (key, count, overestimate)) in combined.into_iter().enumerate() {
+            self.entries.push(Entry { key, count, overestimate });
+            self.index.insert(key, slot as u32);
+            self.order.insert((count, slot as u32));
+        }
+        Ok(())
+    }
+}
+
+impl SpaceSaving<u64> {
+    /// The serializable snapshot of this summary (slot order preserved,
+    /// so [`SpaceSaving::from_state`] reproduces the exact state —
+    /// including [`SpaceSaving::top`]'s tie-breaking).
+    pub fn to_state(&self) -> SpaceSavingState {
+        SpaceSavingState {
+            capacity: self.capacity as u64,
+            total: self.total,
+            keys: self.entries.iter().map(|e| e.key).collect(),
+            counts: self.entries.iter().map(|e| e.count).collect(),
+            overestimates: self.entries.iter().map(|e| e.overestimate).collect(),
+        }
+    }
+
+    /// Rebuilds a summary from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MergeError::State`] when the snapshot is inconsistent
+    /// (mismatched array lengths, more entries than capacity, duplicate
+    /// keys, zero capacity) — states cross process boundaries, so bad
+    /// data must be an error, not a panic.
+    pub fn from_state(state: &SpaceSavingState) -> Result<Self, MergeError> {
+        let invalid = |reason: String| MergeError::State { summary: "space-saving", reason };
+        if state.capacity == 0 {
+            return Err(invalid("capacity 0".to_string()));
+        }
+        if state.keys.len() != state.counts.len() || state.keys.len() != state.overestimates.len() {
+            return Err(invalid(format!(
+                "mismatched array lengths {}/{}/{}",
+                state.keys.len(),
+                state.counts.len(),
+                state.overestimates.len()
+            )));
+        }
+        if state.keys.len() as u64 > state.capacity {
+            return Err(invalid(format!(
+                "{} entries exceed capacity {}",
+                state.keys.len(),
+                state.capacity
+            )));
+        }
+        let mut ss = SpaceSaving::new(state.capacity as usize);
+        ss.total = state.total;
+        for (slot, &key) in state.keys.iter().enumerate() {
+            let (count, overestimate) = (state.counts[slot], state.overestimates[slot]);
+            if ss.index.insert(key, slot as u32).is_some() {
+                return Err(invalid(format!("duplicate key {key:#x}")));
+            }
+            ss.entries.push(Entry { key, count, overestimate });
+            ss.order.insert((count, slot as u32));
+        }
+        Ok(ss)
+    }
+}
+
+/// Serializable snapshot of a [`SpaceSaving<u64>`] summary: parallel
+/// slot-ordered arrays (the wire form of a segmented worker's partial
+/// summary).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpaceSavingState {
+    /// Maximum monitored keys.
+    pub capacity: u64,
+    /// Observations summarized (`N`).
+    pub total: u64,
+    /// Monitored keys in slot order.
+    pub keys: Vec<u64>,
+    /// Estimated counts, parallel to `keys`.
+    pub counts: Vec<u64>,
+    /// Overestimation bounds, parallel to `keys`.
+    pub overestimates: Vec<u64>,
 }
 
 #[cfg(test)]
@@ -320,5 +475,122 @@ mod tests {
     #[should_panic(expected = "capacity >= 1")]
     fn zero_capacity_rejected() {
         let _ = SpaceSaving::<u64>::new(0);
+    }
+
+    #[test]
+    fn merge_sums_matched_keys_and_totals() {
+        let mut a = SpaceSaving::new(4);
+        let mut b = SpaceSaving::new(4);
+        a.observe_n(1u64, 5);
+        a.observe_n(2, 3);
+        b.observe_n(1, 7);
+        b.observe_n(3, 2);
+        a.merge(&b).unwrap();
+        assert_eq!(a.total(), 17);
+        // Neither side is full, so absent bounds are zero and every
+        // combined count is exact.
+        assert_eq!(a.estimate(&1).unwrap().count, 12);
+        assert_eq!(a.estimate(&2).unwrap().count, 3);
+        assert_eq!(a.estimate(&3).unwrap().count, 2);
+        assert_eq!(a.estimate(&1).unwrap().overestimate, 0);
+    }
+
+    #[test]
+    fn merge_never_undercounts_displaced_keys() {
+        // Key 9 is hot in `b` but got displaced from `a`: its merged
+        // estimate must still cover the occurrences `a` may have seen.
+        let mut a = SpaceSaving::new(2);
+        a.observe_n(1u64, 10);
+        a.observe_n(2, 6);
+        a.observe_n(9, 1); // displaces 2, inherits count 6
+        a.observe_n(2, 9); // displaces 9 again — 9's true count in a is 1
+        let mut b = SpaceSaving::new(2);
+        b.observe_n(9u64, 20);
+        let mut merged = a.clone();
+        merged.merge(&b).unwrap();
+        // True combined count of 9 is 21; the estimate must not be below.
+        assert!(merged.estimate(&9).is_some_and(|e| e.count >= 21));
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = SpaceSaving::new(3);
+        let mut b = SpaceSaving::new(3);
+        for (k, n) in [(1u64, 9u64), (2, 4), (3, 7), (4, 2)] {
+            a.observe_n(k, n);
+        }
+        for (k, n) in [(2u64, 5u64), (5, 8), (6, 1)] {
+            b.observe_n(k, n);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b).unwrap();
+        let mut ba = b.clone();
+        ba.merge(&a).unwrap();
+        assert_eq!(ab.total(), ba.total());
+        assert_eq!(ab.top(), ba.top(), "deterministic tie-breaking makes merge commutative");
+    }
+
+    #[test]
+    fn merge_rejects_capacity_mismatch() {
+        let mut a = SpaceSaving::new(4);
+        let b = SpaceSaving::<u64>::new(8);
+        let err = a.merge(&b).unwrap_err();
+        assert_eq!(
+            err,
+            crate::MergeError::Shape {
+                summary: "space-saving",
+                field: "capacity",
+                left: 4,
+                right: 8
+            }
+        );
+    }
+
+    #[test]
+    fn state_round_trips_exactly() {
+        let mut ss = SpaceSaving::new(3);
+        for key in [7u64, 7, 9, 4, 4, 4, 1] {
+            ss.observe(key);
+        }
+        let revived = SpaceSaving::from_state(&ss.to_state()).unwrap();
+        assert_eq!(revived.total(), ss.total());
+        assert_eq!(revived.top(), ss.top());
+        assert_eq!(revived.memory_bytes(), ss.memory_bytes());
+        // The revived summary keeps evolving identically.
+        let (mut a, mut b) = (ss, revived);
+        for key in [9u64, 9, 2] {
+            a.observe(key);
+            b.observe(key);
+        }
+        assert_eq!(a.top(), b.top());
+    }
+
+    #[test]
+    fn invalid_states_are_typed_errors() {
+        let mut state = SpaceSaving::<u64>::new(2).to_state();
+        state.capacity = 0;
+        assert!(matches!(
+            SpaceSaving::from_state(&state),
+            Err(crate::MergeError::State { summary: "space-saving", .. })
+        ));
+        let mut over = SpaceSavingState {
+            capacity: 1,
+            total: 2,
+            keys: vec![1, 2],
+            counts: vec![1, 1],
+            overestimates: vec![0, 0],
+        };
+        assert!(SpaceSaving::from_state(&over).is_err(), "entries beyond capacity");
+        over.capacity = 2;
+        over.counts.pop();
+        assert!(SpaceSaving::from_state(&over).is_err(), "ragged arrays");
+        let dup = SpaceSavingState {
+            capacity: 4,
+            total: 2,
+            keys: vec![5, 5],
+            counts: vec![1, 1],
+            overestimates: vec![0, 0],
+        };
+        assert!(SpaceSaving::from_state(&dup).is_err(), "duplicate keys");
     }
 }

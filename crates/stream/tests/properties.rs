@@ -1,6 +1,10 @@
 //! Property tests for the sketch guarantees: the Space-Saving ε·N bound,
 //! CHH recall on skewed synthetic streams (driven by the `trace::gen`
-//! workload generators), and seed-determinism of every summary.
+//! workload generators), seed-determinism of every summary — and the
+//! merge guarantees: summaries built over stream segments and merged
+//! must match a single-pass summary over the concatenated stream within
+//! the documented merged error bounds, commutatively, and associatively
+//! up to those bounds.
 
 use std::collections::HashMap;
 
@@ -13,6 +17,14 @@ use proptest::prelude::*;
 /// recover on a skewed recurring stream (the summary's configured
 /// recall target for this budget).
 const RECALL_THRESHOLD: f64 = 0.8;
+
+/// The recall floor after a segmented merge. Each segment summarizes in
+/// isolation, so locally-hot noise earns counters that survive into the
+/// merged truncation and the absent-bound inflation (the price of never
+/// undercounting) further crowds borderline true pairs — a documented
+/// step down from the single-pass target, recovered in practice by the
+/// pair-sketch cap when budgets are sized for the merged stream.
+const MERGED_RECALL_THRESHOLD: f64 = 0.6;
 
 /// A deterministic skewed miss-like stream: consecutive line-address
 /// pairs from a pointer chase with a hot subset (the `trace::gen`
@@ -116,6 +128,263 @@ proptest! {
         prop_assert_eq!(cm_a.memory_bytes(), cm_b.memory_bytes());
         prop_assert_eq!(chh_a.memory_bytes(), chh_b.memory_bytes());
     }
+}
+
+/// Splits a generated stream into `k` contiguous segments at
+/// proptest-chosen cut points (uneven on purpose — real segment splits
+/// are only near-even).
+fn cut<T: Clone>(stream: &[T], cuts: &[usize]) -> Vec<Vec<T>> {
+    let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (stream.len() + 1)).collect();
+    bounds.sort_unstable();
+    let mut out = Vec::new();
+    let mut prev = 0;
+    for b in bounds {
+        out.push(stream[prev..b].to_vec());
+        prev = b;
+    }
+    out.push(stream[prev..].to_vec());
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Merging per-segment Space-Saving summaries matches a single-pass
+    /// summary over the concatenated stream within the merged bounds:
+    /// the total is the summed N, estimates never undercount the true
+    /// counts, per-entry error stays within the summed ε·Nᵢ (= the
+    /// merged `max_error`), and keys truly hotter than twice that bound
+    /// always survive the merge.
+    #[test]
+    fn merged_space_saving_bounds_hold_with_summed_n(
+        capacity in 2usize..16,
+        stream in prop::collection::vec((0u64..40, 1u64..6), 4..300),
+        cuts in prop::collection::vec(0usize..300, 1..4),
+    ) {
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &(key, reps) in &stream {
+            *truth.entry(key).or_insert(0) += reps;
+        }
+        let segments = cut(&stream, &cuts);
+        let mut merged: Option<SpaceSaving<u64>> = None;
+        for seg in &segments {
+            let mut ss = SpaceSaving::new(capacity);
+            for &(key, reps) in seg {
+                ss.observe_n(key, reps);
+            }
+            match merged.as_mut() {
+                Some(m) => m.merge(&ss).expect("same capacity"),
+                None => merged = Some(ss),
+            }
+        }
+        let merged = merged.expect("at least one segment");
+        let n: u64 = truth.values().sum();
+        prop_assert_eq!(merged.total(), n, "total must be the summed N");
+        let bound = merged.max_error();
+        for (key, est) in merged.iter() {
+            let t = truth.get(&key).copied().unwrap_or(0);
+            prop_assert!(est.count >= t, "undercounted {key}: {} < {t}", est.count);
+            prop_assert!(est.count - t <= bound, "merged ε·N violated for {key}");
+            prop_assert!(est.count - t <= est.overestimate, "per-entry bound violated");
+        }
+        // Merged completeness: anything truly above 2·ε·N is monitored
+        // (the documented post-merge survival bound).
+        for (key, &t) in &truth {
+            if t > 2 * bound {
+                prop_assert!(merged.estimate(key).is_some(), "hot key {key} ({t}) evicted");
+            }
+        }
+    }
+
+    /// Space-Saving merging is commutative (exactly — deterministic
+    /// tie-breaks) and associative up to the estimate bounds.
+    #[test]
+    fn space_saving_merge_is_commutative_and_associative(
+        capacity in 2usize..12,
+        stream in prop::collection::vec((0u64..30, 1u64..5), 6..200),
+        cuts in prop::collection::vec(0usize..200, 2..3),
+    ) {
+        let segments = cut(&stream, &cuts);
+        let summaries: Vec<SpaceSaving<u64>> = segments
+            .iter()
+            .map(|seg| {
+                let mut ss = SpaceSaving::new(capacity);
+                for &(key, reps) in seg {
+                    ss.observe_n(key, reps);
+                }
+                ss
+            })
+            .collect();
+        let [a, b, c] = &summaries[..] else { panic!("three segments") };
+
+        let mut ab = a.clone();
+        ab.merge(b).unwrap();
+        let mut ba = b.clone();
+        ba.merge(a).unwrap();
+        prop_assert_eq!(ab.total(), ba.total());
+        prop_assert_eq!(ab.top(), ba.top(), "merge must be commutative");
+
+        let mut left = ab;
+        left.merge(c).unwrap();
+        let mut bc = b.clone();
+        bc.merge(c).unwrap();
+        let mut right = a.clone();
+        right.merge(&bc).unwrap();
+        prop_assert_eq!(left.total(), right.total());
+        // Association order may shuffle which borderline keys survive,
+        // but surviving estimates agree within the merged error bound.
+        let bound = left.max_error();
+        for (key, l) in left.iter() {
+            if let Some(r) = right.estimate(&key) {
+                prop_assert!(
+                    l.count.abs_diff(r.count) <= bound,
+                    "association moved {key} by more than ε·N"
+                );
+            }
+        }
+    }
+
+    /// Merged Count-Min sketches never underestimate — and in fact equal
+    /// the single-pass sketch exactly (counter grids are linear).
+    #[test]
+    fn merged_count_min_never_underestimates(
+        seed in 0u64..64,
+        stream in prop::collection::vec(0u64..200, 4..400),
+        cuts in prop::collection::vec(0usize..400, 1..4),
+    ) {
+        let mut single = CountMin::with_budget(4 << 10, 3, seed);
+        for &key in &stream {
+            single.observe(key);
+        }
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &key in &stream {
+            *truth.entry(key).or_insert(0) += 1;
+        }
+        let mut merged: Option<CountMin> = None;
+        for seg in cut(&stream, &cuts) {
+            let mut cm = CountMin::with_budget(4 << 10, 3, seed);
+            for &key in &seg {
+                cm.observe(key);
+            }
+            match merged.as_mut() {
+                Some(m) => m.merge(&cm).expect("same shape"),
+                None => merged = Some(cm),
+            }
+        }
+        let merged = merged.expect("at least one segment");
+        prop_assert_eq!(merged.total(), single.total());
+        for (&key, &t) in &truth {
+            let est = merged.estimate(key);
+            prop_assert!(est >= t, "merged sketch undercounted {key}: {est} < {t}");
+            prop_assert_eq!(est, single.estimate(key), "linearity: merge must be exact");
+        }
+    }
+
+    /// Merging per-segment CHH summaries keeps the recall guarantee on
+    /// the skewed generator streams (within tolerance of the single-pass
+    /// threshold) and is commutative.
+    #[test]
+    fn merged_chh_recall_stays_within_tolerance(seed in 0u64..8, segments in 2u64..5) {
+        let pairs = chase_pairs(seed, 40_000);
+        let cfg = ChhConfig::with_budget(96 << 10).with_seed(seed);
+        let mut truth: HashMap<(u64, u64), u64> = HashMap::new();
+        for &(k, v) in &pairs {
+            *truth.entry((k, v)).or_insert(0) += 1;
+        }
+        let per = pairs.len() / segments as usize;
+        let mut summaries: Vec<ChhSummary> = pairs
+            .chunks(per.max(1))
+            .map(|seg| {
+                let mut chh = ChhSummary::new(cfg);
+                for &(k, v) in seg {
+                    chh.observe(k, v);
+                }
+                chh
+            })
+            .collect();
+        let mut merged = summaries.remove(0);
+        for s in &summaries {
+            merged.merge(s).expect("same config");
+        }
+        prop_assert_eq!(merged.total(), pairs.len() as u64);
+
+        let mut ranked: Vec<(&(u64, u64), &u64)> = truth.iter().collect();
+        ranked.sort_by_key(|&(pair, count)| (std::cmp::Reverse(*count), *pair));
+        let top: Vec<(u64, u64)> = ranked.iter().take(20).map(|&(p, _)| *p).collect();
+        let recalled = top
+            .iter()
+            .filter(|(k, v)| {
+                merged.correlated(*k).is_some_and(|c| c.iter().any(|p| p.value == *v))
+            })
+            .count();
+        let recall = recalled as f64 / top.len() as f64;
+        prop_assert!(
+            recall >= MERGED_RECALL_THRESHOLD,
+            "merged recall {recall:.2} below tolerance at seed {seed}, {segments} segments"
+        );
+
+        // Fold-order robustness: merging the segments back-to-front
+        // keeps every hot key's estimate within the combined bound.
+        let mut chunks: Vec<ChhSummary> = pairs
+            .chunks(per.max(1))
+            .map(|seg| {
+                let mut chh = ChhSummary::new(cfg);
+                for &(k, v) in seg {
+                    chh.observe(k, v);
+                }
+                chh
+            })
+            .collect();
+        let mut backward = chunks.pop().expect("nonempty");
+        for s in chunks.iter().rev() {
+            backward.merge(s).expect("same config");
+        }
+        prop_assert_eq!(backward.total(), merged.total());
+        for (pair, _) in ranked.iter().take(10) {
+            let k = pair.0;
+            let a = merged.key_estimate(k).map(|e| e.count);
+            let b = backward.key_estimate(k).map(|e| e.count);
+            // Hot keys survive either fold with estimates within the
+            // combined error bound.
+            if let (Some(a), Some(b)) = (a, b) {
+                prop_assert!(
+                    a.abs_diff(b) <= 2 * merged.max_key_error(),
+                    "fold order moved key {k}: {a} vs {b}"
+                );
+            }
+        }
+    }
+}
+
+/// Merging a sketch with a differently-shaped peer is a typed error at
+/// every level, and the receiver is left untouched.
+#[test]
+fn shape_mismatches_are_typed_errors_not_panics() {
+    use ltc_stream::MergeError;
+
+    let mut ss = SpaceSaving::new(4);
+    ss.observe(1u64);
+    let before = ss.top();
+    assert!(matches!(
+        ss.merge(&SpaceSaving::new(5)),
+        Err(MergeError::Shape { summary: "space-saving", .. })
+    ));
+    assert_eq!(ss.top(), before, "failed merge must not disturb the receiver");
+
+    let mut cm = CountMin::new(64, 2, 1);
+    cm.observe(9);
+    assert!(matches!(
+        cm.merge(&CountMin::new(64, 2, 2)),
+        Err(MergeError::Shape { summary: "count-min", field: "seed", .. })
+    ));
+    assert_eq!(cm.estimate(9), 1);
+
+    let mut chh = ChhSummary::new(ChhConfig::with_budget(16 << 10));
+    chh.observe(1, 2);
+    let err = chh.merge(&ChhSummary::new(ChhConfig::with_budget(32 << 10))).unwrap_err();
+    assert!(matches!(err, MergeError::Shape { summary: "chh", field: "budget_bytes", .. }));
+    assert!(err.to_string().contains("budget_bytes"), "{err}");
+    assert_eq!(chh.total(), 1, "failed merge must not disturb the receiver");
 }
 
 /// Resident memory is a function of the budget, not the stream: a 25x

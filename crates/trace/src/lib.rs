@@ -31,12 +31,14 @@ pub mod gen;
 pub mod interleave;
 pub mod io;
 pub mod record;
+pub mod segment;
 pub mod source;
 pub mod stats;
 pub mod suite;
 
 pub use interleave::MultiProgram;
 pub use record::{AccessKind, Addr, MemoryAccess, Pc};
+pub use segment::TraceSegment;
 pub use source::{BoxedSource, Replay, TakeSource, TraceSource};
 pub use stats::TraceStats;
 pub use suite::{SuiteEntry, WorkloadClass};

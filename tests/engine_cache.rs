@@ -6,7 +6,7 @@ use std::path::PathBuf;
 
 use ltc_bench::harness;
 use ltc_bench::Scale;
-use ltc_sim::engine::{EngineOptions, ResultSet};
+use ltc_sim::engine::{artifact, EngineOptions, ResultSet, RunSpec, Scheduler};
 
 fn tmp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("ltc-cache-test-{}-{tag}", std::process::id()));
@@ -74,6 +74,47 @@ fn render_path_reads_cache_without_simulating() {
         (figures[0].render)(scale, &computed),
         "render-from-cache must match render-from-simulation"
     );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Segmented-run cache-key regression: `--segments 4` and `--segments 8`
+/// runs of the same benchmark/budget must occupy disjoint artifact
+/// slots — parents and every per-segment child — so neither pass can
+/// serve (or clobber) the other's files, while a repeat of either pass
+/// is pure cache.
+#[test]
+fn segment_counts_never_collide_in_the_artifact_cache() {
+    let dir = tmp_dir("segments");
+    let opts = EngineOptions::cached(4, &dir);
+    let four = RunSpec::stream_segmented("mcf", 64 << 10, 4, 8_000, 1);
+    let eight = RunSpec::stream_segmented("mcf", 64 << 10, 8, 8_000, 1);
+
+    let mut sched = Scheduler::new();
+    sched.request(four.clone());
+    let first = sched.execute(&opts).unwrap();
+    assert_eq!(first.simulated(), 4);
+
+    // The 8-way run shares nothing with the 4-way artifacts: all eight
+    // slices (and the parent) must simulate fresh.
+    let mut sched8 = Scheduler::new();
+    sched8.request(eight.clone());
+    let second = sched8.execute(&opts).unwrap();
+    assert_eq!(second.simulated(), 8, "a different segment count is a different experiment");
+    assert_eq!(second.cache_hits(), 0);
+
+    // Both parents now stand side by side in the cache, each serving its
+    // own repeat pass untouched by the other.
+    for parent in [&four, &eight] {
+        assert!(artifact::load(&dir, parent).unwrap().is_some());
+        let mut again = Scheduler::new();
+        again.request(parent.clone());
+        let repeat = again.execute(&opts).unwrap();
+        assert_eq!(repeat.simulated(), 0, "repeat pass must be pure cache");
+        assert_eq!(repeat.cache_hits(), 1);
+    }
+    // Every artifact file is distinct: 4 + 8 children plus 2 parents.
+    let files = std::fs::read_dir(&dir).unwrap().count();
+    assert_eq!(files, 14, "parents and children must all key separately");
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

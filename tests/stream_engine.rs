@@ -60,3 +60,73 @@ fn stream_specs_dedupe_and_cache_through_the_engine() {
     assert_ne!(spec.key(), other.key());
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+/// The segmented-streaming acceptance property: for every backend the
+/// scheduler offers in process, `--segments N` produces a merged report
+/// that matches the single-pass `--segments 1` report within the
+/// documented sketch bounds, and no worker's resident summary exceeds
+/// the byte budget. (The subprocess backend asserts the same through the
+/// real binary in `crates/bench/tests/worker_protocol.rs`.)
+#[test]
+fn merged_segment_reports_match_single_pass_within_documented_bounds() {
+    use ltc_sim::engine::BackendKind;
+
+    let budget = 96 << 10;
+    let accesses = 60_000u64;
+    let single_spec = RunSpec::stream("swim", budget, accesses, 1);
+    let segmented_spec = RunSpec::stream_segmented("swim", budget, 4, accesses, 1);
+    let mut sched = Scheduler::new();
+    sched.request(single_spec.clone());
+    sched.request(segmented_spec.clone());
+
+    for backend in [BackendKind::Threads, BackendKind::Sharded] {
+        let results = sched.execute(&EngineOptions::in_memory(4).with_backend(backend)).unwrap();
+        let single = results.stream(&single_spec);
+        let merged = results.stream(&segmented_spec);
+
+        // Same trace, same budget, same access count.
+        assert_eq!(merged.accesses, single.accesses);
+        assert_eq!(merged.budget_bytes, single.budget_bytes);
+        // Per-worker resident memory respects the budget.
+        assert!(
+            merged.memory_bytes <= budget,
+            "worker resident {} exceeds budget {budget}",
+            merged.memory_bytes
+        );
+        // Misses only grow (cold hierarchies at segment boundaries), and
+        // only a little.
+        assert!(merged.misses >= single.misses);
+        assert!(
+            (merged.misses - single.misses) as f64 <= single.misses as f64 * 0.05,
+            "cold-start drift too large: {} vs {}",
+            merged.misses,
+            single.misses
+        );
+        // Heavy-hitter estimates agree within the two reports' combined
+        // ε·N bounds (plus the boundary drift already bounded above).
+        // A line may drop out of the reported top-8 only if its estimate
+        // never exceeded that tolerance in the first place — i.e. the
+        // sketch bounds could not distinguish it from the field (the
+        // suite's working sets are cache-exceeding sweeps, so most lines
+        // sit exactly at the noise floor; the skewed-stream case where
+        // the top set must match exactly is asserted in
+        // `ltc_analysis::stream`'s unit tests).
+        let tolerance = merged.error_bound + single.error_bound + (merged.misses - single.misses);
+        for s in &single.heavy {
+            match merged.heavy.iter().find(|m| m.line == s.line) {
+                Some(m) => assert!(
+                    m.estimate.abs_diff(s.estimate) <= tolerance,
+                    "estimate for {:#x} drifted {} > {tolerance}",
+                    s.line,
+                    m.estimate.abs_diff(s.estimate)
+                ),
+                None => assert!(
+                    s.estimate <= tolerance,
+                    "genuinely heavy line {:#x} (est {} > {tolerance}) lost in the merge",
+                    s.line,
+                    s.estimate
+                ),
+            }
+        }
+    }
+}
