@@ -1,0 +1,47 @@
+//! `kernel_bench` — standalone hot-path kernel timings.
+//!
+//! The bin form of `ltsim bench` for profiling workflows that want one
+//! binary with no subcommand dispatch (e.g. `perf record
+//! target/release/kernel_bench --quick`). Prints each kernel's
+//! throughput; does not write or diff `BENCH_*.json` files — use
+//! `ltsim bench` for the tracked trajectory.
+
+use ltc_bench::perf::{self, BenchOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = BenchOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => opts.accesses = perf::QUICK_ACCESSES,
+            "--accesses" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => opts.accesses = n,
+                _ => die("--accesses needs a positive number"),
+            },
+            "--benchmark" => match it.next() {
+                Some(name) => opts.benchmark = name.clone(),
+                None => die("--benchmark needs a suite benchmark name"),
+            },
+            "--rounds" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => opts.rounds = n,
+                _ => die("--rounds needs a positive number"),
+            },
+            other => die(&format!("unknown flag: {other}")),
+        }
+    }
+    let report = perf::run_all(&opts);
+    println!(
+        "# {} accesses of {} (seed {}), best of {} rounds",
+        report.accesses, report.benchmark, report.seed, opts.rounds
+    );
+    for r in &report.results {
+        println!("{:<20} {:>12.0} items/sec  ({:.2} ms)", r.name, r.per_sec, r.nanos as f64 / 1e6);
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: kernel_bench [--quick] [--accesses N] [--benchmark NAME] [--rounds N]");
+    std::process::exit(2);
+}

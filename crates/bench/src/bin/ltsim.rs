@@ -14,6 +14,8 @@
 //! ltsim render   [--figures a,b,..] [--out DIR] [--format table|json|csv]
 //! ltsim stream   <benchmark|all> [--budget BYTES] [--segments N] [--accesses N] [--seed N]
 //!                [--out DIR] [--force] [--threads N] [--backend ...] [--progress ...]
+//! ltsim bench    [--quick] [--accesses N] [--benchmark NAME] [--seed N] [--rounds N]
+//!                [--out FILE] [--compare FILE] [--tolerance PCT]
 //! ltsim worker
 //! ```
 //!
@@ -78,10 +80,11 @@ fn main() {
         Some("run") => cmd_run(&args[1..]),
         Some("render") => cmd_render(&args[1..]),
         Some("stream") => cmd_stream(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("worker") => cmd_worker(),
         _ => {
             eprintln!(
-                "usage: ltsim <list|coverage|timing|compare|power|record|replay|plan|run|render|stream|worker> ..."
+                "usage: ltsim <list|coverage|timing|compare|power|record|replay|plan|run|render|stream|bench|worker> ..."
             );
             std::process::exit(2);
         }
@@ -203,10 +206,15 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("replay needs a trace file")?;
     let kind = parse_kind(arg(args, 1, "lt-cords"))?;
     let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
-    let mut replay =
-        ltc_sim::trace::io::read_trace(std::io::BufReader::new(file)).map_err(|e| e.to_string())?;
+    // Stream batches instead of materializing the whole trace, so
+    // arbitrarily long recordings replay in bounded memory.
+    let mut replay = ltc_sim::trace::io::BatchReader::new(std::io::BufReader::new(file))
+        .map_err(|e| e.to_string())?;
     let mut predictor = kind.build();
     let r = run_cov(&mut replay, predictor.as_mut(), CoverageConfig::paper(u64::MAX));
+    if let Some(err) = replay.error() {
+        return Err(format!("trace stream ended early: {err}"));
+    }
     println!("replayed {} accesses under {}", r.accesses, kind.name());
     println!("coverage {}", pct1(r.coverage()));
     Ok(())
@@ -532,6 +540,107 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         println!();
     }
     println!("engine: {} simulated, {} from cache", results.simulated(), results.cache_hits());
+    Ok(())
+}
+
+/// `ltsim bench`: time the hot-path kernels and emit (or diff) a
+/// `BENCH_<date>.json` perf-trajectory report — see
+/// `ltc_bench::perf` and EXPERIMENTS.md "Benchmarking & perf
+/// trajectory". With `--compare FILE` the run additionally diffs
+/// against a committed baseline and fails when any kernel's throughput
+/// drops more than `--tolerance` percent (default 10).
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    use ltc_bench::perf;
+
+    let mut opts = perf::BenchOptions::default();
+    let mut out: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut tolerance = perf::DEFAULT_TOLERANCE_PCT;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => opts.accesses = perf::QUICK_ACCESSES,
+            "--accesses" => {
+                opts.accesses = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &u64| n > 0)
+                    .ok_or("--accesses needs a positive number")?;
+            }
+            "--benchmark" => {
+                let name = it.next().ok_or("--benchmark needs a suite benchmark name")?;
+                suite::by_name(name).ok_or_else(|| format!("unknown benchmark: {name}"))?;
+                opts.benchmark = name.clone();
+            }
+            "--seed" => {
+                opts.seed =
+                    it.next().and_then(|v| v.parse().ok()).ok_or("--seed needs a number")?;
+            }
+            "--rounds" => {
+                opts.rounds = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or("--rounds needs a positive number")?;
+            }
+            "--out" => out = Some(it.next().ok_or("--out needs a file path")?.clone()),
+            "--compare" => {
+                baseline = Some(it.next().ok_or("--compare needs a baseline file")?.clone());
+            }
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&t: &f64| t >= 0.0)
+                    .ok_or("--tolerance needs a non-negative percentage")?;
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+
+    let report = perf::run_all(&opts);
+    let mut t = Table::new(vec!["kernel", "items", "best ms", "items/sec"]);
+    for r in &report.results {
+        t.row(vec![
+            r.name.clone(),
+            r.items.to_string(),
+            format!("{:.2}", r.nanos as f64 / 1e6),
+            format!("{:.0}", r.per_sec),
+        ]);
+    }
+    print!("{}", t.render());
+
+    let path = out.unwrap_or_else(|| format!("BENCH_{}.json", perf::utc_date_string()));
+    std::fs::write(&path, report.to_json() + "\n").map_err(|e| format!("writing {path}: {e}"))?;
+    println!("wrote {path}");
+
+    if let Some(base_path) = baseline {
+        let text = std::fs::read_to_string(&base_path)
+            .map_err(|e| format!("reading baseline {base_path}: {e}"))?;
+        let base = perf::BenchReport::from_json(&text)
+            .map_err(|e| format!("parsing baseline {base_path}: {e}"))?;
+        let deltas = perf::compare(&report, &base, tolerance);
+        let mut dt = Table::new(vec!["kernel", "baseline/sec", "current/sec", "change"]);
+        for d in &deltas {
+            dt.row(vec![
+                d.name.clone(),
+                format!("{:.0}", d.baseline_per_sec),
+                format!("{:.0}", d.current_per_sec),
+                format!("{}{:+.1}%", if d.regressed { "REGRESSED " } else { "" }, d.change_pct),
+            ]);
+        }
+        print!("{}", dt.render());
+        let regressed: Vec<&str> =
+            deltas.iter().filter(|d| d.regressed).map(|d| d.name.as_str()).collect();
+        if !regressed.is_empty() {
+            return Err(format!(
+                "{} kernel(s) regressed more than {tolerance}% vs {base_path}: {}",
+                regressed.len(),
+                regressed.join(", ")
+            ));
+        }
+        println!("no kernel regressed more than {tolerance}% vs {base_path}");
+    }
     Ok(())
 }
 

@@ -16,6 +16,7 @@
 
 pub mod figures;
 pub mod harness;
+pub mod perf;
 pub mod scale;
 
 pub use harness::FigureDef;

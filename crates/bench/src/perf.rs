@@ -1,0 +1,357 @@
+//! Hot-path microbenchmarks and the `BENCH_<date>.json` perf trajectory.
+//!
+//! `ltsim bench` (and the `kernel_bench` bin) time the simulator's three
+//! measured hot paths — raw trace decode, the coverage kernel, and the
+//! stream/sketch path — in accesses per second, and serialize the
+//! measurements as a machine-readable [`BenchReport`]. Committing one
+//! report per optimization PR (`bench/BENCH_<date>.json`) gives the repo
+//! a perf *trajectory*; nightly CI re-runs the kernels and
+//! [`compare`]s against the committed baseline, failing on regressions
+//! beyond a tolerance.
+//!
+//! Timing is deliberately simple and dependency-free: each kernel runs
+//! once to warm caches, then `rounds` measured repetitions, keeping the
+//! **best** wall time (minimum is the standard noise-robust statistic
+//! for throughput benches). Absolute numbers are machine-dependent —
+//! the committed baseline describes the CI machine class, and local
+//! comparisons are only meaningful against local baselines.
+
+use std::time::{Duration, Instant, SystemTime};
+
+use ltc_sim::analysis::{run_coverage, CoverageConfig, StreamAnalysis, StreamConfig};
+use ltc_sim::engine::MODEL_VERSION;
+use ltc_sim::experiment::PredictorKind;
+use ltc_sim::trace::{io, suite, Replay, TraceSource};
+use serde::{Deserialize, Serialize};
+
+/// Schema version of the serialized [`BenchReport`].
+pub const BENCH_SCHEMA: u64 = 1;
+
+/// Default access budget for a full bench run.
+pub const FULL_ACCESSES: u64 = 1_000_000;
+
+/// Access budget under `--quick` (CI smoke scale).
+pub const QUICK_ACCESSES: u64 = 200_000;
+
+/// Default regression tolerance for [`compare`], in percent.
+pub const DEFAULT_TOLERANCE_PCT: f64 = 10.0;
+
+/// What to measure.
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Accesses each kernel processes per repetition.
+    pub accesses: u64,
+    /// Suite benchmark supplying the trace.
+    pub benchmark: String,
+    /// Trace generator seed.
+    pub seed: u64,
+    /// Measured repetitions per kernel (best is kept).
+    pub rounds: usize,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions { accesses: FULL_ACCESSES, benchmark: "gcc".to_string(), seed: 1, rounds: 3 }
+    }
+}
+
+impl BenchOptions {
+    /// The reduced-scale options used by nightly CI.
+    pub fn quick() -> Self {
+        BenchOptions { accesses: QUICK_ACCESSES, ..BenchOptions::default() }
+    }
+}
+
+/// One kernel's measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchResult {
+    /// Stable kernel name (the key [`compare`] matches on).
+    pub name: String,
+    /// Items (accesses or records) processed per repetition.
+    pub items: u64,
+    /// Best wall time over the measured repetitions, nanoseconds.
+    pub nanos: u64,
+    /// Throughput: `items / (nanos / 1e9)`.
+    pub per_sec: f64,
+}
+
+impl BenchResult {
+    fn new(name: &str, items: u64, best: Duration) -> Self {
+        let nanos = (best.as_nanos() as u64).max(1);
+        BenchResult {
+            name: name.to_string(),
+            items,
+            nanos,
+            per_sec: items as f64 * 1e9 / nanos as f64,
+        }
+    }
+}
+
+/// A full bench run: the perf-trajectory file format.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Serialization schema version ([`BENCH_SCHEMA`]).
+    pub schema: u64,
+    /// Simulation model version the kernels were built from.
+    pub model_version: u64,
+    /// Suite benchmark supplying the trace.
+    pub benchmark: String,
+    /// Accesses per kernel repetition.
+    pub accesses: u64,
+    /// Trace generator seed.
+    pub seed: u64,
+    /// Per-kernel measurements.
+    pub results: Vec<BenchResult>,
+}
+
+impl BenchReport {
+    /// Looks up a kernel's measurement by name.
+    pub fn result(&self, name: &str) -> Option<&BenchResult> {
+        self.results.iter().find(|r| r.name == name)
+    }
+
+    /// Canonical single-line JSON (the on-disk form).
+    pub fn to_json(&self) -> String {
+        ltc_sim::serde_json::to_string(self)
+    }
+
+    /// Parses a serialized report.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the JSON does not parse or the schema is
+    /// unknown.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let report: BenchReport =
+            ltc_sim::serde_json::from_str(text.trim()).map_err(|e| e.to_string())?;
+        if report.schema != BENCH_SCHEMA {
+            return Err(format!("unsupported BENCH schema {}", report.schema));
+        }
+        Ok(report)
+    }
+}
+
+/// Times `work` (which must return the items it processed): one warm-up
+/// repetition, then `rounds` measured ones, keeping the best.
+fn time_kernel(rounds: usize, mut work: impl FnMut() -> u64) -> (u64, Duration) {
+    let mut items = std::hint::black_box(work());
+    let mut best = Duration::MAX;
+    for _ in 0..rounds.max(1) {
+        let start = Instant::now();
+        items = std::hint::black_box(work());
+        best = best.min(start.elapsed());
+    }
+    (items, best)
+}
+
+/// Runs every kernel and assembles the report.
+///
+/// Kernels (stable names — [`compare`] matches on them):
+///
+/// * `decode` — deserialize the binary trace format ([`io::read_trace`]).
+/// * `coverage_baseline` — the coverage kernel with the passive baseline
+///   predictor.
+/// * `coverage_dbcp` — the coverage kernel with the unlimited DBCP
+///   predictor (trains and prefetches).
+/// * `stream_sketch` — the one-pass stream/sketch analysis (64 KiB
+///   budget).
+/// * `decode_kernel` — decode **plus** baseline coverage end to end, the
+///   headline single-thread throughput number the ≥2× acceptance
+///   criterion tracks.
+///
+/// # Panics
+///
+/// Panics if `opts.benchmark` is not in the suite.
+pub fn run_all(opts: &BenchOptions) -> BenchReport {
+    let entry = suite::by_name(&opts.benchmark)
+        .unwrap_or_else(|| panic!("unknown benchmark {}", opts.benchmark));
+    let mut encoded = Vec::new();
+    let written =
+        io::write_trace(&mut entry.build(opts.seed), &mut encoded, opts.accesses).unwrap();
+    let accesses = entry.build(opts.seed).collect_accesses(written as usize);
+    let rounds = opts.rounds;
+    let mut results = Vec::new();
+
+    let (items, best) = time_kernel(rounds, || {
+        let replay = io::read_trace(encoded.as_slice()).expect("bench trace decodes");
+        replay.len() as u64
+    });
+    results.push(BenchResult::new("decode", items, best));
+
+    let coverage_cfg = CoverageConfig::paper(u64::MAX);
+    let (items, best) = time_kernel(rounds, || {
+        let mut replay = Replay::once(accesses.clone());
+        let mut predictor = PredictorKind::Baseline.build();
+        let report = run_coverage(&mut replay, predictor.as_mut(), coverage_cfg);
+        report.accesses
+    });
+    results.push(BenchResult::new("coverage_baseline", items, best));
+
+    let (items, best) = time_kernel(rounds, || {
+        let mut replay = Replay::once(accesses.clone());
+        let mut predictor = PredictorKind::DbcpUnlimited.build();
+        let report = run_coverage(&mut replay, predictor.as_mut(), coverage_cfg);
+        report.accesses
+    });
+    results.push(BenchResult::new("coverage_dbcp", items, best));
+
+    let stream_cfg = StreamConfig::with_budget(64 << 10).with_seed(opts.seed);
+    let (items, best) = time_kernel(rounds, || {
+        let mut replay = Replay::once(accesses.clone());
+        let report = StreamAnalysis::run(&mut replay, u64::MAX, stream_cfg);
+        report.accesses
+    });
+    results.push(BenchResult::new("stream_sketch", items, best));
+
+    let (items, best) = time_kernel(rounds, || {
+        let mut replay = io::read_trace(encoded.as_slice()).expect("bench trace decodes");
+        let mut predictor = PredictorKind::Baseline.build();
+        let report = run_coverage(&mut replay, predictor.as_mut(), coverage_cfg);
+        report.accesses
+    });
+    results.push(BenchResult::new("decode_kernel", items, best));
+
+    BenchReport {
+        schema: BENCH_SCHEMA,
+        model_version: u64::from(MODEL_VERSION),
+        benchmark: opts.benchmark.clone(),
+        accesses: opts.accesses,
+        seed: opts.seed,
+        results,
+    }
+}
+
+/// One kernel's current-vs-baseline delta.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDelta {
+    /// Kernel name.
+    pub name: String,
+    /// Baseline throughput (items/sec).
+    pub baseline_per_sec: f64,
+    /// Current throughput (items/sec).
+    pub current_per_sec: f64,
+    /// Relative change in percent (positive = faster).
+    pub change_pct: f64,
+    /// Whether the slowdown exceeds the tolerance.
+    pub regressed: bool,
+}
+
+/// Diffs `current` against `baseline` kernel by kernel (intersection of
+/// names, baseline order). A kernel regresses when its throughput drops
+/// more than `tolerance_pct` percent below the baseline.
+pub fn compare(
+    current: &BenchReport,
+    baseline: &BenchReport,
+    tolerance_pct: f64,
+) -> Vec<BenchDelta> {
+    baseline
+        .results
+        .iter()
+        .filter_map(|base| current.result(&base.name).map(|cur| (base, cur)))
+        .map(|(base, cur)| {
+            let change_pct =
+                if base.per_sec > 0.0 { (cur.per_sec / base.per_sec - 1.0) * 100.0 } else { 0.0 };
+            BenchDelta {
+                name: base.name.clone(),
+                baseline_per_sec: base.per_sec,
+                current_per_sec: cur.per_sec,
+                change_pct,
+                regressed: change_pct < -tolerance_pct,
+            }
+        })
+        .collect()
+}
+
+/// Today's UTC date as `YYYY-MM-DD` (for default `BENCH_<date>.json`
+/// file names), from the system clock — no calendar dependency.
+pub fn utc_date_string() -> String {
+    let secs =
+        SystemTime::now().duration_since(SystemTime::UNIX_EPOCH).unwrap_or_default().as_secs();
+    let days = (secs / 86_400) as i64;
+    let (y, m, d) = civil_from_days(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Days-since-epoch to civil date (Howard Hinnant's algorithm).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    ((if m <= 2 { y + 1 } else { y }), m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report(names_and_rates: &[(&str, f64)]) -> BenchReport {
+        BenchReport {
+            schema: BENCH_SCHEMA,
+            model_version: u64::from(MODEL_VERSION),
+            benchmark: "gcc".into(),
+            accesses: 1000,
+            seed: 1,
+            results: names_and_rates
+                .iter()
+                .map(|(n, r)| BenchResult {
+                    name: n.to_string(),
+                    items: 1000,
+                    nanos: (1000.0 * 1e9 / r) as u64,
+                    per_sec: *r,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let opts = BenchOptions { accesses: 2_000, benchmark: "gzip".into(), seed: 1, rounds: 1 };
+        let report = run_all(&opts);
+        assert_eq!(report.results.len(), 5);
+        assert!(report.results.iter().all(|r| r.items > 0 && r.per_sec > 0.0));
+        let parsed = BenchReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn unknown_schema_is_an_error() {
+        let mut report = tiny_report(&[("decode", 1e6)]);
+        report.schema = 999;
+        assert!(BenchReport::from_json(&report.to_json()).is_err());
+    }
+
+    #[test]
+    fn compare_flags_regressions_beyond_tolerance() {
+        let baseline = tiny_report(&[("decode", 1e6), ("coverage_baseline", 2e6)]);
+        let current = tiny_report(&[("decode", 0.5e6), ("coverage_baseline", 1.95e6)]);
+        let deltas = compare(&current, &baseline, DEFAULT_TOLERANCE_PCT);
+        assert_eq!(deltas.len(), 2);
+        assert!(deltas[0].regressed, "a 2x slowdown must regress");
+        assert!(!deltas[1].regressed, "a 2.5% dip is within tolerance");
+    }
+
+    #[test]
+    fn compare_matches_on_name_intersection() {
+        let baseline = tiny_report(&[("decode", 1e6), ("retired_kernel", 1e6)]);
+        let current = tiny_report(&[("decode", 2e6), ("new_kernel", 1e6)]);
+        let deltas = compare(&current, &baseline, DEFAULT_TOLERANCE_PCT);
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].name, "decode");
+        assert!(deltas[0].change_pct > 90.0);
+    }
+
+    #[test]
+    fn civil_date_matches_known_epochs() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1));
+        let today = utc_date_string();
+        assert_eq!(today.len(), 10);
+        assert_eq!(today.as_bytes()[4], b'-');
+    }
+}

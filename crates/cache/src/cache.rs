@@ -54,15 +54,22 @@ pub enum PrefetchOutcome {
     },
 }
 
+/// Block state bits packed into one byte per way.
+const VALID: u8 = 1;
+const DIRTY: u8 = 2;
+/// Filled by prefetch and not yet demand-accessed.
+const PENDING: u8 = 4;
+
+/// Per-way replacement timestamps, packed so an 8-way set's entire
+/// replacement metadata spans one 64-byte cache line.
+///
+/// Stamps are stored as `u32`: the cache's sequence counter panics before
+/// it would truncate (4.29 billion accesses per cache instance), so LRU
+/// order can never silently wrap.
 #[derive(Debug, Clone, Copy, Default)]
-struct Block {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    /// Filled by prefetch and not yet demand-accessed.
-    prefetched_pending: bool,
-    fill_seq: u64,
-    last_touch_seq: u64,
+struct Stamps {
+    fill: u32,
+    touch: u32,
 }
 
 /// A set-associative cache with LRU or FIFO replacement.
@@ -70,10 +77,19 @@ struct Block {
 /// The cache maintains an internal access sequence counter used for LRU
 /// ordering and for dead-time measurement (Figure 2 of the paper measures
 /// the time between a block's last touch and its eviction).
+///
+/// Block state is a struct-of-arrays *tag array*: tags, state bytes, and
+/// the two sequence timestamps live in four parallel flat vectors indexed
+/// by `set * ways + way`. The hit path therefore scans one densely packed
+/// 64-byte tag line per 8-way set (plus one state byte per way) instead
+/// of striding through 40-byte block structs — the dominant cost of the
+/// coverage kernel is exactly this scan.
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    blocks: Vec<Block>,
+    tags: Vec<u64>,
+    state: Vec<u8>,
+    stamps: Vec<Stamps>,
     ways: usize,
     set_mask: u64,
     line_shift: u32,
@@ -87,21 +103,39 @@ impl Cache {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration is invalid (see [`CacheConfig::validate`]).
+    /// Panics with the [`crate::GeometryError`] message if the
+    /// configuration is invalid. Use [`Cache::try_new`] to surface the
+    /// typed error instead.
     pub fn new(cfg: CacheConfig) -> Self {
-        cfg.validate();
-        let sets = cfg.sets();
+        match Cache::try_new(cfg) {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates an empty cache, rejecting invalid geometry as a typed
+    /// [`crate::GeometryError`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated invariant (zero dimension, non-power-of-two
+    /// line size or set count, capacity not dividing evenly).
+    pub fn try_new(cfg: CacheConfig) -> Result<Self, crate::GeometryError> {
+        let g = cfg.try_validate()?;
         let ways = cfg.ways as usize;
-        Cache {
+        let slots = (g.sets as usize) * ways;
+        Ok(Cache {
             cfg,
-            blocks: vec![Block::default(); (sets as usize) * ways],
+            tags: vec![0; slots],
+            state: vec![0; slots],
+            stamps: vec![Stamps::default(); slots],
             ways,
-            set_mask: sets - 1,
-            line_shift: cfg.line_bytes.trailing_zeros(),
-            set_shift: sets.trailing_zeros(),
+            set_mask: g.set_mask,
+            line_shift: g.line_shift,
+            set_shift: g.set_bits,
             seq: 0,
             stats: CacheStats::default(),
-        }
+        })
     }
 
     /// The cache's configuration.
@@ -125,55 +159,52 @@ impl Cache {
         (line & self.set_mask, line >> self.set_shift)
     }
 
+    /// Index of the way holding `tag` in the set starting at `start`, if
+    /// resident — the tag-array scan every access begins with.
     #[inline]
-    fn set_slice(&mut self, set: u64) -> &mut [Block] {
-        let start = (set as usize) * self.ways;
-        &mut self.blocks[start..start + self.ways]
+    fn find_way(&self, start: usize, tag: u64) -> Option<usize> {
+        let tags = &self.tags[start..start + self.ways];
+        let state = &self.state[start..start + self.ways];
+        (0..tags.len()).find(|&w| tags[w] == tag && state[w] & VALID != 0)
+    }
+
+    /// Claims the next sequence stamp, refusing to let it truncate.
+    #[inline]
+    fn next_seq(&mut self) -> u32 {
+        self.seq += 1;
+        assert!(self.seq <= u64::from(u32::MAX), "cache sequence counter exceeded 2^32-1 accesses");
+        self.seq as u32
     }
 
     /// Performs a demand access, filling on miss.
     pub fn access(&mut self, addr: Addr, kind: AccessKind) -> AccessOutcome {
-        self.seq += 1;
-        let seq = self.seq;
+        let seq = self.next_seq();
         let (set, tag) = self.set_and_tag(addr);
         let is_store = !kind.is_load();
-        let ways = self.ways;
-        let line_bytes = self.cfg.line_bytes;
-        let set_shift = self.set_shift;
-        let line_shift = self.line_shift;
+        let start = (set as usize) * self.ways;
 
-        let policy = self.cfg.policy;
-        let blocks = self.set_slice(set);
         // Hit path.
-        for b in blocks.iter_mut() {
-            if b.valid && b.tag == tag {
-                let first_use = b.prefetched_pending;
-                b.prefetched_pending = false;
-                b.last_touch_seq = seq;
-                b.dirty |= is_store;
-                self.stats.accesses += 1;
-                self.stats.stores += u64::from(is_store);
-                self.stats.prefetch_hits += u64::from(first_use);
-                return AccessOutcome {
-                    hit: true,
-                    first_use_of_prefetch: first_use,
-                    evicted: None,
-                    set,
-                };
-            }
+        if let Some(w) = self.find_way(start, tag) {
+            let i = start + w;
+            let first_use = self.state[i] & PENDING != 0;
+            self.state[i] = (self.state[i] & !PENDING) | if is_store { DIRTY } else { 0 };
+            self.stamps[i].touch = seq;
+            self.stats.accesses += 1;
+            self.stats.stores += u64::from(is_store);
+            self.stats.prefetch_hits += u64::from(first_use);
+            return AccessOutcome {
+                hit: true,
+                first_use_of_prefetch: first_use,
+                evicted: None,
+                set,
+            };
         }
         // Miss: select a victim and fill.
-        let victim_way = select_victim(blocks, policy, ways);
-        let victim = &mut blocks[victim_way];
-        let evicted = evicted_info(victim, set, set_shift, line_shift, line_bytes);
-        *victim = Block {
-            tag,
-            valid: true,
-            dirty: is_store,
-            prefetched_pending: false,
-            fill_seq: seq,
-            last_touch_seq: seq,
-        };
+        let i = start + self.select_victim(start);
+        let evicted = self.evicted_info(i, set);
+        self.tags[i] = tag;
+        self.state[i] = VALID | if is_store { DIRTY } else { 0 };
+        self.stamps[i] = Stamps { fill: seq, touch: seq };
         self.stats.accesses += 1;
         self.stats.stores += u64::from(is_store);
         self.stats.misses += 1;
@@ -184,6 +215,51 @@ impl Cache {
         AccessOutcome { hit: false, first_use_of_prefetch: false, evicted, set }
     }
 
+    /// Picks the way a fill of the set starting at `start` replaces:
+    /// first invalid way, else the policy's oldest timestamp (first way
+    /// on ties, matching the original block-struct implementation).
+    fn select_victim(&self, start: usize) -> usize {
+        let state = &self.state[start..start + self.ways];
+        if let Some(w) = state.iter().position(|s| s & VALID == 0) {
+            return w;
+        }
+        let stamps = &self.stamps[start..start + self.ways];
+        let mut best = 0;
+        match self.cfg.policy {
+            ReplacementPolicy::Lru => {
+                for w in 1..stamps.len() {
+                    if stamps[w].touch < stamps[best].touch {
+                        best = w;
+                    }
+                }
+            }
+            ReplacementPolicy::Fifo => {
+                for w in 1..stamps.len() {
+                    if stamps[w].fill < stamps[best].fill {
+                        best = w;
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// The [`EvictedBlock`] record for displacing slot `i` of `set`, or
+    /// `None` when the slot is invalid.
+    fn evicted_info(&self, i: usize, set: u64) -> Option<EvictedBlock> {
+        let s = self.state[i];
+        if s & VALID == 0 {
+            return None;
+        }
+        Some(EvictedBlock {
+            addr: self.line_addr(set, self.tags[i]),
+            dirty: s & DIRTY != 0,
+            prefetched_unused: s & PENDING != 0,
+            fill_seq: u64::from(self.stamps[i].fill),
+            last_touch_seq: u64::from(self.stamps[i].touch),
+        })
+    }
+
     /// Installs `addr` as a prefetched block.
     ///
     /// If `intended_victim` names a resident block in the same set, that
@@ -192,41 +268,31 @@ impl Cache {
     /// policy chooses. Returns what happened.
     pub fn fill_prefetch(&mut self, addr: Addr, intended_victim: Option<Addr>) -> PrefetchOutcome {
         let (set, tag) = self.set_and_tag(addr);
-        let seq = self.seq;
-        let ways = self.ways;
-        let policy = self.cfg.policy;
-        let line_bytes = self.cfg.line_bytes;
-        let set_shift = self.set_shift;
-        let line_shift = self.line_shift;
+        let seq = self.seq as u32;
+        let start = (set as usize) * self.ways;
 
         let victim_tag = intended_victim.and_then(|v| {
             let (vset, vtag) = self.set_and_tag(v);
             (vset == set).then_some(vtag)
         });
-        let blocks = self.set_slice(set);
-        if blocks.iter().any(|b| b.valid && b.tag == tag) {
+        if self.find_way(start, tag).is_some() {
             self.stats.prefetch_already_present += 1;
             return PrefetchOutcome::AlreadyPresent;
         }
         let (victim_way, replaced_intended) = match victim_tag {
-            Some(vt) => match blocks.iter().position(|b| b.valid && b.tag == vt) {
+            Some(vt) => match self.find_way(start, vt) {
                 Some(w) => (w, true),
-                None => (select_victim(blocks, policy, ways), false),
+                None => (self.select_victim(start), false),
             },
-            None => (select_victim(blocks, policy, ways), false),
+            None => (self.select_victim(start), false),
         };
-        let victim = &mut blocks[victim_way];
-        let evicted = evicted_info(victim, set, set_shift, line_shift, line_bytes);
-        *victim = Block {
-            tag,
-            valid: true,
-            dirty: false,
-            prefetched_pending: true,
-            // A prefetched block should not look freshly used to LRU: it
-            // inherits the current sequence as its fill time.
-            fill_seq: seq,
-            last_touch_seq: seq,
-        };
+        let i = start + victim_way;
+        let evicted = self.evicted_info(i, set);
+        self.tags[i] = tag;
+        self.state[i] = VALID | PENDING;
+        // A prefetched block should not look freshly used to LRU: it
+        // inherits the current sequence as its fill time.
+        self.stamps[i] = Stamps { fill: seq, touch: seq };
         self.stats.prefetch_fills += 1;
         if let Some(ev) = &evicted {
             self.stats.useless_prefetches += u64::from(ev.prefetched_unused);
@@ -237,17 +303,17 @@ impl Cache {
     /// Whether the line containing `addr` is resident (non-perturbing).
     pub fn contains(&self, addr: Addr) -> bool {
         let (set, tag) = self.set_and_tag_ref(addr);
-        let start = (set as usize) * self.ways;
-        self.blocks[start..start + self.ways].iter().any(|b| b.valid && b.tag == tag)
+        self.find_way((set as usize) * self.ways, tag).is_some()
     }
 
     /// Whether `addr` is resident as a never-demand-touched prefetch.
     pub fn is_pending_prefetch(&self, addr: Addr) -> bool {
         let (set, tag) = self.set_and_tag_ref(addr);
         let start = (set as usize) * self.ways;
-        self.blocks[start..start + self.ways]
-            .iter()
-            .any(|b| b.valid && b.tag == tag && b.prefetched_pending)
+        match self.find_way(start, tag) {
+            Some(w) => self.state[start + w] & PENDING != 0,
+            None => false,
+        }
     }
 
     /// The address the replacement policy would evict for a fill of `addr`,
@@ -255,20 +321,11 @@ impl Cache {
     pub fn peek_victim(&self, addr: Addr) -> Option<Addr> {
         let (set, _) = self.set_and_tag_ref(addr);
         let start = (set as usize) * self.ways;
-        let blocks = &self.blocks[start..start + self.ways];
-        if blocks.iter().any(|b| !b.valid) {
+        if self.state[start..start + self.ways].iter().any(|s| s & VALID == 0) {
             return None;
         }
-        let way = match self.cfg.policy {
-            ReplacementPolicy::Lru => {
-                blocks.iter().enumerate().min_by_key(|(_, b)| b.last_touch_seq).map(|(i, _)| i)?
-            }
-            ReplacementPolicy::Fifo => {
-                blocks.iter().enumerate().min_by_key(|(_, b)| b.fill_seq).map(|(i, _)| i)?
-            }
-        };
-        let b = &blocks[way];
-        Some(self.line_addr(set, b.tag))
+        let way = self.select_victim(start);
+        Some(self.line_addr(set, self.tags[start + way]))
     }
 
     /// Enumerates resident line addresses (diagnostics and invariants).
@@ -276,9 +333,9 @@ impl Cache {
         let mut v = Vec::new();
         for set in 0..=self.set_mask {
             let start = (set as usize) * self.ways;
-            for b in &self.blocks[start..start + self.ways] {
-                if b.valid {
-                    v.push(self.line_addr(set, b.tag));
+            for w in 0..self.ways {
+                if self.state[start + w] & VALID != 0 {
+                    v.push(self.line_addr(set, self.tags[start + w]));
                 }
             }
         }
@@ -295,52 +352,6 @@ impl Cache {
     fn line_addr(&self, set: u64, tag: u64) -> Addr {
         Addr(((tag << self.set_shift) | set) << self.line_shift)
     }
-}
-
-fn select_victim(blocks: &[Block], policy: ReplacementPolicy, ways: usize) -> usize {
-    // Prefer an invalid way.
-    if let Some(w) = blocks.iter().position(|b| !b.valid) {
-        return w;
-    }
-    match policy {
-        ReplacementPolicy::Lru => {
-            let mut best = 0;
-            for w in 1..ways {
-                if blocks[w].last_touch_seq < blocks[best].last_touch_seq {
-                    best = w;
-                }
-            }
-            best
-        }
-        ReplacementPolicy::Fifo => {
-            let mut best = 0;
-            for w in 1..ways {
-                if blocks[w].fill_seq < blocks[best].fill_seq {
-                    best = w;
-                }
-            }
-            best
-        }
-    }
-}
-
-fn evicted_info(
-    victim: &Block,
-    set: u64,
-    set_shift: u32,
-    line_shift: u32,
-    _line_bytes: u64,
-) -> Option<EvictedBlock> {
-    if !victim.valid {
-        return None;
-    }
-    Some(EvictedBlock {
-        addr: Addr(((victim.tag << set_shift) | set) << line_shift),
-        dirty: victim.dirty,
-        prefetched_unused: victim.prefetched_pending,
-        fill_seq: victim.fill_seq,
-        last_touch_seq: victim.last_touch_seq,
-    })
 }
 
 #[cfg(test)]

@@ -1,8 +1,105 @@
 //! Cache geometry and replacement configuration.
+//!
+//! Geometry checking is typed: [`CacheConfig::try_validate`] returns a
+//! [`Geometry`] — the precomputed mask/shift form of a valid
+//! configuration — or a [`GeometryError`] naming the violated
+//! invariant. The panicking [`CacheConfig::validate`] and the per-address
+//! helpers are thin wrappers over it, so the invariants live in exactly
+//! one place and the hot paths index with shifts and masks instead of
+//! re-deriving (and re-asserting) set counts per access.
+
+use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
 use ltc_trace::Addr;
+
+/// A rejected cache geometry, naming the invariant it violates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeometryError {
+    /// Capacity, associativity or line size is zero.
+    ZeroDimension,
+    /// The line size is not a power of two.
+    LineSizeNotPowerOfTwo {
+        /// The offending line size.
+        line_bytes: u64,
+    },
+    /// Capacity does not divide evenly by `ways * line_bytes`.
+    CapacityNotDivisible {
+        /// The configured capacity.
+        total_bytes: u64,
+        /// `ways * line_bytes`, which must divide it.
+        way_bytes: u64,
+    },
+    /// The derived set count is not a power of two, so set selection
+    /// cannot be a mask.
+    SetsNotPowerOfTwo {
+        /// The derived (non-power-of-two) set count.
+        sets: u64,
+    },
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::ZeroDimension => {
+                write!(f, "capacity, ways and line size must all be non-zero")
+            }
+            GeometryError::LineSizeNotPowerOfTwo { line_bytes } => {
+                write!(f, "line size must be a power of two (got {line_bytes})")
+            }
+            GeometryError::CapacityNotDivisible { total_bytes, way_bytes } => {
+                write!(
+                    f,
+                    "capacity must divide evenly into sets \
+                     ({total_bytes} B is not a multiple of {way_bytes} B per way-row)"
+                )
+            }
+            GeometryError::SetsNotPowerOfTwo { sets } => {
+                write!(f, "set count must be a power of two (got {sets})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+/// The mask/shift form of a validated [`CacheConfig`].
+///
+/// Existence of a `Geometry` proves the invariants hold: line size and
+/// set count are powers of two, so set selection is `line & set_mask`
+/// and the tag is `line >> set_bits` — no division on the access path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Number of sets (a power of two).
+    pub sets: u64,
+    /// `log2(sets)`: how far the tag sits above the set index.
+    pub set_bits: u32,
+    /// `sets - 1`, for masking line numbers into set indices.
+    pub set_mask: u64,
+    /// `log2(line_bytes)`: shift from address to line number.
+    pub line_shift: u32,
+}
+
+impl Geometry {
+    /// Set index for an address.
+    #[inline]
+    pub fn set_index(&self, addr: Addr) -> u64 {
+        (addr.0 >> self.line_shift) & self.set_mask
+    }
+
+    /// Tag for an address (the line-number bits above the set index).
+    #[inline]
+    pub fn tag(&self, addr: Addr) -> u64 {
+        (addr.0 >> self.line_shift) >> self.set_bits
+    }
+
+    /// Reconstructs the line base address from a `(set, tag)` pair.
+    #[inline]
+    pub fn line_addr(&self, set: u64, tag: u64) -> Addr {
+        Addr(((tag << self.set_bits) | set) << self.line_shift)
+    }
+}
 
 /// Replacement policy within a set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -62,51 +159,98 @@ impl CacheConfig {
         CacheConfig { total_bytes: 4 << 20, ..CacheConfig::l2() }
     }
 
+    /// Checks the invariants and returns the mask/shift [`Geometry`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GeometryError`] when any of: capacity, ways or line
+    /// size is zero; line size or the derived set count is not a power
+    /// of two; or capacity is not divisible by `ways * line_bytes`.
+    pub fn try_validate(&self) -> Result<Geometry, GeometryError> {
+        if self.total_bytes == 0 || self.ways == 0 || self.line_bytes == 0 {
+            return Err(GeometryError::ZeroDimension);
+        }
+        if !self.line_bytes.is_power_of_two() {
+            return Err(GeometryError::LineSizeNotPowerOfTwo { line_bytes: self.line_bytes });
+        }
+        let way_bytes = self.line_bytes * u64::from(self.ways);
+        if self.total_bytes % way_bytes != 0 {
+            return Err(GeometryError::CapacityNotDivisible {
+                total_bytes: self.total_bytes,
+                way_bytes,
+            });
+        }
+        let sets = self.total_bytes / way_bytes;
+        if !sets.is_power_of_two() {
+            return Err(GeometryError::SetsNotPowerOfTwo { sets });
+        }
+        Ok(Geometry {
+            sets,
+            set_bits: sets.trailing_zeros(),
+            set_mask: sets - 1,
+            line_shift: self.line_bytes.trailing_zeros(),
+        })
+    }
+
+    /// The mask/shift geometry, with validity debug-asserted only: release
+    /// callers on the hot path skip re-validation (constructors such as
+    /// [`crate::Cache::new`] already rejected bad configurations).
+    #[inline]
+    pub fn geometry(&self) -> Geometry {
+        debug_assert!(self.try_validate().is_ok(), "{:?}", self.try_validate());
+        let sets = self.total_bytes / (self.line_bytes * u64::from(self.ways));
+        Geometry {
+            sets,
+            set_bits: sets.trailing_zeros(),
+            set_mask: sets.wrapping_sub(1),
+            line_shift: self.line_bytes.trailing_zeros(),
+        }
+    }
+
     /// Number of sets.
     ///
     /// # Panics
     ///
-    /// Panics if the configuration is not self-consistent (see
-    /// [`CacheConfig::validate`]).
+    /// Panics (debug builds only) if the configuration is not
+    /// self-consistent — see [`CacheConfig::try_validate`].
+    #[inline]
     pub fn sets(&self) -> u64 {
-        self.validate();
-        self.total_bytes / (self.line_bytes * u64::from(self.ways))
+        self.geometry().sets
     }
 
-    /// Checks the invariants of the geometry.
+    /// Checks the invariants of the geometry, panicking on violation.
+    ///
+    /// Prefer [`CacheConfig::try_validate`] where the caller can surface
+    /// a typed error instead.
     ///
     /// # Panics
     ///
-    /// Panics if any of: capacity, ways or line size is zero; line size or
-    /// set count is not a power of two; or capacity is not divisible by
+    /// Panics with the [`GeometryError`] display message if any of:
+    /// capacity, ways or line size is zero; line size or set count is
+    /// not a power of two; or capacity is not divisible by
     /// `ways * line_bytes`.
     pub fn validate(&self) {
-        assert!(self.total_bytes > 0 && self.ways > 0 && self.line_bytes > 0);
-        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
-        let denom = self.line_bytes * u64::from(self.ways);
-        assert!(self.total_bytes % denom == 0, "capacity must divide evenly into sets");
-        let sets = self.total_bytes / denom;
-        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
     }
 
     /// Set index for an address.
     #[inline]
     pub fn set_index(&self, addr: Addr) -> u64 {
-        let line = addr.line_number(self.line_bytes);
-        line & (self.sets() - 1)
+        self.geometry().set_index(addr)
     }
 
     /// Tag for an address (the line number bits above the set index).
     #[inline]
     pub fn tag(&self, addr: Addr) -> u64 {
-        addr.line_number(self.line_bytes) >> self.sets().trailing_zeros()
+        self.geometry().tag(addr)
     }
 
     /// Reconstructs the line base address from a `(set, tag)` pair.
     #[inline]
     pub fn line_addr(&self, set: u64, tag: u64) -> Addr {
-        let line = (tag << self.sets().trailing_zeros()) | set;
-        Addr(line * self.line_bytes)
+        self.geometry().line_addr(set, tag)
     }
 }
 
@@ -157,6 +301,66 @@ mod tests {
     #[should_panic(expected = "divide evenly")]
     fn rejects_uneven_capacity() {
         CacheConfig { total_bytes: 100_000, ..CacheConfig::l1d() }.validate();
+    }
+
+    #[test]
+    fn try_validate_accepts_paper_geometries() {
+        for cfg in [CacheConfig::l1d(), CacheConfig::l2(), CacheConfig::l2_4mb()] {
+            let g = cfg.try_validate().expect("paper geometry is valid");
+            assert_eq!(g.sets, cfg.sets());
+            assert_eq!(g.set_mask, g.sets - 1);
+            assert_eq!(1u64 << g.set_bits, g.sets);
+            assert_eq!(1u64 << g.line_shift, cfg.line_bytes);
+        }
+    }
+
+    #[test]
+    fn try_validate_rejects_each_invariant_with_typed_error() {
+        let zero = CacheConfig { ways: 0, ..CacheConfig::l1d() };
+        assert_eq!(zero.try_validate(), Err(GeometryError::ZeroDimension));
+
+        let odd_line = CacheConfig { line_bytes: 48, ..CacheConfig::l1d() };
+        assert_eq!(
+            odd_line.try_validate(),
+            Err(GeometryError::LineSizeNotPowerOfTwo { line_bytes: 48 })
+        );
+
+        let uneven = CacheConfig { total_bytes: 100_000, ..CacheConfig::l1d() };
+        assert_eq!(
+            uneven.try_validate(),
+            Err(GeometryError::CapacityNotDivisible { total_bytes: 100_000, way_bytes: 128 })
+        );
+
+        // 3 ways of 64 B lines in 48 KB: divides evenly into 256 sets…
+        // with ways*line = 192 B, 48 KB / 192 B = 256 sets — power of two.
+        // Use 96 KB / 64 B / 4-way = 384 sets instead: not a power of two.
+        let odd_sets = CacheConfig { total_bytes: 96 << 10, ways: 4, ..CacheConfig::l1d() };
+        assert_eq!(odd_sets.try_validate(), Err(GeometryError::SetsNotPowerOfTwo { sets: 384 }));
+    }
+
+    #[test]
+    fn geometry_error_messages_name_the_invariant() {
+        let msgs = [
+            GeometryError::ZeroDimension.to_string(),
+            GeometryError::LineSizeNotPowerOfTwo { line_bytes: 48 }.to_string(),
+            GeometryError::CapacityNotDivisible { total_bytes: 100_000, way_bytes: 128 }
+                .to_string(),
+            GeometryError::SetsNotPowerOfTwo { sets: 384 }.to_string(),
+        ];
+        assert!(msgs[0].contains("non-zero"));
+        assert!(msgs[1].contains("power of two"));
+        assert!(msgs[2].contains("divide evenly"));
+        assert!(msgs[3].contains("power of two"));
+    }
+
+    #[test]
+    fn geometry_matches_config_helpers() {
+        let cfg = CacheConfig::l1d();
+        let g = cfg.try_validate().unwrap();
+        let a = Addr(0xdead_beef);
+        assert_eq!(g.set_index(a), cfg.set_index(a));
+        assert_eq!(g.tag(a), cfg.tag(a));
+        assert_eq!(g.line_addr(g.set_index(a), g.tag(a)), a.line(64));
     }
 
     #[test]

@@ -67,8 +67,26 @@ pub struct Hierarchy {
 
 impl Hierarchy {
     /// Creates an empty hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`crate::GeometryError`] message if either level's
+    /// geometry is invalid; use [`Hierarchy::try_new`] for a typed error.
     pub fn new(cfg: HierarchyConfig) -> Self {
-        Hierarchy { l1: Cache::new(cfg.l1), l2: Cache::new(cfg.l2) }
+        match Hierarchy::try_new(cfg) {
+            Ok(h) => h,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates an empty hierarchy, rejecting invalid geometry in either
+    /// level as a typed [`crate::GeometryError`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant (L1 checked before L2).
+    pub fn try_new(cfg: HierarchyConfig) -> Result<Self, crate::GeometryError> {
+        Ok(Hierarchy { l1: Cache::try_new(cfg.l1)?, l2: Cache::try_new(cfg.l2)? })
     }
 
     /// The L1 data cache.
@@ -159,6 +177,27 @@ mod tests {
 
     fn h() -> Hierarchy {
         Hierarchy::new(HierarchyConfig::paper())
+    }
+
+    #[test]
+    fn try_new_rejects_bad_level_geometry() {
+        let bad_l1 = HierarchyConfig {
+            l1: CacheConfig { line_bytes: 48, ..CacheConfig::l1d() },
+            l2: CacheConfig::l2(),
+        };
+        assert!(matches!(
+            Hierarchy::try_new(bad_l1),
+            Err(crate::GeometryError::LineSizeNotPowerOfTwo { line_bytes: 48 })
+        ));
+        let bad_l2 = HierarchyConfig {
+            l1: CacheConfig::l1d(),
+            l2: CacheConfig { total_bytes: 100_000, ..CacheConfig::l2() },
+        };
+        assert!(matches!(
+            Hierarchy::try_new(bad_l2),
+            Err(crate::GeometryError::CapacityNotDivisible { .. })
+        ));
+        assert!(Hierarchy::try_new(HierarchyConfig::paper()).is_ok());
     }
 
     #[test]

@@ -30,6 +30,6 @@ pub mod hierarchy;
 pub mod stats;
 
 pub use cache::{AccessOutcome, Cache, EvictedBlock, PrefetchOutcome};
-pub use config::{CacheConfig, ReplacementPolicy};
+pub use config::{CacheConfig, Geometry, GeometryError, ReplacementPolicy};
 pub use hierarchy::{Hierarchy, HierarchyConfig, HierarchyOutcome, MemLevel};
 pub use stats::CacheStats;

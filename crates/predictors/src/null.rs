@@ -41,6 +41,10 @@ impl Prefetcher for NullPrefetcher {
     fn storage_bytes(&self) -> u64 {
         0
     }
+
+    fn is_passive(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

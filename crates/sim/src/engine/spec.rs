@@ -205,7 +205,11 @@ impl<'de> Deserialize<'de> for PredictorKind {
 /// 3 — segmented streaming: mergeable sketch summaries, the
 /// `stream-segment`/`stream-segmented` modes, and `StreamReport`
 /// production routed through the shared merge/finalize path.
-pub const MODEL_VERSION: u32 = 3;
+/// 4 — sketch hashing default switched from the SplitMix64 finalizer to
+/// the cheaper multiply-shift family (`ltc_stream::HashKind`); stream
+/// and sketch-predictor results rebucket, so the `stream` golden was
+/// regenerated in the same change.
+pub const MODEL_VERSION: u32 = 4;
 
 /// The declarative key of one simulation: benchmark, predictor, mode,
 /// access budget, seed — plus the model version the simulator had when

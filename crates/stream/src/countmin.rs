@@ -10,8 +10,8 @@ use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use crate::hash::HashKind;
 use crate::merge::{MergeError, SketchShape};
-use crate::mix64;
 
 /// Count-Min sketch over `u64` keys with deterministic seeding.
 ///
@@ -35,6 +35,7 @@ pub struct CountMin {
     width: usize,
     depth: usize,
     seed: u64,
+    hash: HashKind,
     row_seeds: Vec<u64>,
     counters: Vec<u64>,
     total: u64,
@@ -42,22 +43,38 @@ pub struct CountMin {
 
 impl CountMin {
     /// Creates a sketch of `depth` rows of `width` counters (width is
-    /// rounded up to a power of two for mask indexing).
+    /// rounded up to a power of two for mask indexing), hashing with the
+    /// default [`HashKind`].
     ///
     /// # Panics
     ///
     /// Panics if `width` or `depth` is zero.
     pub fn new(width: usize, depth: usize, seed: u64) -> Self {
+        CountMin::with_hash(width, depth, seed, HashKind::default())
+    }
+
+    /// [`CountMin::new`] with an explicit hash family (legacy states
+    /// revive through this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `depth` is zero.
+    pub fn with_hash(width: usize, depth: usize, seed: u64, hash: HashKind) -> Self {
         assert!(width > 0 && depth > 0, "Count-Min needs width >= 1 and depth >= 1");
         let width = width.next_power_of_two();
         let mut rng = StdRng::seed_from_u64(seed);
         let row_seeds = (0..depth).map(|_| rng.next_u64()).collect();
-        CountMin { width, depth, seed, row_seeds, counters: vec![0; width * depth], total: 0 }
+        CountMin { width, depth, seed, hash, row_seeds, counters: vec![0; width * depth], total: 0 }
     }
 
     /// Creates the widest power-of-two sketch of the given depth that fits
     /// `budget_bytes` of counters (at least one counter per row).
     pub fn with_budget(budget_bytes: u64, depth: usize, seed: u64) -> Self {
+        CountMin::with_budget_hash(budget_bytes, depth, seed, HashKind::default())
+    }
+
+    /// [`CountMin::with_budget`] with an explicit hash family.
+    pub fn with_budget_hash(budget_bytes: u64, depth: usize, seed: u64, hash: HashKind) -> Self {
         assert!(depth > 0, "Count-Min needs depth >= 1");
         let per_row = (budget_bytes / 8 / depth as u64).max(1);
         // next_power_of_two rounds up; halve back down if that overshoots.
@@ -65,7 +82,12 @@ impl CountMin {
         if width > per_row {
             width /= 2;
         }
-        CountMin::new(width.max(1) as usize, depth, seed)
+        CountMin::with_hash(width.max(1) as usize, depth, seed, hash)
+    }
+
+    /// The hash family bucketing this sketch.
+    pub fn hash_kind(&self) -> HashKind {
+        self.hash
     }
 
     /// Counters per row.
@@ -90,7 +112,7 @@ impl CountMin {
 
     #[inline]
     fn slot(&self, row: usize, key: u64) -> usize {
-        row * self.width + (mix64(key ^ self.row_seeds[row]) as usize & (self.width - 1))
+        row * self.width + self.hash.index(key, self.row_seeds[row], self.width - 1)
     }
 
     /// Records `n` occurrences of `key`.
@@ -119,11 +141,18 @@ impl CountMin {
     }
 
     /// This sketch's construction shape (merge precondition): width,
-    /// depth and the seed the row hashes derive from.
+    /// depth, the seed the row hashes derive from, and the hash family —
+    /// two families bucket differently, so cross-family cell addition
+    /// would be meaningless.
     pub fn shape(&self) -> SketchShape {
         SketchShape::new(
             "count-min",
-            vec![("width", self.width as u64), ("depth", self.depth as u64), ("seed", self.seed)],
+            vec![
+                ("width", self.width as u64),
+                ("depth", self.depth as u64),
+                ("seed", self.seed),
+                ("hash", self.hash.code()),
+            ],
         )
     }
 
@@ -159,6 +188,7 @@ impl CountMin {
             width: self.width as u64,
             depth: self.depth as u64,
             seed: self.seed,
+            hash: self.hash.code(),
             total: self.total,
             counters: self.counters.clone(),
         }
@@ -178,7 +208,10 @@ impl CountMin {
         if !state.width.is_power_of_two() {
             return Err(invalid(format!("width {} is not a power of two", state.width)));
         }
-        let mut cm = CountMin::new(state.width as usize, state.depth as usize, state.seed);
+        let hash = HashKind::from_code(state.hash)
+            .ok_or_else(|| invalid(format!("unknown hash family code {}", state.hash)))?;
+        let mut cm =
+            CountMin::with_hash(state.width as usize, state.depth as usize, state.seed, hash);
         if cm.counters.len() != state.counters.len() {
             return Err(invalid(format!(
                 "{} counters for a {}x{} grid",
@@ -203,6 +236,9 @@ pub struct CountMinState {
     pub depth: u64,
     /// Seed the row hashes derive from.
     pub seed: u64,
+    /// Hash family wire code ([`HashKind::code`]), so the snapshot
+    /// revives bucketing exactly as it was built.
+    pub hash: u64,
     /// Observations summarized (`N`).
     pub total: u64,
     /// The `depth × width` counter grid, row-major.
@@ -306,6 +342,47 @@ mod tests {
         assert!(matches!(err, MergeError::Shape { field: "depth", .. }));
         let err = base.merge(&CountMin::new(64, 2, 2)).unwrap_err();
         assert!(matches!(err, MergeError::Shape { field: "seed", .. }));
+    }
+
+    #[test]
+    fn merge_rejects_hash_family_mismatch() {
+        use crate::MergeError;
+        let mut ms = CountMin::with_hash(64, 2, 1, HashKind::MultiplyShift);
+        let legacy = CountMin::with_hash(64, 2, 1, HashKind::Mix64);
+        let err = ms.merge(&legacy).unwrap_err();
+        assert!(matches!(err, MergeError::Shape { summary: "count-min", field: "hash", .. }));
+    }
+
+    #[test]
+    fn states_pin_their_hash_family() {
+        for kind in [HashKind::Mix64, HashKind::MultiplyShift] {
+            let mut cm = CountMin::with_hash(128, 3, 5, kind);
+            for key in 0..400u64 {
+                cm.observe(key * 13);
+            }
+            let state = cm.to_state();
+            assert_eq!(state.hash, kind.code());
+            let revived = CountMin::from_state(&state).unwrap();
+            assert_eq!(revived.hash_kind(), kind);
+            assert_eq!(revived.counters, cm.counters);
+            for key in 0..400u64 {
+                assert_eq!(revived.estimate(key * 13), cm.estimate(key * 13), "{}", kind.name());
+            }
+        }
+        let mut bad = CountMin::new(64, 2, 1).to_state();
+        bad.hash = 99;
+        assert!(CountMin::from_state(&bad).is_err(), "unknown hash code must be rejected");
+    }
+
+    #[test]
+    fn legacy_mix64_family_still_never_undercounts() {
+        let mut cm = CountMin::with_hash(64, 4, 1, HashKind::Mix64);
+        for key in 0..1000u64 {
+            cm.observe_n(key, key % 7 + 1);
+        }
+        for key in 0..1000u64 {
+            assert!(cm.estimate(key) > key % 7);
+        }
     }
 
     #[test]

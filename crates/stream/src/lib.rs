@@ -51,11 +51,13 @@
 
 pub mod chh;
 pub mod countmin;
+pub mod hash;
 pub mod merge;
 pub mod spacesaving;
 
 pub use chh::{ChhConfig, ChhPair, ChhState, ChhSummary};
 pub use countmin::{CountMin, CountMinState};
+pub use hash::HashKind;
 pub use merge::{MergeError, SketchShape};
 pub use spacesaving::{Estimate, Observed, SpaceSaving, SpaceSavingState};
 
