@@ -29,4 +29,6 @@ pub use correlation::{CorrelationAnalysis, SequenceLengths};
 pub use coverage::{run_coverage, CoverageConfig, CoverageReport};
 pub use deadtime::DeadTimeTracker;
 pub use lasttouch_order::LastTouchOrderAnalysis;
-pub use stream::{merge_partials, StreamAnalysis, StreamConfig, StreamPartial, StreamReport};
+pub use stream::{
+    merge_partials, StreamAnalysis, StreamConfig, StreamPartial, StreamReport, SEGMENT_WARMUP,
+};

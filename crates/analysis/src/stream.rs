@@ -11,7 +11,7 @@
 
 use ltc_cache::{Hierarchy, HierarchyConfig};
 use ltc_stream::{ChhConfig, ChhState, ChhSummary, MergeError, SpaceSaving, SpaceSavingState};
-use ltc_trace::{TraceSegment, TraceSource};
+use ltc_trace::{Checkpoint, TraceSegment, TraceSource};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of a [`StreamAnalysis`] run.
@@ -266,8 +266,37 @@ impl StreamAnalysis {
         segment: TraceSegment,
         cfg: StreamConfig,
     ) -> StreamPartial {
+        Self::run_segment_with(source, segment, cfg, None)
+    }
+
+    /// [`run_segment`](Self::run_segment) with an optional generator
+    /// checkpoint covering the skipped prefix.
+    ///
+    /// When `checkpoint` holds a [`Checkpoint`] recorded from an
+    /// identically configured source at a position at or before
+    /// `start − warm`, the worker restores it and generates only the
+    /// residual instead of the whole prefix, cutting setup from
+    /// O(start) to O(residual + warm-up). The access stream the
+    /// hierarchy and summaries see is identical either way — restoring
+    /// only changes how the position is reached — so the partial (and
+    /// every report built from it) stays byte-identical. A checkpoint
+    /// past the pre-warm-up point, for a mismatched generator, or with
+    /// invalid state is ignored and the worker falls back to the plain
+    /// skip loop.
+    pub fn run_segment_with<S: TraceSource + ?Sized>(
+        source: &mut S,
+        segment: TraceSegment,
+        cfg: StreamConfig,
+        checkpoint: Option<&Checkpoint>,
+    ) -> StreamPartial {
         let warm = segment.start.min(SEGMENT_WARMUP);
-        for _ in 0..segment.start - warm {
+        let mut skip = segment.start - warm;
+        if let Some(c) = checkpoint {
+            if c.pos <= skip && source.restore(&c.state).is_ok() {
+                skip -= c.pos;
+            }
+        }
+        for _ in 0..skip {
             if source.next_access().is_none() {
                 break;
             }
@@ -439,6 +468,35 @@ mod tests {
         );
         assert!(merge_partials(&[pa, pc]).is_err(), "seed mismatch must be refused");
         assert!(merge_partials(&[]).is_err(), "empty partials are an error");
+    }
+
+    #[test]
+    fn checkpointed_segment_matches_plain_skip_exactly() {
+        let cfg = StreamConfig::with_budget(32 << 10);
+        let seg = TraceSegment { index: 1, segments: 2, start: SEGMENT_WARMUP + 10_000, len: 500 };
+        let passes = ((seg.start + seg.len) / 4 + 1) as usize;
+        let expected = StreamAnalysis::run_segment(&mut conflict_loop(4, passes), seg, cfg);
+
+        // A checkpoint recorded partway through the skipped prefix must
+        // produce the byte-identical partial while skipping less.
+        let mut recorder = conflict_loop(4, passes);
+        for _ in 0..8_000 {
+            recorder.next_access();
+        }
+        let c = Checkpoint { pos: 8_000, state: recorder.checkpoint().unwrap() };
+        let via =
+            StreamAnalysis::run_segment_with(&mut conflict_loop(4, passes), seg, cfg, Some(&c));
+        assert_eq!(via, expected);
+
+        // A checkpoint past the pre-warm-up point is ignored, not misused.
+        let mut deep = conflict_loop(4, passes);
+        for _ in 0..seg.start {
+            deep.next_access();
+        }
+        let late = Checkpoint { pos: seg.start, state: deep.checkpoint().unwrap() };
+        let fallback =
+            StreamAnalysis::run_segment_with(&mut conflict_loop(4, passes), seg, cfg, Some(&late));
+        assert_eq!(fallback, expected);
     }
 
     #[test]

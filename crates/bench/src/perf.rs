@@ -19,9 +19,10 @@
 use std::time::{Duration, Instant, SystemTime};
 
 use ltc_sim::analysis::{run_coverage, CoverageConfig, StreamAnalysis, StreamConfig};
+use ltc_sim::engine::checkpoints::record_targets;
 use ltc_sim::engine::MODEL_VERSION;
 use ltc_sim::experiment::PredictorKind;
-use ltc_sim::trace::{io, suite, Replay, TraceSource};
+use ltc_sim::trace::{io, suite, Replay, TraceSegment, TraceSource};
 use serde::{Deserialize, Serialize};
 
 /// Schema version of the serialized [`BenchReport`].
@@ -158,6 +159,17 @@ fn time_kernel(rounds: usize, mut work: impl FnMut() -> u64) -> (u64, Duration) 
 /// * `decode_kernel` — decode **plus** baseline coverage end to end, the
 ///   headline single-thread throughput number the ≥2× acceptance
 ///   criterion tracks.
+/// * `segment_skip` — worker setup for a 16-segment run the
+///   pre-checkpoint way: one fresh source skipped to each slice start
+///   (O(start) each, quadratic in total).
+/// * `segment_seek` — the same 16 placements via one checkpoint
+///   recording pass plus per-worker restores. All `segment_*` kernels
+///   report `items = accesses`, so the `segment_seek` / `segment_skip`
+///   `per_sec` ratio **is** the setup-time reduction — the ≥5× bar
+///   nightly CI enforces.
+/// * `segment_seek_x1` / `segment_seek_x4` / `segment_seek_x64` — the
+///   seek path at 1/4/64 segments, charting how recording cost scales
+///   with fan-out.
 ///
 /// # Panics
 ///
@@ -210,6 +222,49 @@ pub fn run_all(opts: &BenchOptions) -> BenchReport {
         report.accesses
     });
     results.push(BenchResult::new("decode_kernel", items, best));
+
+    // Worker-placement kernels: put one fresh worker at each of N even
+    // slice starts, by plain skipping vs by checkpointed seeking. Each
+    // repetition "processes" the whole trace budget, so per_sec ratios
+    // between these kernels equal inverse setup-time ratios directly.
+    let (items, best) = time_kernel(rounds, || {
+        for segment in 0..16 {
+            let start = TraceSegment::nth(opts.accesses, 16, segment).start;
+            let mut src = entry.build(opts.seed);
+            for _ in 0..start {
+                src.next_access();
+            }
+            std::hint::black_box(src.next_access());
+        }
+        opts.accesses
+    });
+    results.push(BenchResult::new("segment_skip", items, best));
+
+    let seek = |segments: u32| {
+        let starts: Vec<u64> =
+            (0..segments).map(|s| TraceSegment::nth(opts.accesses, segments, s).start).collect();
+        let store = record_targets(&mut entry.build(opts.seed), &starts);
+        for &start in &starts {
+            let mut src = entry.build(opts.seed);
+            let mut pos = 0;
+            if let Some(c) = store.nearest_at_or_before(start) {
+                if src.restore(&c.state).is_ok() {
+                    pos = c.pos;
+                }
+            }
+            for _ in pos..start {
+                src.next_access();
+            }
+            std::hint::black_box(src.next_access());
+        }
+        opts.accesses
+    };
+    let (items, best) = time_kernel(rounds, || seek(16));
+    results.push(BenchResult::new("segment_seek", items, best));
+    for segments in [1u32, 4, 64] {
+        let (items, best) = time_kernel(rounds, || seek(segments));
+        results.push(BenchResult::new(&format!("segment_seek_x{segments}"), items, best));
+    }
 
     BenchReport {
         schema: BENCH_SCHEMA,
@@ -313,7 +368,7 @@ mod tests {
     fn report_round_trips_through_json() {
         let opts = BenchOptions { accesses: 2_000, benchmark: "gzip".into(), seed: 1, rounds: 1 };
         let report = run_all(&opts);
-        assert_eq!(report.results.len(), 5);
+        assert_eq!(report.results.len(), 10);
         assert!(report.results.iter().all(|r| r.items > 0 && r.per_sec > 0.0));
         let parsed = BenchReport::from_json(&report.to_json()).unwrap();
         assert_eq!(parsed, report);

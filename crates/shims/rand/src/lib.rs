@@ -121,6 +121,22 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Returns the raw xoshiro256++ state (shim extension, not in
+        /// real rand 0.8): enables exact snapshot/restore of a stream
+        /// position for checkpointed trace seeking.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a [`Self::state`] snapshot (shim
+        /// extension). The restored generator continues the stream at
+        /// exactly the word the snapshot was taken at.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
@@ -194,6 +210,18 @@ mod tests {
             (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
             (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn state_round_trip_resumes_stream() {
+        let mut a = StdRng::seed_from_u64(9);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! Shared generator checkpoints for segmented streaming runs.
+//!
+//! A segmented worker used to pay O(start) generator work just to reach
+//! its slice: segment `i` of `N` skips `i·S/N` accesses before the
+//! warm-up window, so the *total* setup across a run grew quadratically
+//! with the trace (≈ N·S/2 skipped accesses at N segments). The suite's
+//! generators are now checkpointable ([`ltc_trace::SourceState`]), which
+//! turns that into a one-time *recording* pass: walk one source to each
+//! segment's pre-warm-up position, snapshot it there, and let every
+//! worker restore its snapshot instead of regenerating the prefix —
+//! O(S) total recording plus O(warm-up) per worker.
+//!
+//! Checkpoints are keyed by `(benchmark, seed)` — together with the
+//! model version these fully determine the access stream — and live in
+//! two tiers:
+//!
+//! 1. a process-global registry, which in-process backends (`threads`,
+//!    `sharded`) hit directly, and
+//! 2. an optional on-disk store under the directory named by the
+//!    `LTC_CHECKPOINT_DIR` environment variable, which `subprocess`
+//!    workers (separate processes that inherit the variable) read.
+//!
+//! Restoring a checkpoint reproduces the generator state exactly, so
+//! the access stream a worker sees — and every report built from it —
+//! is byte-identical to the skip-loop path ([`ltc_analysis::StreamAnalysis::
+//! run_segment_with`] falls back to plain skipping whenever no usable
+//! checkpoint exists, e.g. for non-checkpointable external sources).
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use ltc_trace::{suite, Checkpoint, CheckpointStore, TraceSource};
+use serde::Deserialize;
+
+use crate::engine::spec::{fnv1a64, MODEL_VERSION};
+
+/// Environment variable naming the on-disk checkpoint directory.
+///
+/// When set, [`ensure`] persists recorded stores there and [`lookup`]
+/// falls back to it, so `ltsim worker` subprocesses (which inherit the
+/// variable) reuse the parent's recording pass.
+pub const CHECKPOINT_DIR_ENV: &str = "LTC_CHECKPOINT_DIR";
+
+/// Walks `source` from the beginning and snapshots it at each of
+/// `targets` (positions in accesses produced), returning the recorded
+/// store. This is the pure core of the subsystem: no registry, no
+/// filesystem — benches and tests drive it directly.
+///
+/// Targets are visited in ascending order (duplicates collapse); a
+/// position of zero is recorded without advancing. Recording stops
+/// early — returning the checkpoints gathered so far — if the source
+/// ends or does not support checkpointing.
+pub fn record_targets<S: TraceSource + ?Sized>(source: &mut S, targets: &[u64]) -> CheckpointStore {
+    let mut sorted: Vec<u64> = targets.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut store = CheckpointStore::default();
+    let mut pos = 0u64;
+    'targets: for &target in &sorted {
+        while pos < target {
+            if source.next_access().is_none() {
+                break 'targets;
+            }
+            pos += 1;
+        }
+        let Some(state) = source.checkpoint() else { break };
+        store.insert(Checkpoint { pos, state });
+    }
+    store
+}
+
+/// Makes checkpoints for `(benchmark, seed)` at every position in
+/// `targets` available to [`lookup`], recording them if needed.
+///
+/// Positions already covered by the registry or the on-disk store are
+/// not re-recorded; a partially-covering store is extended by one
+/// recording pass over the union of its positions and the missing
+/// targets. The result lands in the process registry and — when
+/// [`CHECKPOINT_DIR_ENV`] is set — on disk for subprocess workers.
+/// Returns `None` for an unknown benchmark; zero targets are skipped
+/// (a fresh source already *is* position zero).
+pub fn ensure(benchmark: &str, seed: u64, targets: &[u64]) -> Option<Arc<CheckpointStore>> {
+    let wanted: Vec<u64> = {
+        let mut t: Vec<u64> = targets.iter().copied().filter(|&t| t > 0).collect();
+        t.sort_unstable();
+        t.dedup();
+        t
+    };
+    let existing = lookup(benchmark, seed);
+    if let Some(store) = &existing {
+        if wanted.iter().all(|&t| store.at(t).is_some()) {
+            return existing;
+        }
+    }
+    let entry = suite::by_name(benchmark)?;
+    let mut union = wanted;
+    if let Some(store) = &existing {
+        union.extend(store.iter().map(|c| c.pos));
+    }
+    let store = Arc::new(record_targets(&mut entry.build(seed), &union));
+    registry()
+        .lock()
+        .expect("checkpoint registry lock")
+        .insert(key(benchmark, seed), store.clone());
+    if let Some(dir) = dir_from_env() {
+        // Best-effort persistence: a worker that cannot read the store
+        // falls back to the skip loop, so disk errors are not fatal.
+        let _ = persist(&dir, benchmark, seed, &store);
+    }
+    Some(store)
+}
+
+/// The pre-warm-up checkpoint positions of a segmented streaming run:
+/// for each of `segments` even slices of `accesses`, the point a worker
+/// must reach before its [`ltc_analysis::SEGMENT_WARMUP`] warm replay
+/// begins. Zero positions (segments whose whole prefix is warm-up) are
+/// omitted — those workers generate everything anyway.
+pub fn segment_targets(accesses: u64, segments: u32) -> Vec<u64> {
+    (0..segments)
+        .map(|segment| {
+            let start = ltc_trace::TraceSegment::nth(accesses, segments, segment).start;
+            start - start.min(ltc_analysis::SEGMENT_WARMUP)
+        })
+        .filter(|&t| t > 0)
+        .collect()
+}
+
+/// The checkpoint store for `(benchmark, seed)`, if one has been
+/// recorded: the process registry first, then the on-disk store named
+/// by [`CHECKPOINT_DIR_ENV`] (cached into the registry on hit).
+pub fn lookup(benchmark: &str, seed: u64) -> Option<Arc<CheckpointStore>> {
+    if let Some(store) =
+        registry().lock().expect("checkpoint registry lock").get(&key(benchmark, seed))
+    {
+        return Some(store.clone());
+    }
+    let dir = dir_from_env()?;
+    let text = fs::read_to_string(store_path(&dir, benchmark, seed)).ok()?;
+    let value = serde_json::parse(text.trim()).ok()?;
+    let store = Arc::new(CheckpointStore::from_value(&value).ok()?);
+    registry()
+        .lock()
+        .expect("checkpoint registry lock")
+        .insert(key(benchmark, seed), store.clone());
+    Some(store)
+}
+
+/// The on-disk path of the store for `(benchmark, seed)` under `dir`.
+///
+/// The stem hashes benchmark, seed **and** model version, so stores
+/// recorded under older generator behaviour can never be restored into
+/// a newer model.
+pub fn store_path(dir: &Path, benchmark: &str, seed: u64) -> PathBuf {
+    let id = format!("{benchmark}|{seed}|v{MODEL_VERSION}");
+    dir.join(format!("ckpt_{:016x}.json", fnv1a64(id.as_bytes())))
+}
+
+fn persist(dir: &Path, benchmark: &str, seed: u64, store: &CheckpointStore) -> std::io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let path = store_path(dir, benchmark, seed);
+    // Atomic replace: concurrent ensure passes (several schedulers, or a
+    // scheduler racing its own workers) must never expose a half-written
+    // file to a reader.
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    fs::write(&tmp, serde_json::to_string(store))?;
+    fs::rename(&tmp, &path)
+}
+
+fn key(benchmark: &str, seed: u64) -> (String, u64) {
+    (benchmark.to_string(), seed)
+}
+
+fn dir_from_env() -> Option<PathBuf> {
+    let dir = std::env::var_os(CHECKPOINT_DIR_ENV)?;
+    if dir.is_empty() {
+        return None;
+    }
+    Some(PathBuf::from(dir))
+}
+
+type Registry = Mutex<HashMap<(String, u64), Arc<CheckpointStore>>>;
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Mutex::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_targets_resumes_streams_exactly() {
+        let entry = suite::by_name("gcc").unwrap();
+        let mut reference = entry.build(5);
+        let expected = reference.collect_accesses(3_000);
+
+        let store = record_targets(&mut entry.build(5), &[0, 1_000, 2_500]);
+        assert_eq!(store.len(), 3);
+        for &pos in &[0u64, 1_000, 2_500] {
+            let c = store.at(pos).expect("target recorded");
+            let mut resumed = entry.build(5);
+            resumed.restore(&c.state).unwrap();
+            assert_eq!(
+                resumed.collect_accesses(100),
+                expected[pos as usize..pos as usize + 100],
+                "restored stream diverges at {pos}"
+            );
+        }
+    }
+
+    #[test]
+    fn record_targets_collapses_duplicates_and_sorts() {
+        let entry = suite::by_name("gzip").unwrap();
+        let store = record_targets(&mut entry.build(1), &[500, 100, 500, 100]);
+        assert_eq!(store.len(), 2);
+        let positions: Vec<u64> = store.iter().map(|c| c.pos).collect();
+        assert_eq!(positions, vec![100, 500]);
+    }
+
+    #[test]
+    fn ensure_registers_and_lookup_serves() {
+        // Distinct seed so other tests sharing the process registry
+        // cannot interfere.
+        let seed = 0xc0fe;
+        assert!(lookup("mcf", seed).is_none());
+        let store = ensure("mcf", seed, &[0, 2_000]).expect("known benchmark");
+        assert!(store.at(2_000).is_some(), "non-zero target recorded");
+        assert!(store.at(0).is_none(), "zero targets are skipped");
+        let again = lookup("mcf", seed).expect("registry hit");
+        assert!(Arc::ptr_eq(&store, &again));
+        // Covered targets do not trigger a new recording pass.
+        let served = ensure("mcf", seed, &[2_000]).unwrap();
+        assert!(Arc::ptr_eq(&store, &served));
+        // A new target extends the store, keeping the old positions.
+        let extended = ensure("mcf", seed, &[4_000]).unwrap();
+        assert!(extended.at(2_000).is_some());
+        assert!(extended.at(4_000).is_some());
+        assert!(ensure("no-such-benchmark", seed, &[1]).is_none());
+    }
+}

@@ -30,6 +30,11 @@
 //!    `stream-segmented` spec expands to per-segment child specs before
 //!    backend dispatch and its report is merged from their partial
 //!    summaries.
+//! 8. [`checkpoints`] — shared generator checkpoints: the scheduler
+//!    records each segment worker's pre-warm-up position once per
+//!    `(benchmark, seed)` so workers restore a snapshot instead of
+//!    regenerating an O(start) prefix (on-disk hand-off to subprocess
+//!    workers via `LTC_CHECKPOINT_DIR`).
 //!
 //! # Example
 //!
@@ -49,6 +54,7 @@
 
 pub mod artifact;
 pub mod backend;
+pub mod checkpoints;
 pub mod progress;
 pub mod result;
 pub mod scheduler;

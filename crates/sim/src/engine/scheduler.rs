@@ -12,12 +12,15 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use std::time::Duration;
 
+use std::collections::HashMap;
+
 use crate::engine::artifact;
 use crate::engine::backend::{BackendKind, RunObserver};
+use crate::engine::checkpoints;
 use crate::engine::progress::{ProgressMode, ProgressSink};
 use crate::engine::result::{ResultSet, RunResult};
 use crate::engine::segmented;
-use crate::engine::spec::RunSpec;
+use crate::engine::spec::{Mode, RunSpec};
 
 /// Execution policy for a [`Scheduler`].
 #[derive(Debug, Clone)]
@@ -192,6 +195,35 @@ impl Scheduler {
                     }
                     None => {}
                 },
+            }
+        }
+
+        // Record generator checkpoints once per (benchmark, seed) before
+        // the backend fans segment workers out: one O(trace) recording
+        // pass replaces every worker's O(start) skip loop. In-process
+        // backends find the store in the process registry; subprocess
+        // workers read it from `LTC_CHECKPOINT_DIR` when set.
+        let mut seek_targets: HashMap<(&str, u64), Vec<u64>> = HashMap::new();
+        for spec in &to_run {
+            if let Mode::StreamSegment { segments, segment, .. } = spec.mode {
+                let start = ltc_trace::TraceSegment::nth(spec.accesses, segments, segment).start;
+                let target = start - start.min(ltc_analysis::SEGMENT_WARMUP);
+                if target > 0 {
+                    seek_targets.entry((&spec.benchmark, spec.seed)).or_default().push(target);
+                }
+            }
+        }
+        if !seek_targets.is_empty() {
+            // Default the on-disk hand-off next to the artifact cache so
+            // subprocess workers inherit a populated store without the
+            // caller exporting LTC_CHECKPOINT_DIR themselves.
+            if std::env::var_os(checkpoints::CHECKPOINT_DIR_ENV).is_none() {
+                if let Some(dir) = &opts.cache_dir {
+                    std::env::set_var(checkpoints::CHECKPOINT_DIR_ENV, dir.join("checkpoints"));
+                }
+            }
+            for ((benchmark, seed), targets) in &seek_targets {
+                checkpoints::ensure(benchmark, *seed, targets);
             }
         }
 

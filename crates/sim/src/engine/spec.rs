@@ -475,16 +475,33 @@ impl RunSpec {
             Mode::StreamSegment { budget_bytes, segments, segment } => {
                 let mut src = self.build_source();
                 let slice = ltc_trace::TraceSegment::nth(self.accesses, *segments, *segment);
-                RunResult::StreamPartial(Box::new(StreamAnalysis::run_segment(
+                // A recorded checkpoint covering the skipped prefix (the
+                // scheduler's ensure pass, or a previous worker in this
+                // process) turns the O(start) skip loop into a restore;
+                // without one the worker degrades to plain skipping.
+                let target = slice.start - slice.start.min(ltc_analysis::SEGMENT_WARMUP);
+                let checkpoint = match target {
+                    0 => None,
+                    _ => crate::engine::checkpoints::lookup(&self.benchmark, self.seed)
+                        .and_then(|store| store.nearest_at_or_before(target).cloned()),
+                };
+                RunResult::StreamPartial(Box::new(StreamAnalysis::run_segment_with(
                     &mut src,
                     slice,
                     StreamConfig::with_budget(*budget_bytes).with_seed(self.seed),
+                    checkpoint.as_ref(),
                 )))
             }
-            Mode::StreamSegmented { .. } => {
+            Mode::StreamSegmented { segments, .. } => {
                 // A worker handed the parent runs its children
                 // sequentially; the scheduler path fans them out instead
-                // (`crate::engine::segmented`).
+                // (`crate::engine::segmented`). One recording pass up
+                // front replaces the children's per-segment skip loops.
+                crate::engine::checkpoints::ensure(
+                    &self.benchmark,
+                    self.seed,
+                    &crate::engine::checkpoints::segment_targets(self.accesses, *segments),
+                );
                 let children = crate::engine::segmented::children(self)
                     .expect("StreamSegmented always has children");
                 let partials: Vec<_> = children

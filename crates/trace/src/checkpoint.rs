@@ -1,0 +1,680 @@
+//! Snapshot/restore checkpointing and O(K) seeking for trace sources.
+//!
+//! A generator's state at access `s` used to be reachable only by
+//! producing the first `s` accesses. [`SourceState`] captures the
+//! *mutable* part of a generator mid-stream (cursors, pass counters,
+//! RNG words — never the construction-time derived tables, which a
+//! fresh same-config generator rebuilds); restoring it onto such a
+//! fresh generator resumes the stream element-identically. The state is
+//! serializable (like the sketch `*State` types), so checkpoints cross
+//! process boundaries on the worker protocol or a shared directory.
+//!
+//! [`SeekableSource`] layers positioning on top: it records a snapshot
+//! into a [`CheckpointStore`] every `interval` accesses and answers
+//! [`SeekableSource::seek`] by restoring the nearest checkpoint at or
+//! before the target and generating only the residual — O(K) instead of
+//! O(start). Sources that cannot checkpoint (external recordings wrapped
+//! in ad-hoc adapters) degrade to the old forward-generation behaviour.
+//!
+//! Checkpoints are an accelerator, never a semantic change: a restored
+//! stream is byte-identical to an uninterrupted one (property-tested per
+//! generator in `crates/trace/tests/checkpoint_parity.rs`), so analyses
+//! produce the same reports whether or not checkpoints were available.
+
+use std::fmt;
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+use crate::record::MemoryAccess;
+use crate::source::TraceSource;
+
+/// Default snapshot interval `K` for [`SeekableSource`]: seeks cost at
+/// most this many generated accesses once a prefix has been covered.
+pub const DEFAULT_CHECKPOINT_INTERVAL: u64 = 1 << 16;
+
+/// The serializable mid-stream state of a trace source.
+///
+/// Each variant holds only what the matching generator mutates while
+/// streaming; construction-time derived data (placements, visit orders,
+/// static index tables) is rebuilt by constructing a fresh generator
+/// from the same configuration before calling
+/// [`TraceSource::restore`]. Mutable derived data (a chase order under
+/// mutation, an indirect index array under churn) is carried only when
+/// the configuration can actually have perturbed it, keeping common
+/// checkpoints a few dozen bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceState {
+    /// [`crate::gen::SweepGen`] state.
+    Sweep {
+        /// Per-array cursors (bytes within each array).
+        cursors: Vec<u64>,
+        /// Round-robin turn.
+        turn: u64,
+        /// Pass counter (selects the stride).
+        pass: u64,
+        /// Accesses emitted.
+        access_no: u64,
+        /// Gap-jitter RNG words.
+        rng: [u64; 4],
+    },
+    /// [`crate::gen::ChaseGen`] state.
+    Chase {
+        /// Traversal order — present only when `mutation_rate > 0`
+        /// (otherwise the constructed order is still exact).
+        order: Option<Vec<u32>>,
+        /// Position in the traversal order.
+        pos: u64,
+        /// Position in the hot-subset order.
+        hot_pos: u64,
+        /// Field accesses left for the current node.
+        fields_left: u32,
+        /// Node the field accesses belong to.
+        current_node: u32,
+        /// Hot/cold interleave counter.
+        visit_no: u64,
+        /// RNG words.
+        rng: [u64; 4],
+    },
+    /// [`crate::gen::TreeGen`] state.
+    Tree {
+        /// Position in the static visit order.
+        pos: u64,
+        /// Field accesses left for the current node.
+        fields_left: u32,
+        /// Node the field accesses belong to.
+        current: u32,
+        /// RNG words.
+        rng: [u64; 4],
+    },
+    /// [`crate::gen::RandomGen`] state.
+    Random {
+        /// Lines left in the current sequential run.
+        run_left: u32,
+        /// Touches left on the current line.
+        touches_left: u32,
+        /// Current line cursor.
+        cursor: u64,
+        /// RNG words.
+        rng: [u64; 4],
+    },
+    /// [`crate::gen::HashWindowGen`] state.
+    HashWindow {
+        /// Byte cursor within the sliding window.
+        window_cursor: u64,
+        /// Window accesses since the last table probe.
+        since_probe: u32,
+        /// RNG words.
+        rng: [u64; 4],
+    },
+    /// [`crate::gen::IndirectGen`] state.
+    Indirect {
+        /// Index array — present only when `churn > 0` (otherwise the
+        /// constructed array is still exact).
+        idx: Option<Vec<u32>>,
+        /// Position in the index array.
+        pos: u64,
+        /// Gather stage (0 index load, 1 data load, 2 store).
+        stage: u8,
+        /// RNG words.
+        rng: [u64; 4],
+    },
+    /// [`crate::gen::PhaseMix`] state (recursive over the phases).
+    Phase {
+        /// Active phase.
+        current: u64,
+        /// Accesses emitted by the active phase.
+        emitted: u64,
+        /// Sub-source states, in phase order.
+        phases: Vec<SourceState>,
+    },
+    /// [`crate::MultiProgram`] state (recursive over the programs).
+    MultiProgram {
+        /// Running program.
+        current: u64,
+        /// Instructions left in the current quantum.
+        remaining: u64,
+        /// Per-program exhaustion flags.
+        done: Vec<bool>,
+        /// Sub-source states, in program order.
+        programs: Vec<SourceState>,
+    },
+    /// [`crate::Replay`] state.
+    Replay {
+        /// Position in the recorded vector.
+        pos: u64,
+    },
+    /// [`crate::TakeSource`] state (recursive over the inner source).
+    Take {
+        /// Accesses the adapter will still pass through.
+        remaining: u64,
+        /// Inner source state.
+        inner: Box<SourceState>,
+    },
+}
+
+impl SourceState {
+    /// The variant name (used in mismatch errors and as the serialized
+    /// tag).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SourceState::Sweep { .. } => "sweep",
+            SourceState::Chase { .. } => "chase",
+            SourceState::Tree { .. } => "tree",
+            SourceState::Random { .. } => "random",
+            SourceState::HashWindow { .. } => "hash-window",
+            SourceState::Indirect { .. } => "indirect",
+            SourceState::Phase { .. } => "phase",
+            SourceState::MultiProgram { .. } => "multi-program",
+            SourceState::Replay { .. } => "replay",
+            SourceState::Take { .. } => "take",
+        }
+    }
+}
+
+/// Why a [`TraceSource::restore`] call was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreError {
+    /// The source does not implement checkpointing at all.
+    Unsupported,
+    /// The state is for a different kind of source.
+    Mismatch {
+        /// Variant the source expected.
+        expected: &'static str,
+        /// Variant the state actually holds.
+        found: &'static str,
+    },
+    /// The state's values do not fit the source's configuration.
+    Invalid(String),
+}
+
+impl RestoreError {
+    /// A variant-mismatch error against `state`.
+    pub fn mismatch(expected: &'static str, state: &SourceState) -> Self {
+        RestoreError::Mismatch { expected, found: state.kind() }
+    }
+
+    /// An out-of-range / wrong-shape error.
+    pub fn invalid(reason: impl Into<String>) -> Self {
+        RestoreError::Invalid(reason.into())
+    }
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreError::Unsupported => write!(f, "source does not support checkpoint/restore"),
+            RestoreError::Mismatch { expected, found } => {
+                write!(f, "state mismatch: source expects `{expected}`, state is `{found}`")
+            }
+            RestoreError::Invalid(reason) => write!(f, "invalid checkpoint state: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+fn rng_value(words: &[u64; 4]) -> Value {
+    Value::Seq(words.iter().map(|&w| Value::U64(w)).collect())
+}
+
+fn rng_field(body: &Value, ctx: &str) -> Result<[u64; 4], DeError> {
+    let words: Vec<u64> = serde::field(body, "rng", ctx)?;
+    <[u64; 4]>::try_from(words).map_err(|_| DeError::expected("4 rng words", ctx))
+}
+
+impl Serialize for SourceState {
+    fn to_value(&self) -> Value {
+        let (tag, body) = match self {
+            SourceState::Sweep { cursors, turn, pass, access_no, rng } => (
+                "sweep",
+                Value::Map(vec![
+                    ("cursors".to_string(), cursors.to_value()),
+                    ("turn".to_string(), turn.to_value()),
+                    ("pass".to_string(), pass.to_value()),
+                    ("access_no".to_string(), access_no.to_value()),
+                    ("rng".to_string(), rng_value(rng)),
+                ]),
+            ),
+            SourceState::Chase {
+                order,
+                pos,
+                hot_pos,
+                fields_left,
+                current_node,
+                visit_no,
+                rng,
+            } => (
+                "chase",
+                Value::Map(vec![
+                    ("order".to_string(), order.to_value()),
+                    ("pos".to_string(), pos.to_value()),
+                    ("hot_pos".to_string(), hot_pos.to_value()),
+                    ("fields_left".to_string(), fields_left.to_value()),
+                    ("current_node".to_string(), current_node.to_value()),
+                    ("visit_no".to_string(), visit_no.to_value()),
+                    ("rng".to_string(), rng_value(rng)),
+                ]),
+            ),
+            SourceState::Tree { pos, fields_left, current, rng } => (
+                "tree",
+                Value::Map(vec![
+                    ("pos".to_string(), pos.to_value()),
+                    ("fields_left".to_string(), fields_left.to_value()),
+                    ("current".to_string(), current.to_value()),
+                    ("rng".to_string(), rng_value(rng)),
+                ]),
+            ),
+            SourceState::Random { run_left, touches_left, cursor, rng } => (
+                "random",
+                Value::Map(vec![
+                    ("run_left".to_string(), run_left.to_value()),
+                    ("touches_left".to_string(), touches_left.to_value()),
+                    ("cursor".to_string(), cursor.to_value()),
+                    ("rng".to_string(), rng_value(rng)),
+                ]),
+            ),
+            SourceState::HashWindow { window_cursor, since_probe, rng } => (
+                "hash-window",
+                Value::Map(vec![
+                    ("window_cursor".to_string(), window_cursor.to_value()),
+                    ("since_probe".to_string(), since_probe.to_value()),
+                    ("rng".to_string(), rng_value(rng)),
+                ]),
+            ),
+            SourceState::Indirect { idx, pos, stage, rng } => (
+                "indirect",
+                Value::Map(vec![
+                    ("idx".to_string(), idx.to_value()),
+                    ("pos".to_string(), pos.to_value()),
+                    ("stage".to_string(), stage.to_value()),
+                    ("rng".to_string(), rng_value(rng)),
+                ]),
+            ),
+            SourceState::Phase { current, emitted, phases } => (
+                "phase",
+                Value::Map(vec![
+                    ("current".to_string(), current.to_value()),
+                    ("emitted".to_string(), emitted.to_value()),
+                    ("phases".to_string(), phases.to_value()),
+                ]),
+            ),
+            SourceState::MultiProgram { current, remaining, done, programs } => (
+                "multi-program",
+                Value::Map(vec![
+                    ("current".to_string(), current.to_value()),
+                    ("remaining".to_string(), remaining.to_value()),
+                    ("done".to_string(), done.to_value()),
+                    ("programs".to_string(), programs.to_value()),
+                ]),
+            ),
+            SourceState::Replay { pos } => {
+                ("replay", Value::Map(vec![("pos".to_string(), pos.to_value())]))
+            }
+            SourceState::Take { remaining, inner } => (
+                "take",
+                Value::Map(vec![
+                    ("remaining".to_string(), remaining.to_value()),
+                    ("inner".to_string(), inner.to_value()),
+                ]),
+            ),
+        };
+        Value::Map(vec![(tag.to_string(), body)])
+    }
+}
+
+impl<'de> Deserialize<'de> for SourceState {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let entries =
+            value.as_map().ok_or_else(|| DeError::expected("tagged map", "SourceState"))?;
+        let [(tag, body)] = entries else {
+            return Err(DeError::expected("single-variant map", "SourceState"));
+        };
+        match tag.as_str() {
+            "sweep" => Ok(SourceState::Sweep {
+                cursors: serde::field(body, "cursors", "SourceState::Sweep")?,
+                turn: serde::field(body, "turn", "SourceState::Sweep")?,
+                pass: serde::field(body, "pass", "SourceState::Sweep")?,
+                access_no: serde::field(body, "access_no", "SourceState::Sweep")?,
+                rng: rng_field(body, "SourceState::Sweep")?,
+            }),
+            "chase" => Ok(SourceState::Chase {
+                order: serde::field(body, "order", "SourceState::Chase")?,
+                pos: serde::field(body, "pos", "SourceState::Chase")?,
+                hot_pos: serde::field(body, "hot_pos", "SourceState::Chase")?,
+                fields_left: serde::field(body, "fields_left", "SourceState::Chase")?,
+                current_node: serde::field(body, "current_node", "SourceState::Chase")?,
+                visit_no: serde::field(body, "visit_no", "SourceState::Chase")?,
+                rng: rng_field(body, "SourceState::Chase")?,
+            }),
+            "tree" => Ok(SourceState::Tree {
+                pos: serde::field(body, "pos", "SourceState::Tree")?,
+                fields_left: serde::field(body, "fields_left", "SourceState::Tree")?,
+                current: serde::field(body, "current", "SourceState::Tree")?,
+                rng: rng_field(body, "SourceState::Tree")?,
+            }),
+            "random" => Ok(SourceState::Random {
+                run_left: serde::field(body, "run_left", "SourceState::Random")?,
+                touches_left: serde::field(body, "touches_left", "SourceState::Random")?,
+                cursor: serde::field(body, "cursor", "SourceState::Random")?,
+                rng: rng_field(body, "SourceState::Random")?,
+            }),
+            "hash-window" => Ok(SourceState::HashWindow {
+                window_cursor: serde::field(body, "window_cursor", "SourceState::HashWindow")?,
+                since_probe: serde::field(body, "since_probe", "SourceState::HashWindow")?,
+                rng: rng_field(body, "SourceState::HashWindow")?,
+            }),
+            "indirect" => Ok(SourceState::Indirect {
+                idx: serde::field(body, "idx", "SourceState::Indirect")?,
+                pos: serde::field(body, "pos", "SourceState::Indirect")?,
+                stage: serde::field(body, "stage", "SourceState::Indirect")?,
+                rng: rng_field(body, "SourceState::Indirect")?,
+            }),
+            "phase" => Ok(SourceState::Phase {
+                current: serde::field(body, "current", "SourceState::Phase")?,
+                emitted: serde::field(body, "emitted", "SourceState::Phase")?,
+                phases: serde::field(body, "phases", "SourceState::Phase")?,
+            }),
+            "multi-program" => Ok(SourceState::MultiProgram {
+                current: serde::field(body, "current", "SourceState::MultiProgram")?,
+                remaining: serde::field(body, "remaining", "SourceState::MultiProgram")?,
+                done: serde::field(body, "done", "SourceState::MultiProgram")?,
+                programs: serde::field(body, "programs", "SourceState::MultiProgram")?,
+            }),
+            "replay" => {
+                Ok(SourceState::Replay { pos: serde::field(body, "pos", "SourceState::Replay")? })
+            }
+            "take" => Ok(SourceState::Take {
+                remaining: serde::field(body, "remaining", "SourceState::Take")?,
+                inner: Box::new(serde::field(body, "inner", "SourceState::Take")?),
+            }),
+            other => Err(DeError(format!("unknown SourceState variant `{other}`"))),
+        }
+    }
+}
+
+/// A positioned snapshot: restoring `state` onto a fresh same-config
+/// source makes the *next* produced access the `pos`-th of the stream
+/// (0-based).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Accesses the source had produced when the snapshot was taken.
+    pub pos: u64,
+    /// The snapshot itself.
+    pub state: SourceState,
+}
+
+/// An ordered collection of [`Checkpoint`]s for one logical stream.
+///
+/// Kept sorted by position; [`CheckpointStore::nearest_at_or_before`]
+/// answers the seek query. Serializable, so a store can be computed once
+/// and shared across worker processes.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointStore {
+    checkpoints: Vec<Checkpoint>,
+}
+
+impl CheckpointStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        CheckpointStore::default()
+    }
+
+    /// Number of checkpoints held.
+    pub fn len(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// Whether the store holds no checkpoints.
+    pub fn is_empty(&self) -> bool {
+        self.checkpoints.is_empty()
+    }
+
+    /// Inserts a checkpoint, replacing any existing one at the same
+    /// position.
+    pub fn insert(&mut self, checkpoint: Checkpoint) {
+        match self.checkpoints.binary_search_by_key(&checkpoint.pos, |c| c.pos) {
+            Ok(i) => self.checkpoints[i] = checkpoint,
+            Err(i) => self.checkpoints.insert(i, checkpoint),
+        }
+    }
+
+    /// The checkpoint recorded exactly at `pos`, if any.
+    pub fn at(&self, pos: u64) -> Option<&Checkpoint> {
+        self.checkpoints.binary_search_by_key(&pos, |c| c.pos).ok().map(|i| &self.checkpoints[i])
+    }
+
+    /// The latest checkpoint at or before `pos` — the seek entry point.
+    pub fn nearest_at_or_before(&self, pos: u64) -> Option<&Checkpoint> {
+        match self.checkpoints.binary_search_by_key(&pos, |c| c.pos) {
+            Ok(i) => Some(&self.checkpoints[i]),
+            Err(0) => None,
+            Err(i) => Some(&self.checkpoints[i - 1]),
+        }
+    }
+
+    /// Iterates the checkpoints in position order.
+    pub fn iter(&self) -> impl Iterator<Item = &Checkpoint> {
+        self.checkpoints.iter()
+    }
+}
+
+/// A [`TraceSource`] wrapper that can [`seek`](SeekableSource::seek) in
+/// O(K) by checkpointing every `interval` accesses.
+///
+/// While streaming, a snapshot is recorded whenever the position crosses
+/// an interval boundary (including position 0 at construction), so any
+/// already-covered prefix can be re-entered at interval granularity. A
+/// seek restores the nearest checkpoint at or before the target and
+/// generates the residual. Sources whose [`TraceSource::checkpoint`]
+/// returns `None` degrade gracefully: forward seeks generate the whole
+/// distance (the old O(start) behaviour) and backward seeks fail.
+#[derive(Debug)]
+pub struct SeekableSource<S> {
+    inner: S,
+    pos: u64,
+    interval: u64,
+    store: CheckpointStore,
+    checkpointable: bool,
+}
+
+impl<S: TraceSource> SeekableSource<S> {
+    /// Wraps `inner` with the [`DEFAULT_CHECKPOINT_INTERVAL`].
+    pub fn new(inner: S) -> Self {
+        Self::with_interval(inner, DEFAULT_CHECKPOINT_INTERVAL)
+    }
+
+    /// Wraps `inner`, snapshotting every `interval` accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn with_interval(inner: S, interval: u64) -> Self {
+        Self::with_store(inner, interval, CheckpointStore::new())
+    }
+
+    /// Wraps a **freshly constructed** `inner` (at stream position 0)
+    /// with a pre-populated store — e.g. checkpoints computed by another
+    /// worker and shipped over the worker protocol. The store's
+    /// checkpoints must have been taken from an identically configured
+    /// source; [`TraceSource::restore`] rejects shape mismatches, but
+    /// cannot detect a wrong seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn with_store(inner: S, interval: u64, store: CheckpointStore) -> Self {
+        assert!(interval > 0, "checkpoint interval must be non-zero");
+        let mut s = SeekableSource {
+            checkpointable: inner.checkpoint().is_some(),
+            inner,
+            pos: 0,
+            interval,
+            store,
+        };
+        s.record();
+        s
+    }
+
+    /// Accesses produced so far (the index of the next access).
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+
+    /// The accumulated checkpoints.
+    pub fn store(&self) -> &CheckpointStore {
+        &self.store
+    }
+
+    /// Consumes the wrapper, returning the accumulated checkpoints.
+    pub fn into_store(self) -> CheckpointStore {
+        self.store
+    }
+
+    /// Records a snapshot at the current position if none exists yet.
+    fn record(&mut self) {
+        if !self.checkpointable || self.store.at(self.pos).is_some() {
+            return;
+        }
+        if let Some(state) = self.inner.checkpoint() {
+            self.store.insert(Checkpoint { pos: self.pos, state });
+        }
+    }
+
+    /// Positions the stream so the next access produced is the
+    /// `target`-th (0-based), restoring the nearest checkpoint at or
+    /// before the target and generating only the residual. Returns the
+    /// number of residual accesses generated.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the target lies behind the current position
+    /// and no usable checkpoint exists (non-checkpointable source), or
+    /// when restoring a checkpoint fails; the source should be discarded
+    /// after an error.
+    pub fn seek(&mut self, target: u64) -> Result<u64, RestoreError> {
+        if target != self.pos {
+            let restore_from = self
+                .store
+                .nearest_at_or_before(target)
+                .filter(|c| target < self.pos || c.pos > self.pos)
+                .cloned();
+            if let Some(c) = restore_from {
+                self.inner.restore(&c.state)?;
+                self.pos = c.pos;
+            } else if target < self.pos {
+                return Err(RestoreError::Unsupported);
+            }
+        }
+        let mut generated = 0;
+        while self.pos < target {
+            if self.next_access().is_none() {
+                break;
+            }
+            generated += 1;
+        }
+        Ok(generated)
+    }
+}
+
+impl<S: TraceSource> TraceSource for SeekableSource<S> {
+    fn next_access(&mut self) -> Option<MemoryAccess> {
+        if self.pos % self.interval == 0 {
+            self.record();
+        }
+        let a = self.inner.next_access();
+        if a.is_some() {
+            self.pos += 1;
+        }
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{Addr, Pc};
+    use crate::source::Replay;
+
+    fn numbered(n: u64) -> Replay {
+        Replay::once((0..n).map(|i| MemoryAccess::load(Pc(i), Addr(i * 64))).collect())
+    }
+
+    #[test]
+    fn seek_forward_and_backward_lands_exactly() {
+        let mut s = SeekableSource::with_interval(numbered(100), 10);
+        assert_eq!(s.seek(37).unwrap(), 37);
+        assert_eq!(s.next_access().unwrap().pc, Pc(37));
+        // Backward: restores the checkpoint at 30 and generates 2.
+        assert_eq!(s.seek(32).unwrap(), 2);
+        assert_eq!(s.next_access().unwrap().pc, Pc(32));
+        // Forward over covered ground uses the nearest later checkpoint.
+        assert!(s.seek(95).unwrap() <= 95);
+        assert_eq!(s.next_access().unwrap().pc, Pc(95));
+    }
+
+    #[test]
+    fn checkpoints_accumulate_at_interval_boundaries() {
+        let mut s = SeekableSource::with_interval(numbered(50), 8);
+        while s.next_access().is_some() {}
+        // Positions 0, 8, 16, 24, 32, 40, 48.
+        assert_eq!(s.store().len(), 7);
+        assert_eq!(s.store().nearest_at_or_before(23).unwrap().pos, 16);
+        assert_eq!(s.store().nearest_at_or_before(7).unwrap().pos, 0);
+        assert!(s.store().at(9).is_none());
+    }
+
+    #[test]
+    fn seek_past_end_stops_at_exhaustion() {
+        let mut s = SeekableSource::with_interval(numbered(10), 4);
+        assert_eq!(s.seek(25).unwrap(), 10);
+        assert!(s.next_access().is_none());
+    }
+
+    #[test]
+    fn store_round_trips_through_serde() {
+        let mut s = SeekableSource::with_interval(numbered(20), 5);
+        while s.next_access().is_some() {}
+        let store = s.into_store();
+        let value = store.to_value();
+        let parsed = CheckpointStore::from_value(&value).unwrap();
+        assert_eq!(parsed, store);
+    }
+
+    #[test]
+    fn prepopulated_store_skips_generation() {
+        let mut first = SeekableSource::with_interval(numbered(40), 10);
+        while first.next_access().is_some() {}
+        let store = first.into_store();
+        let mut second = SeekableSource::with_store(numbered(40), 10, store);
+        // 35 sits 5 past the checkpoint at 30: only 5 residual accesses.
+        assert_eq!(second.seek(35).unwrap(), 5);
+        assert_eq!(second.next_access().unwrap().pc, Pc(35));
+    }
+
+    /// A source with no checkpoint support: forward seeks degrade to
+    /// generation, backward seeks fail.
+    struct Opaque(Replay);
+
+    impl TraceSource for Opaque {
+        fn next_access(&mut self) -> Option<MemoryAccess> {
+            self.0.next_access()
+        }
+    }
+
+    #[test]
+    fn non_checkpointable_sources_degrade_to_forward_generation() {
+        let mut s = SeekableSource::with_interval(Opaque(numbered(30)), 4);
+        assert_eq!(s.seek(12).unwrap(), 12);
+        assert_eq!(s.store().len(), 0);
+        assert_eq!(s.next_access().unwrap().pc, Pc(12));
+        assert_eq!(s.seek(5), Err(RestoreError::Unsupported));
+    }
+
+    #[test]
+    fn restore_error_displays_each_variant() {
+        let state = SourceState::Replay { pos: 3 };
+        assert!(RestoreError::mismatch("sweep", &state).to_string().contains("replay"));
+        assert!(RestoreError::invalid("nope").to_string().contains("nope"));
+        assert!(!RestoreError::Unsupported.to_string().is_empty());
+    }
+}

@@ -2,6 +2,7 @@
 
 use rand::{rngs::StdRng, seq::SliceRandom, Rng, SeedableRng};
 
+use crate::checkpoint::{RestoreError, SourceState};
 use crate::gen::gap::GapModel;
 use crate::gen::LINE_BYTES;
 use crate::record::{AccessKind, Addr, MemoryAccess, Pc};
@@ -227,6 +228,68 @@ impl TraceSource for ChaseGen {
             gap,
             dependent,
         })
+    }
+
+    fn checkpoint(&self) -> Option<SourceState> {
+        // The traversal order only needs to travel with the state when
+        // mutation can have perturbed it; otherwise the constructed
+        // order is still exact and the checkpoint stays small.
+        let order = if self.cfg.mutation_rate > 0.0 { Some(self.order.clone()) } else { None };
+        Some(SourceState::Chase {
+            order,
+            pos: self.pos as u64,
+            hot_pos: self.hot_pos as u64,
+            fields_left: self.fields_left,
+            current_node: self.current_node,
+            visit_no: self.visit_no,
+            rng: self.rng.state(),
+        })
+    }
+
+    fn restore(&mut self, state: &SourceState) -> Result<(), RestoreError> {
+        let SourceState::Chase { order, pos, hot_pos, fields_left, current_node, visit_no, rng } =
+            state
+        else {
+            return Err(RestoreError::mismatch("chase", state));
+        };
+        if let Some(order) = order {
+            if order.len() != self.order.len() {
+                return Err(RestoreError::invalid(format!(
+                    "chase state orders {} nodes, configuration has {}",
+                    order.len(),
+                    self.order.len()
+                )));
+            }
+        } else if self.cfg.mutation_rate > 0.0 {
+            return Err(RestoreError::invalid(
+                "chase state lacks the traversal order a mutating configuration requires",
+            ));
+        }
+        if *pos >= self.order.len() as u64 {
+            return Err(RestoreError::invalid(format!("chase position {pos} out of range")));
+        }
+        if self.hot_order.is_empty() {
+            if *hot_pos != 0 {
+                return Err(RestoreError::invalid("chase state expects a hot subset"));
+            }
+        } else if *hot_pos >= self.hot_order.len() as u64 {
+            return Err(RestoreError::invalid(format!(
+                "chase hot position {hot_pos} out of range"
+            )));
+        }
+        if u64::from(*current_node) >= self.place.len() as u64 {
+            return Err(RestoreError::invalid(format!("chase node {current_node} out of range")));
+        }
+        if let Some(order) = order {
+            self.order.clone_from(order);
+        }
+        self.pos = *pos as usize;
+        self.hot_pos = *hot_pos as usize;
+        self.fields_left = *fields_left;
+        self.current_node = *current_node;
+        self.visit_no = *visit_no;
+        self.rng = StdRng::from_state(*rng);
+        Ok(())
     }
 }
 

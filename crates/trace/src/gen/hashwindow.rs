@@ -2,6 +2,7 @@
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
+use crate::checkpoint::{RestoreError, SourceState};
 use crate::gen::gap::GapModel;
 use crate::gen::LINE_BYTES;
 use crate::record::{AccessKind, Addr, MemoryAccess, Pc};
@@ -117,6 +118,29 @@ impl TraceSource for HashWindowGen {
             gap,
             dependent: false,
         })
+    }
+
+    fn checkpoint(&self) -> Option<SourceState> {
+        Some(SourceState::HashWindow {
+            window_cursor: self.window_cursor,
+            since_probe: self.since_probe,
+            rng: self.rng.state(),
+        })
+    }
+
+    fn restore(&mut self, state: &SourceState) -> Result<(), RestoreError> {
+        let SourceState::HashWindow { window_cursor, since_probe, rng } = state else {
+            return Err(RestoreError::mismatch("hash-window", state));
+        };
+        if *window_cursor >= self.cfg.window_bytes {
+            return Err(RestoreError::invalid(format!(
+                "hash-window cursor {window_cursor} outside the window"
+            )));
+        }
+        self.window_cursor = *window_cursor;
+        self.since_probe = *since_probe;
+        self.rng = StdRng::from_state(*rng);
+        Ok(())
     }
 }
 

@@ -2,6 +2,7 @@
 
 use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
 
+use crate::checkpoint::{RestoreError, SourceState};
 use crate::gen::gap::GapModel;
 use crate::gen::LINE_BYTES;
 use crate::record::{AccessKind, Addr, MemoryAccess, Pc};
@@ -146,6 +147,53 @@ impl TraceSource for IndirectGen {
                 })
             }
         }
+    }
+
+    fn checkpoint(&self) -> Option<SourceState> {
+        // The index array only travels with the state when churn can
+        // have rewritten it; otherwise the constructed array is exact.
+        let idx = if self.cfg.churn > 0.0 { Some(self.idx.clone()) } else { None };
+        Some(SourceState::Indirect {
+            idx,
+            pos: self.pos as u64,
+            stage: self.stage,
+            rng: self.rng.state(),
+        })
+    }
+
+    fn restore(&mut self, state: &SourceState) -> Result<(), RestoreError> {
+        let SourceState::Indirect { idx, pos, stage, rng } = state else {
+            return Err(RestoreError::mismatch("indirect", state));
+        };
+        if let Some(idx) = idx {
+            if idx.len() != self.idx.len() {
+                return Err(RestoreError::invalid(format!(
+                    "indirect state indexes {} gathers, configuration has {}",
+                    idx.len(),
+                    self.idx.len()
+                )));
+            }
+            if idx.iter().any(|&t| t >= self.cfg.data_elems) {
+                return Err(RestoreError::invalid("indirect index target out of range"));
+            }
+        } else if self.cfg.churn > 0.0 {
+            return Err(RestoreError::invalid(
+                "indirect state lacks the index array a churning configuration requires",
+            ));
+        }
+        if *pos >= self.idx.len() as u64 {
+            return Err(RestoreError::invalid(format!("indirect position {pos} out of range")));
+        }
+        if *stage > 2 {
+            return Err(RestoreError::invalid(format!("indirect stage {stage} out of range")));
+        }
+        if let Some(idx) = idx {
+            self.idx.clone_from(idx);
+        }
+        self.pos = *pos as usize;
+        self.stage = *stage;
+        self.rng = StdRng::from_state(*rng);
+        Ok(())
     }
 }
 

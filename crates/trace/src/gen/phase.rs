@@ -1,5 +1,6 @@
 //! Cycling through several sub-generators in short phases.
 
+use crate::checkpoint::{RestoreError, SourceState};
 use crate::record::MemoryAccess;
 use crate::source::{BoxedSource, TraceSource};
 
@@ -63,6 +64,36 @@ impl TraceSource for PhaseMix {
             self.emitted = 0;
         }
         None
+    }
+
+    fn checkpoint(&self) -> Option<SourceState> {
+        let mut phases = Vec::with_capacity(self.phases.len());
+        for (src, _) in &self.phases {
+            phases.push(src.checkpoint()?);
+        }
+        Some(SourceState::Phase { current: self.current as u64, emitted: self.emitted, phases })
+    }
+
+    fn restore(&mut self, state: &SourceState) -> Result<(), RestoreError> {
+        let SourceState::Phase { current, emitted, phases } = state else {
+            return Err(RestoreError::mismatch("phase", state));
+        };
+        if phases.len() != self.phases.len() {
+            return Err(RestoreError::invalid(format!(
+                "phase state has {} phases, mixer has {}",
+                phases.len(),
+                self.phases.len()
+            )));
+        }
+        if *current >= self.phases.len() as u64 {
+            return Err(RestoreError::invalid(format!("phase index {current} out of range")));
+        }
+        for ((src, _), sub) in self.phases.iter_mut().zip(phases) {
+            src.restore(sub)?;
+        }
+        self.current = *current as usize;
+        self.emitted = *emitted;
+        Ok(())
     }
 }
 

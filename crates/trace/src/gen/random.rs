@@ -2,6 +2,7 @@
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
+use crate::checkpoint::{RestoreError, SourceState};
 use crate::gen::gap::GapModel;
 use crate::gen::LINE_BYTES;
 use crate::record::{AccessKind, Addr, MemoryAccess, Pc};
@@ -117,6 +118,29 @@ impl TraceSource for RandomGen {
             gap,
             dependent: false,
         })
+    }
+
+    fn checkpoint(&self) -> Option<SourceState> {
+        Some(SourceState::Random {
+            run_left: self.run_left,
+            touches_left: self.touches_left,
+            cursor: self.cursor,
+            rng: self.rng.state(),
+        })
+    }
+
+    fn restore(&mut self, state: &SourceState) -> Result<(), RestoreError> {
+        let SourceState::Random { run_left, touches_left, cursor, rng } = state else {
+            return Err(RestoreError::mismatch("random", state));
+        };
+        if *cursor >= self.lines {
+            return Err(RestoreError::invalid(format!("random cursor {cursor} out of range")));
+        }
+        self.run_left = *run_left;
+        self.touches_left = *touches_left;
+        self.cursor = *cursor;
+        self.rng = StdRng::from_state(*rng);
+        Ok(())
     }
 }
 

@@ -2,6 +2,7 @@
 
 use rand::{rngs::StdRng, SeedableRng};
 
+use crate::checkpoint::{RestoreError, SourceState};
 use crate::gen::gap::GapModel;
 use crate::record::{AccessKind, Addr, MemoryAccess, Pc};
 use crate::source::TraceSource;
@@ -160,6 +161,38 @@ impl TraceSource for SweepGen {
         let pc = Pc(self.cfg.pc_base + (idx as u64) * 16 + pc_off);
         let gap = self.cfg.gap.sample(&mut self.rng);
         Some(MemoryAccess { pc, addr, kind, gap, dependent: false })
+    }
+
+    fn checkpoint(&self) -> Option<SourceState> {
+        Some(SourceState::Sweep {
+            cursors: self.cursors.clone(),
+            turn: self.turn as u64,
+            pass: self.pass,
+            access_no: self.access_no,
+            rng: self.rng.state(),
+        })
+    }
+
+    fn restore(&mut self, state: &SourceState) -> Result<(), RestoreError> {
+        let SourceState::Sweep { cursors, turn, pass, access_no, rng } = state else {
+            return Err(RestoreError::mismatch("sweep", state));
+        };
+        if cursors.len() != self.cursors.len() {
+            return Err(RestoreError::invalid(format!(
+                "sweep state has {} cursors, configuration has {} arrays",
+                cursors.len(),
+                self.cursors.len()
+            )));
+        }
+        if *turn >= self.cursors.len() as u64 {
+            return Err(RestoreError::invalid(format!("sweep turn {turn} out of range")));
+        }
+        self.cursors.clone_from(cursors);
+        self.turn = *turn as usize;
+        self.pass = *pass;
+        self.access_no = *access_no;
+        self.rng = StdRng::from_state(*rng);
+        Ok(())
     }
 }
 

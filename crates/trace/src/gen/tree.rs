@@ -2,6 +2,7 @@
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
+use crate::checkpoint::{RestoreError, SourceState};
 use crate::gen::gap::GapModel;
 use crate::record::{AccessKind, Addr, MemoryAccess, Pc};
 use crate::source::TraceSource;
@@ -207,6 +208,32 @@ impl TraceSource for TreeGen {
             gap,
             dependent: true,
         })
+    }
+
+    fn checkpoint(&self) -> Option<SourceState> {
+        Some(SourceState::Tree {
+            pos: self.pos as u64,
+            fields_left: self.fields_left,
+            current: self.current,
+            rng: self.rng.state(),
+        })
+    }
+
+    fn restore(&mut self, state: &SourceState) -> Result<(), RestoreError> {
+        let SourceState::Tree { pos, fields_left, current, rng } = state else {
+            return Err(RestoreError::mismatch("tree", state));
+        };
+        if *pos >= self.visit.len() as u64 {
+            return Err(RestoreError::invalid(format!("tree position {pos} out of range")));
+        }
+        if u64::from(*current) >= self.place.len() as u64 {
+            return Err(RestoreError::invalid(format!("tree node {current} out of range")));
+        }
+        self.pos = *pos as usize;
+        self.fields_left = *fields_left;
+        self.current = *current;
+        self.rng = StdRng::from_state(*rng);
+        Ok(())
     }
 }
 

@@ -1,5 +1,6 @@
 //! Multi-programmed execution: context-switched interleaving of programs.
 
+use crate::checkpoint::{RestoreError, SourceState};
 use crate::record::MemoryAccess;
 use crate::source::{BoxedSource, TraceSource};
 
@@ -106,6 +107,44 @@ impl MultiProgram {
 impl TraceSource for MultiProgram {
     fn next_access(&mut self) -> Option<MemoryAccess> {
         self.next_tagged().map(|(_, a)| a)
+    }
+
+    fn checkpoint(&self) -> Option<SourceState> {
+        let mut programs = Vec::with_capacity(self.programs.len());
+        for p in &self.programs {
+            programs.push(p.source.checkpoint()?);
+        }
+        Some(SourceState::MultiProgram {
+            current: self.current as u64,
+            remaining: self.remaining,
+            done: self.programs.iter().map(|p| p.done).collect(),
+            programs,
+        })
+    }
+
+    fn restore(&mut self, state: &SourceState) -> Result<(), RestoreError> {
+        let SourceState::MultiProgram { current, remaining, done, programs } = state else {
+            return Err(RestoreError::mismatch("multi-program", state));
+        };
+        if programs.len() != self.programs.len() || done.len() != self.programs.len() {
+            return Err(RestoreError::invalid(format!(
+                "multi-program state has {} programs, interleaver has {}",
+                programs.len(),
+                self.programs.len()
+            )));
+        }
+        if *current >= self.programs.len() as u64 {
+            return Err(RestoreError::invalid(format!("program index {current} out of range")));
+        }
+        for (p, sub) in self.programs.iter_mut().zip(programs) {
+            p.source.restore(sub)?;
+        }
+        for (p, &flag) in self.programs.iter_mut().zip(done) {
+            p.done = flag;
+        }
+        self.current = *current as usize;
+        self.remaining = *remaining;
+        Ok(())
     }
 }
 

@@ -27,6 +27,7 @@
 //! assert!(first.addr.0 < 1 << 40);
 //! ```
 
+pub mod checkpoint;
 pub mod gen;
 pub mod interleave;
 pub mod io;
@@ -36,6 +37,10 @@ pub mod source;
 pub mod stats;
 pub mod suite;
 
+pub use checkpoint::{
+    Checkpoint, CheckpointStore, RestoreError, SeekableSource, SourceState,
+    DEFAULT_CHECKPOINT_INTERVAL,
+};
 pub use interleave::MultiProgram;
 pub use record::{AccessKind, Addr, MemoryAccess, Pc};
 pub use segment::TraceSegment;

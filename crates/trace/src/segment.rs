@@ -8,17 +8,28 @@
 //! partition (even to within one access, covering the budget exactly,
 //! in order).
 //!
-//! Trace sources are not seekable — a generator's state at access `s` is
-//! only reachable by producing the first `s` accesses — so reaching a
-//! slice means *skipping* `start` accesses first. Skipping is
-//! generation-only (no simulation), which is cheap relative to replaying
-//! a hierarchy, but it does mean segmented runs spend `O(start)`
-//! generator work per worker. [`TraceSegment::carve`] packages the
-//! skip-then-bound pattern for plain consumers; consumers that keep
-//! simulator state perform the skip themselves so they can replay a
-//! bounded warm-up window of the prefix through their machinery first
-//! (`ltc_analysis`'s stream analysis does exactly this) — see
-//! EXPERIMENTS.md "Segmented streaming" for the resulting approximation.
+//! Reaching a slice no longer costs `O(start)` generator work per
+//! worker: every built-in source supports the [`checkpoint`] protocol
+//! ([`TraceSource::checkpoint`] / [`TraceSource::restore`]), so a worker
+//! restores the nearest recorded snapshot at-or-before its slice and
+//! generates only the residual — `O(K)` for checkpoint interval `K`
+//! (plus the bounded warm-up window below). The restored stream is
+//! element-identical to the skipped one, so reports do not depend on
+//! which path placed the worker. The plain skip loop remains the
+//! fallback whenever no snapshot is available — no checkpoint recorded
+//! at-or-before the target, or a source that does not implement the
+//! protocol (external/recorded sources wrapped by adapters that cannot
+//! snapshot their inner state return `None` from `checkpoint`); it is
+//! generation-only (no simulation), merely `O(start)` instead of `O(K)`.
+//! [`TraceSegment::carve`] packages the skip-then-bound pattern for
+//! plain consumers; consumers that keep simulator state place the
+//! source themselves so they can replay a bounded warm-up window of the
+//! prefix through their machinery first (`ltc_analysis`'s stream
+//! analysis does exactly this) — see EXPERIMENTS.md "Segmented
+//! streaming" and "Seek & checkpointing" for the approximation and the
+//! seek protocol.
+//!
+//! [`checkpoint`]: crate::checkpoint
 
 use crate::source::{TakeSource, TraceSource};
 

@@ -1,5 +1,6 @@
 //! The [`TraceSource`] abstraction and generic adapters.
 
+use crate::checkpoint::{RestoreError, SourceState};
 use crate::record::MemoryAccess;
 
 /// A producer of committed memory references.
@@ -34,6 +35,29 @@ pub trait TraceSource {
         }
         v
     }
+
+    /// Snapshots the source's mid-stream state for later
+    /// [`restore`](TraceSource::restore), or `None` when the source does
+    /// not support checkpointing (the default). Restoring the returned
+    /// state onto a freshly built source of the same configuration
+    /// resumes the stream element-identically.
+    fn checkpoint(&self) -> Option<SourceState> {
+        None
+    }
+
+    /// Restores a [`checkpoint`](TraceSource::checkpoint) previously
+    /// taken from an identically configured source.
+    ///
+    /// # Errors
+    ///
+    /// Fails on sources that do not checkpoint (the default), on a state
+    /// from a different kind of source, or on values that do not fit
+    /// this source's configuration. A composite source may be left
+    /// partially restored on error — discard it and rebuild.
+    fn restore(&mut self, state: &SourceState) -> Result<(), RestoreError> {
+        let _ = state;
+        Err(RestoreError::Unsupported)
+    }
 }
 
 /// Boxed trait object form used by the suite and experiment runner.
@@ -43,11 +67,27 @@ impl TraceSource for BoxedSource {
     fn next_access(&mut self) -> Option<MemoryAccess> {
         (**self).next_access()
     }
+
+    fn checkpoint(&self) -> Option<SourceState> {
+        (**self).checkpoint()
+    }
+
+    fn restore(&mut self, state: &SourceState) -> Result<(), RestoreError> {
+        (**self).restore(state)
+    }
 }
 
 impl<T: TraceSource + ?Sized> TraceSource for &mut T {
     fn next_access(&mut self) -> Option<MemoryAccess> {
         (**self).next_access()
+    }
+
+    fn checkpoint(&self) -> Option<SourceState> {
+        (**self).checkpoint()
+    }
+
+    fn restore(&mut self, state: &SourceState) -> Result<(), RestoreError> {
+        (**self).restore(state)
     }
 }
 
@@ -67,6 +107,20 @@ impl<S: TraceSource> TraceSource for TakeSource<S> {
         }
         self.remaining -= 1;
         self.inner.next_access()
+    }
+
+    fn checkpoint(&self) -> Option<SourceState> {
+        let inner = self.inner.checkpoint()?;
+        Some(SourceState::Take { remaining: self.remaining, inner: Box::new(inner) })
+    }
+
+    fn restore(&mut self, state: &SourceState) -> Result<(), RestoreError> {
+        let SourceState::Take { remaining, inner } = state else {
+            return Err(RestoreError::mismatch("take", state));
+        };
+        self.inner.restore(inner)?;
+        self.remaining = *remaining;
+        Ok(())
     }
 }
 
@@ -128,6 +182,24 @@ impl TraceSource for Replay {
         let a = self.accesses[self.pos];
         self.pos += 1;
         Some(a)
+    }
+
+    fn checkpoint(&self) -> Option<SourceState> {
+        Some(SourceState::Replay { pos: self.pos as u64 })
+    }
+
+    fn restore(&mut self, state: &SourceState) -> Result<(), RestoreError> {
+        let SourceState::Replay { pos } = state else {
+            return Err(RestoreError::mismatch("replay", state));
+        };
+        if *pos > self.accesses.len() as u64 {
+            return Err(RestoreError::invalid(format!(
+                "replay position {pos} exceeds the {}-access recording",
+                self.accesses.len()
+            )));
+        }
+        self.pos = *pos as usize;
+        Ok(())
     }
 }
 
