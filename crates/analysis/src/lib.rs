@@ -30,5 +30,6 @@ pub use coverage::{run_coverage, CoverageConfig, CoverageReport};
 pub use deadtime::DeadTimeTracker;
 pub use lasttouch_order::LastTouchOrderAnalysis;
 pub use stream::{
-    merge_partials, StreamAnalysis, StreamConfig, StreamPartial, StreamReport, SEGMENT_WARMUP,
+    merge_partials, StreamAnalysis, StreamConfig, StreamPartial, StreamReport, WarmImage,
+    SEGMENT_WARMUP,
 };

@@ -9,7 +9,7 @@
 //! configured byte budget regardless of trace length, which is the
 //! property that lets this analysis serve traces the exact tables cannot.
 
-use ltc_cache::{Hierarchy, HierarchyConfig};
+use ltc_cache::{Hierarchy, HierarchyConfig, HierarchyImage};
 use ltc_stream::{ChhConfig, ChhState, ChhSummary, MergeError, SpaceSaving, SpaceSavingState};
 use ltc_trace::{Checkpoint, TraceSegment, TraceSource};
 use serde::{Deserialize, Serialize};
@@ -22,26 +22,32 @@ pub struct StreamConfig {
     /// Hash seed for the pair sketch (engine runs pass the trace seed so
     /// the `RunSpec` fully determines the report).
     pub seed: u64,
+    /// Uncounted accesses a segment worker replays through its hierarchy
+    /// before its slice begins (defaults to [`SEGMENT_WARMUP`]). Changing
+    /// it changes segmented results, so engine runs key their artifact
+    /// cache on it.
+    pub warmup: u64,
 }
 
 /// Heavy hitters reported per summary (fixed so the report — and with it
 /// the artifact format — does not depend on presentation flags).
 pub const REPORT_TOP: usize = 8;
 
-/// Uncounted accesses a segment worker replays through its hierarchy
-/// before its slice begins, so the cache state at the boundary
-/// approximates the single-pass state (the classic warm-up of sampled
-/// simulation). Sized to refill the paper hierarchy's ~32 K L2 lines a
-/// few times over for any access pattern the suite generates; slices
-/// starting within this window warm on their whole prefix and match the
-/// single pass exactly. Changing this constant changes segmented
-/// results — bump `MODEL_VERSION`.
+/// Default for [`StreamConfig::warmup`]: uncounted accesses a segment
+/// worker replays through its hierarchy before its slice begins, so the
+/// cache state at the boundary approximates the single-pass state (the
+/// classic warm-up of sampled simulation). Sized to refill the paper
+/// hierarchy's ~32 K L2 lines a few times over for any access pattern
+/// the suite generates; slices starting within this window warm on
+/// their whole prefix and match the single pass exactly. The engine
+/// keys segmented artifacts on the configured warm-up, so a run with a
+/// non-default value caches separately instead of colliding.
 pub const SEGMENT_WARMUP: u64 = 150_000;
 
 impl StreamConfig {
     /// A run with the given summary budget.
     pub fn with_budget(budget_bytes: u64) -> Self {
-        StreamConfig { budget_bytes, seed: 1 }
+        StreamConfig { budget_bytes, seed: 1, warmup: SEGMENT_WARMUP }
     }
 
     /// Same budget, explicit seed.
@@ -49,6 +55,31 @@ impl StreamConfig {
         self.seed = seed;
         self
     }
+
+    /// Same budget, explicit segment warm-up length.
+    pub fn with_warmup(mut self, warmup: u64) -> Self {
+        self.warmup = warmup;
+        self
+    }
+}
+
+/// A warm hierarchy image pinned to a trace position: the serialized
+/// cache state a single-pass replay reaches right before access `pos`.
+///
+/// Recorded once per (benchmark, seed, warm-up) by the engine's
+/// checkpoint pre-pass and handed to segment workers, it replaces the
+/// [`StreamConfig::warmup`]-access warm-up replay in
+/// [`StreamAnalysis::run_segment_with`]: restoring the image yields the
+/// byte-identical hierarchy the replay would have built, for O(1) work
+/// instead of O(warm-up) simulated accesses.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WarmImage {
+    /// The trace position the image is warm *for*: the worker's slice
+    /// must start exactly here for the image to apply.
+    pub pos: u64,
+    /// The hierarchy state after replaying the warm-up window ending at
+    /// `pos`.
+    pub image: HierarchyImage,
 }
 
 /// One heavy-hitter miss line.
@@ -251,45 +282,61 @@ impl StreamAnalysis {
     /// summary for later merging.
     ///
     /// The worker generates (but does not simulate) the prefix before
-    /// its slice, then replays the last [`SEGMENT_WARMUP`] of those
-    /// prefix accesses through its hierarchy — uncounted — so the cache
-    /// state at the slice boundary approximates the single-pass state.
-    /// A slice whose `start` is within the warm-up window replays the
-    /// *whole* prefix and its miss counts match a single pass exactly;
-    /// deeper slices keep a small residual cold-start drift (misses the
-    /// warmed window could not re-create), the documented approximation
-    /// of segmented streaming. The boundary pair into the segment is
-    /// deferred to [`merge_partials`] via
+    /// its slice, then replays the last [`StreamConfig::warmup`] of
+    /// those prefix accesses through its hierarchy — uncounted — so the
+    /// cache state at the slice boundary approximates the single-pass
+    /// state. A slice whose `start` is within the warm-up window
+    /// replays the *whole* prefix and its miss counts match a single
+    /// pass exactly; deeper slices keep a small residual cold-start
+    /// drift (misses the warmed window could not re-create), the
+    /// documented approximation of segmented streaming. The boundary
+    /// pair into the segment is deferred to [`merge_partials`] via
     /// [`StreamPartial::first_miss`]/[`StreamPartial::last_miss`].
     pub fn run_segment<S: TraceSource + ?Sized>(
         source: &mut S,
         segment: TraceSegment,
         cfg: StreamConfig,
     ) -> StreamPartial {
-        Self::run_segment_with(source, segment, cfg, None)
+        Self::run_segment_with(source, segment, cfg, None, None)
     }
 
     /// [`run_segment`](Self::run_segment) with an optional generator
-    /// checkpoint covering the skipped prefix.
+    /// checkpoint covering the skipped prefix and an optional warm
+    /// hierarchy image replacing the warm-up replay.
     ///
     /// When `checkpoint` holds a [`Checkpoint`] recorded from an
-    /// identically configured source at a position at or before
-    /// `start − warm`, the worker restores it and generates only the
-    /// residual instead of the whole prefix, cutting setup from
-    /// O(start) to O(residual + warm-up). The access stream the
-    /// hierarchy and summaries see is identical either way — restoring
-    /// only changes how the position is reached — so the partial (and
-    /// every report built from it) stays byte-identical. A checkpoint
-    /// past the pre-warm-up point, for a mismatched generator, or with
-    /// invalid state is ignored and the worker falls back to the plain
-    /// skip loop.
+    /// identically configured source at a position at or before the
+    /// first access the worker must feed its hierarchy, the worker
+    /// restores it and generates only the residual instead of the whole
+    /// prefix, cutting setup from O(start) to O(residual + warm-up).
+    ///
+    /// When `warm_image` holds a [`WarmImage`] recorded at exactly
+    /// `segment.start`, the worker restores the hierarchy from the
+    /// image instead of replaying the warm-up window at all — combined
+    /// with a checkpoint at `segment.start` the whole setup collapses
+    /// to O(residual). The image was snapshotted from a hierarchy that
+    /// replayed the same window, so the restored state — and with it
+    /// the partial and every report built from it — is byte-identical
+    /// to the replay path.
+    ///
+    /// Either input degrades safely: a checkpoint past the first needed
+    /// access, a warm image at the wrong position or for a mismatched
+    /// hierarchy shape, or invalid state in either is ignored and the
+    /// worker falls back to the plain skip-and-replay loop.
     pub fn run_segment_with<S: TraceSource + ?Sized>(
         source: &mut S,
         segment: TraceSegment,
         cfg: StreamConfig,
         checkpoint: Option<&Checkpoint>,
+        warm_image: Option<&WarmImage>,
     ) -> StreamPartial {
-        let warm = segment.start.min(SEGMENT_WARMUP);
+        let restored = warm_image
+            .filter(|w| w.pos == segment.start)
+            .and_then(|w| Hierarchy::from_image(HierarchyConfig::paper(), &w.image).ok());
+        let warm = match restored {
+            Some(_) => 0,
+            None => segment.start.min(cfg.warmup),
+        };
         let mut skip = segment.start - warm;
         if let Some(c) = checkpoint {
             if c.pos <= skip && source.restore(&c.state).is_ok() {
@@ -301,7 +348,10 @@ impl StreamAnalysis {
                 break;
             }
         }
-        let mut hierarchy = Hierarchy::new(HierarchyConfig::paper());
+        let mut hierarchy = match restored {
+            Some(h) => h,
+            None => Hierarchy::new(HierarchyConfig::paper()),
+        };
         for _ in 0..warm {
             let Some(a) = source.next_access() else { break };
             hierarchy.access(a.addr, a.kind);
@@ -484,8 +534,13 @@ mod tests {
             recorder.next_access();
         }
         let c = Checkpoint { pos: 8_000, state: recorder.checkpoint().unwrap() };
-        let via =
-            StreamAnalysis::run_segment_with(&mut conflict_loop(4, passes), seg, cfg, Some(&c));
+        let via = StreamAnalysis::run_segment_with(
+            &mut conflict_loop(4, passes),
+            seg,
+            cfg,
+            Some(&c),
+            None,
+        );
         assert_eq!(via, expected);
 
         // A checkpoint past the pre-warm-up point is ignored, not misused.
@@ -494,9 +549,113 @@ mod tests {
             deep.next_access();
         }
         let late = Checkpoint { pos: seg.start, state: deep.checkpoint().unwrap() };
-        let fallback =
-            StreamAnalysis::run_segment_with(&mut conflict_loop(4, passes), seg, cfg, Some(&late));
+        let fallback = StreamAnalysis::run_segment_with(
+            &mut conflict_loop(4, passes),
+            seg,
+            cfg,
+            Some(&late),
+            None,
+        );
         assert_eq!(fallback, expected);
+    }
+
+    /// Records a warm image the way the engine's pre-pass does: replay
+    /// the warm-up window ending at `pos` through a cold hierarchy.
+    fn record_warm_image(mut source: Replay, pos: u64, warmup: u64) -> WarmImage {
+        let warm = pos.min(warmup);
+        for _ in 0..pos - warm {
+            source.next_access();
+        }
+        let mut h = Hierarchy::new(HierarchyConfig::paper());
+        for _ in 0..warm {
+            let Some(a) = source.next_access() else { break };
+            h.access(a.addr, a.kind);
+        }
+        WarmImage { pos, image: h.to_image() }
+    }
+
+    #[test]
+    fn warm_image_replaces_the_warmup_replay_byte_identically() {
+        let cfg = StreamConfig::with_budget(32 << 10);
+        let seg = TraceSegment { index: 1, segments: 2, start: SEGMENT_WARMUP + 10_000, len: 500 };
+        let passes = ((seg.start + seg.len) / 4 + 1) as usize;
+        let expected = StreamAnalysis::run_segment(&mut conflict_loop(4, passes), seg, cfg);
+
+        let warm = record_warm_image(conflict_loop(4, passes), seg.start, cfg.warmup);
+        // With a checkpoint at the slice start, the image path does zero
+        // warm-up replay — and still produces the identical partial.
+        let mut recorder = conflict_loop(4, passes);
+        for _ in 0..seg.start {
+            recorder.next_access();
+        }
+        let c = Checkpoint { pos: seg.start, state: recorder.checkpoint().unwrap() };
+        let via = StreamAnalysis::run_segment_with(
+            &mut conflict_loop(4, passes),
+            seg,
+            cfg,
+            Some(&c),
+            Some(&warm),
+        );
+        assert_eq!(via, expected);
+
+        // The image also works alone (prefix generated, warm-up skipped).
+        let alone = StreamAnalysis::run_segment_with(
+            &mut conflict_loop(4, passes),
+            seg,
+            cfg,
+            None,
+            Some(&warm),
+        );
+        assert_eq!(alone, expected);
+
+        // An image at the wrong position falls back to the replay path.
+        let wrong = WarmImage { pos: seg.start - 1, image: warm.image.clone() };
+        let fallback = StreamAnalysis::run_segment_with(
+            &mut conflict_loop(4, passes),
+            seg,
+            cfg,
+            None,
+            Some(&wrong),
+        );
+        assert_eq!(fallback, expected);
+    }
+
+    #[test]
+    fn warm_image_round_trips_through_serde() {
+        let warm = record_warm_image(conflict_loop(4, 60_000), 120_000, SEGMENT_WARMUP);
+        let parsed: WarmImage =
+            serde_json::from_str(&serde_json::to_string(&warm)).expect("parses");
+        assert_eq!(parsed, warm);
+    }
+
+    #[test]
+    fn configured_warmup_changes_deep_segment_results() {
+        // A working set that fits in L1: warmed, the slice hits; cold,
+        // it re-misses the whole set. A shorter configured warm-up must
+        // therefore show up in the partial.
+        let resident_loop = |passes: usize| {
+            let mut v = Vec::new();
+            for _ in 0..passes {
+                for i in 0..64u64 {
+                    v.push(MemoryAccess::load(Pc(0x400), Addr(i * 64)));
+                }
+            }
+            Replay::once(v)
+        };
+        let seg = TraceSegment { index: 1, segments: 2, start: 6_016, len: 800 };
+        let full = StreamAnalysis::run_segment(
+            &mut resident_loop(110),
+            seg,
+            StreamConfig::with_budget(32 << 10),
+        );
+        let short = StreamAnalysis::run_segment(
+            &mut resident_loop(110),
+            seg,
+            StreamConfig::with_budget(32 << 10).with_warmup(0),
+        );
+        assert_eq!(full.accesses, short.accesses);
+        assert!(short.misses >= full.misses + 64, "cold boundary re-misses the working set");
+        assert_ne!(full, short, "warm-up length must reach the hierarchy state");
     }
 
     #[test]

@@ -342,6 +342,56 @@ impl Cache {
         v
     }
 
+    /// Builds the [`crate::CacheImage`] snapshot ([`Stamps`] is private
+    /// to this module, so the split into parallel vectors happens here).
+    pub(crate) fn image(&self) -> crate::image::CacheImage {
+        crate::image::CacheImage {
+            config: self.cfg,
+            tags: self.tags.clone(),
+            state: self.state.clone(),
+            fill: self.stamps.iter().map(|s| s.fill).collect(),
+            touch: self.stamps.iter().map(|s| s.touch).collect(),
+            seq: self.seq,
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuilds a cache from a validated snapshot (the typed-error
+    /// gatekeeper behind [`Cache::from_image`]).
+    pub(crate) fn restore_image(
+        image: &crate::image::CacheImage,
+    ) -> Result<Cache, crate::image::ImageError> {
+        use crate::image::ImageError;
+        let mut c = Cache::try_new(image.config).map_err(ImageError::Geometry)?;
+        let slots = c.tags.len();
+        for (field, found) in [
+            ("tags", image.tags.len()),
+            ("state", image.state.len()),
+            ("fill", image.fill.len()),
+            ("touch", image.touch.len()),
+        ] {
+            if found != slots {
+                return Err(ImageError::Shape { field, expected: slots, found });
+            }
+        }
+        if image.seq > u64::from(u32::MAX) {
+            return Err(ImageError::Invalid(format!(
+                "sequence counter {} exceeds the u32 stamp range",
+                image.seq
+            )));
+        }
+        c.tags.copy_from_slice(&image.tags);
+        c.state.copy_from_slice(&image.state);
+        for (slot, (&fill, &touch)) in
+            c.stamps.iter_mut().zip(image.fill.iter().zip(image.touch.iter()))
+        {
+            *slot = Stamps { fill, touch };
+        }
+        c.seq = image.seq;
+        c.stats = image.stats;
+        Ok(c)
+    }
+
     #[inline]
     fn set_and_tag_ref(&self, addr: Addr) -> (u64, u64) {
         let line = addr.0 >> self.line_shift;

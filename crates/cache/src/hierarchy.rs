@@ -17,7 +17,7 @@ pub enum MemLevel {
 }
 
 /// Configuration for a [`Hierarchy`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct HierarchyConfig {
     /// L1 data cache geometry.
     pub l1: CacheConfig,
@@ -87,6 +87,12 @@ impl Hierarchy {
     /// Returns the first violated invariant (L1 checked before L2).
     pub fn try_new(cfg: HierarchyConfig) -> Result<Self, crate::GeometryError> {
         Ok(Hierarchy { l1: Cache::try_new(cfg.l1)?, l2: Cache::try_new(cfg.l2)? })
+    }
+
+    /// Assembles a hierarchy from already-restored levels (the image
+    /// restore path; validation happened per level).
+    pub(crate) fn from_levels(l1: Cache, l2: Cache) -> Self {
+        Hierarchy { l1, l2 }
     }
 
     /// The L1 data cache.

@@ -1,0 +1,291 @@
+//! Serializable warm-state images for caches and hierarchies.
+//!
+//! A warm image is a faithful snapshot of a simulated cache's mutable
+//! state — tag array, state bytes, replacement stamps, sequence counter
+//! and counters — plus the [`CacheConfig`] it was captured under.
+//! Restoring an image into a freshly built cache reproduces the donor
+//! *exactly*, so a segment worker that restores a warm image observes
+//! byte-identical behaviour to one that replayed the warm-up prefix.
+//!
+//! Every restore is validated: the embedded config must describe a
+//! buildable geometry, the restore target's config must match it, and
+//! every state vector must have exactly one entry per slot. A failed
+//! validation is a typed [`ImageError`] — never silent drift.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::Cache;
+use crate::config::{CacheConfig, GeometryError};
+use crate::hierarchy::{Hierarchy, HierarchyConfig};
+use crate::stats::CacheStats;
+
+/// Why an image refused to restore.
+///
+/// Shared by every imaging surface in the workspace: cache and hierarchy
+/// restores here, history-table and predictor restores in the crates
+/// built on top.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageError {
+    /// The component does not support imaging (e.g. a predictor whose
+    /// state is too entangled to snapshot); callers fall back to replay.
+    Unsupported,
+    /// The image's embedded configuration is not a buildable geometry.
+    Geometry(GeometryError),
+    /// The restore target is configured differently from the image donor.
+    ConfigMismatch {
+        /// The restore target's configuration (rendered via `Debug`).
+        expected: String,
+        /// The image donor's configuration (rendered via `Debug`).
+        found: String,
+    },
+    /// A state vector's length disagrees with the configured slot count.
+    Shape {
+        /// Which vector was malformed.
+        field: &'static str,
+        /// Entries the configuration demands.
+        expected: usize,
+        /// Entries the image carried.
+        found: usize,
+    },
+    /// The image was captured from a different component kind.
+    Kind {
+        /// The restore target's kind.
+        expected: String,
+        /// The image donor's kind.
+        found: String,
+    },
+    /// Any other malformed field (out-of-range counter, bad invariant).
+    Invalid(String),
+}
+
+impl std::fmt::Display for ImageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImageError::Unsupported => write!(f, "component does not support state images"),
+            ImageError::Geometry(e) => write!(f, "image carries an invalid geometry: {e}"),
+            ImageError::ConfigMismatch { expected, found } => {
+                write!(f, "image config {found} does not match restore target {expected}")
+            }
+            ImageError::Shape { field, expected, found } => {
+                write!(f, "image field `{field}` has {found} entries, geometry demands {expected}")
+            }
+            ImageError::Kind { expected, found } => {
+                write!(f, "image of kind {found} cannot restore into {expected}")
+            }
+            ImageError::Invalid(msg) => write!(f, "invalid image: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+/// Snapshot of one [`Cache`]'s complete mutable state.
+///
+/// The parallel vectors mirror the cache's struct-of-arrays tag array
+/// (one entry per `set * ways + way` slot); the private replacement
+/// stamps are split into `fill`/`touch` halves so the image stays a
+/// plain named-field struct.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheImage {
+    /// Geometry the donor was built with (restore targets must match).
+    pub config: CacheConfig,
+    /// Per-slot tags.
+    pub tags: Vec<u64>,
+    /// Per-slot state bytes (valid/dirty/pending bits).
+    pub state: Vec<u8>,
+    /// Per-slot fill stamps.
+    pub fill: Vec<u32>,
+    /// Per-slot last-touch stamps.
+    pub touch: Vec<u32>,
+    /// Access sequence counter at capture time.
+    pub seq: u64,
+    /// Counters accumulated up to capture time.
+    pub stats: CacheStats,
+}
+
+impl CacheImage {
+    /// Bytes of simulated state the image carries: 17 bytes per slot
+    /// (8 tag + 1 state + 4 + 4 stamps) plus the fixed header (config,
+    /// sequence counter and the eight `u64` counters).
+    pub fn image_bytes(&self) -> u64 {
+        self.tags.len() as u64 * 17 + 96
+    }
+}
+
+/// Snapshot of a two-level [`Hierarchy`]: one [`CacheImage`] per level.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyImage {
+    /// L1 data cache snapshot.
+    pub l1: CacheImage,
+    /// Unified L2 snapshot.
+    pub l2: CacheImage,
+}
+
+impl HierarchyImage {
+    /// The hierarchy configuration the image was captured under.
+    pub fn config(&self) -> HierarchyConfig {
+        HierarchyConfig { l1: self.l1.config, l2: self.l2.config }
+    }
+
+    /// Total simulated-state bytes across both levels.
+    pub fn image_bytes(&self) -> u64 {
+        self.l1.image_bytes() + self.l2.image_bytes()
+    }
+}
+
+impl Cache {
+    /// Snapshots the cache's complete mutable state.
+    pub fn to_image(&self) -> CacheImage {
+        self.image()
+    }
+
+    /// Rebuilds a cache from `image`, validating geometry, vector shapes
+    /// and the sequence counter.
+    ///
+    /// # Errors
+    ///
+    /// [`ImageError::Geometry`] when the embedded config cannot build;
+    /// [`ImageError::Shape`] when a state vector's length disagrees with
+    /// the slot count; [`ImageError::Invalid`] when the sequence counter
+    /// is outside the stamp range.
+    pub fn from_image(image: &CacheImage) -> Result<Cache, ImageError> {
+        Cache::restore_image(image)
+    }
+}
+
+impl Hierarchy {
+    /// Snapshots both levels.
+    pub fn to_image(&self) -> HierarchyImage {
+        HierarchyImage { l1: self.l1().to_image(), l2: self.l2().to_image() }
+    }
+
+    /// Rebuilds a hierarchy from `image`, refusing images captured under
+    /// a different configuration than `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// [`ImageError::ConfigMismatch`] when `cfg` differs from the image's
+    /// embedded configs, plus every per-level error of
+    /// [`Cache::from_image`].
+    pub fn from_image(cfg: HierarchyConfig, image: &HierarchyImage) -> Result<Self, ImageError> {
+        if image.config() != cfg {
+            return Err(ImageError::ConfigMismatch {
+                expected: format!("{cfg:?}"),
+                found: format!("{:?}", image.config()),
+            });
+        }
+        Ok(Hierarchy::from_levels(Cache::from_image(&image.l1)?, Cache::from_image(&image.l2)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ReplacementPolicy;
+    use ltc_trace::{AccessKind, Addr};
+
+    fn warmed(cfg: HierarchyConfig, accesses: u64) -> Hierarchy {
+        let mut h = Hierarchy::new(cfg);
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for _ in 0..accesses {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let kind = if x & 7 == 0 { AccessKind::Store } else { AccessKind::Load };
+            h.access(Addr(x % (1 << 22)), kind);
+        }
+        h
+    }
+
+    #[test]
+    fn restored_hierarchy_continues_byte_identically() {
+        for cfg in [HierarchyConfig::paper(), HierarchyConfig::paper_4mb_l2()] {
+            let mut original = warmed(cfg, 20_000);
+            let image = original.to_image();
+            let mut restored = Hierarchy::from_image(cfg, &image).unwrap();
+            for i in 0..5_000u64 {
+                let a = Addr((i * 2891) % (1 << 22));
+                assert_eq!(
+                    original.access(a, AccessKind::Load),
+                    restored.access(a, AccessKind::Load),
+                    "divergence at access {i}"
+                );
+            }
+            assert_eq!(original.l1().stats(), restored.l1().stats());
+            assert_eq!(original.l2().stats(), restored.l2().stats());
+            assert_eq!(original.l1().seq(), restored.l1().seq());
+        }
+    }
+
+    #[test]
+    fn image_round_trips_through_json() {
+        let h = warmed(HierarchyConfig::paper(), 5_000);
+        let image = h.to_image();
+        let text = serde_json::to_string(&image);
+        let back = HierarchyImage::from_value(&serde_json::parse(&text).unwrap()).unwrap();
+        assert_eq!(image, back);
+    }
+
+    #[test]
+    fn config_mismatch_is_a_typed_error() {
+        let image = warmed(HierarchyConfig::paper(), 100).to_image();
+        let err = Hierarchy::from_image(HierarchyConfig::paper_4mb_l2(), &image).unwrap_err();
+        assert!(matches!(err, ImageError::ConfigMismatch { .. }));
+        assert!(err.to_string().contains("does not match"), "{err}");
+    }
+
+    #[test]
+    fn truncated_vectors_are_a_typed_error() {
+        let mut image = warmed(HierarchyConfig::paper(), 100).to_image();
+        image.l1.tags.pop();
+        let err = Hierarchy::from_image(HierarchyConfig::paper(), &image).unwrap_err();
+        assert!(matches!(err, ImageError::Shape { field: "tags", .. }), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_seq_is_rejected() {
+        let mut image = warmed(HierarchyConfig::paper(), 100).to_image();
+        image.l2.seq = u64::from(u32::MAX) + 1;
+        let err = Hierarchy::from_image(HierarchyConfig::paper(), &image).unwrap_err();
+        assert!(matches!(err, ImageError::Invalid(_)), "{err}");
+    }
+
+    #[test]
+    fn invalid_embedded_geometry_is_rejected() {
+        let mut image = warmed(HierarchyConfig::paper(), 0).to_image();
+        image.l1.config.line_bytes = 48;
+        let err = Cache::from_image(&image.l1).unwrap_err();
+        assert!(matches!(err, ImageError::Geometry(_)), "{err}");
+    }
+
+    #[test]
+    fn image_bytes_tracks_geometry() {
+        // Paper hierarchy: 64 KB 2-way L1 (1024 slots) + 1 MB 8-way L2
+        // (16384 slots) = 17408 slots -> ~296 KB of simulated state.
+        let paper = Hierarchy::new(HierarchyConfig::paper()).to_image();
+        assert_eq!(paper.image_bytes(), 17_408 * 17 + 2 * 96);
+        // The largest standard config (4 MB L2) stays under 1.25 MB.
+        let big = Hierarchy::new(HierarchyConfig::paper_4mb_l2()).to_image();
+        assert!(big.image_bytes() > paper.image_bytes());
+        assert!(big.image_bytes() < 1_250_000, "largest standard image ceiling");
+    }
+
+    #[test]
+    fn fifo_policy_survives_the_round_trip() {
+        let cfg = CacheConfig {
+            total_bytes: 4096,
+            ways: 4,
+            line_bytes: 64,
+            policy: ReplacementPolicy::Fifo,
+        };
+        let mut c = Cache::new(cfg);
+        for i in 0..200u64 {
+            c.access(Addr(i * 64 * 3), AccessKind::Load);
+        }
+        let mut restored = Cache::from_image(&c.to_image()).unwrap();
+        for i in 0..200u64 {
+            assert_eq!(
+                c.access(Addr(i * 64 * 5), AccessKind::Load),
+                restored.access(Addr(i * 64 * 5), AccessKind::Load)
+            );
+        }
+    }
+}

@@ -27,9 +27,11 @@
 pub mod cache;
 pub mod config;
 pub mod hierarchy;
+pub mod image;
 pub mod stats;
 
 pub use cache::{AccessOutcome, Cache, EvictedBlock, PrefetchOutcome};
 pub use config::{CacheConfig, Geometry, GeometryError, ReplacementPolicy};
 pub use hierarchy::{Hierarchy, HierarchyConfig, HierarchyOutcome, MemLevel};
+pub use image::{CacheImage, HierarchyImage, ImageError};
 pub use stats::CacheStats;

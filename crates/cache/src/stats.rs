@@ -1,7 +1,9 @@
 //! Per-cache counters.
 
+use serde::{Deserialize, Serialize};
+
 /// Counters accumulated by a [`crate::Cache`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Demand accesses (loads + stores).
     pub accesses: u64,

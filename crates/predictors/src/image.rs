@@ -1,0 +1,209 @@
+//! Serializable warm-state images for predictors.
+//!
+//! [`PredictorImage`] extends the cache-side imaging protocol
+//! ([`ltc_cache::HierarchyImage`]) to the prefetchers: each supported
+//! predictor snapshots its complete mutable state — history table,
+//! correlation storage, queues and counters — into a tagged variant, and
+//! restores it only into a predictor of the *same kind and
+//! configuration*. A kind or configuration mismatch is a typed
+//! [`ImageError`], never silent drift; predictors whose state is too
+//! entangled to snapshot (LT-cords) simply report no image and fall back
+//! to warm-up replay.
+//!
+//! The enum serializes as a single-entry tagged map (`{"dbcp": {...}}`),
+//! the same wire shape as [`ltc_trace::SourceState`], so checkpoint
+//! files stay self-describing.
+
+use ltc_cache::ImageError;
+use ltc_lasttouch::HistoryTableImage;
+use ltc_stream::ChhState;
+use serde::{DeError, Deserialize, Serialize, Value};
+
+use crate::table::CorrelationTableState;
+
+/// Snapshot of a [`crate::DbcpPrefetcher`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DbcpImage {
+    /// History-table frames.
+    pub history: HistoryTableImage,
+    /// Correlation-table entries.
+    pub table: CorrelationTableState,
+    /// In-flight prefetches as sorted `(target line, signature)` pairs.
+    pub inflight: Vec<(u64, u32)>,
+    /// Predictions made so far.
+    pub predictions: u64,
+}
+
+/// Snapshot of a [`crate::GhbPrefetcher`]: the index table and history
+/// ring as parallel vectors (one entry per slot).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GhbImage {
+    /// Index-table PC tags.
+    pub index_pc_tag: Vec<u64>,
+    /// Index-table head pointers (absolute GHB entry ids).
+    pub index_last_id: Vec<u64>,
+    /// Index-table valid bits.
+    pub index_valid: Vec<bool>,
+    /// History-ring miss addresses.
+    pub ring_addr: Vec<u64>,
+    /// History-ring per-PC chain pointers.
+    pub ring_prev_id: Vec<u64>,
+    /// Next absolute entry id.
+    pub next_id: u64,
+}
+
+/// Snapshot of a [`crate::StridePrefetcher`]'s per-PC table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StrideImage {
+    /// Per-entry PC tags.
+    pub pc_tag: Vec<u64>,
+    /// Per-entry last addresses.
+    pub last_addr: Vec<u64>,
+    /// Per-entry detected strides.
+    pub stride: Vec<i64>,
+    /// Per-entry confirmation counters.
+    pub count: Vec<u8>,
+    /// Per-entry valid bits.
+    pub valid: Vec<bool>,
+}
+
+/// Snapshot of a [`crate::SketchDbcp`]: the history table plus the
+/// existing mergeable summary snapshot from `ltc_stream`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SketchImage {
+    /// History-table frames.
+    pub history: HistoryTableImage,
+    /// Correlated-heavy-hitter summary snapshot.
+    pub summary: ChhState,
+    /// Predictions made so far.
+    pub predictions: u64,
+}
+
+/// A predictor's complete warm state, tagged by kind.
+///
+/// Produced by [`crate::Prefetcher::image`] and consumed by
+/// [`crate::Prefetcher::restore_image`]; restoring a variant into a
+/// predictor of a different kind is an [`ImageError::Kind`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredictorImage {
+    /// The stateless baseline (nothing to restore).
+    Null,
+    /// Dead-block correlating prefetcher.
+    Dbcp(DbcpImage),
+    /// Global history buffer (PC/DC).
+    Ghb(GhbImage),
+    /// Per-PC stride table.
+    Stride(StrideImage),
+    /// Sketch-backed DBCP.
+    Sketch(SketchImage),
+}
+
+impl PredictorImage {
+    /// The wire tag of this image's kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PredictorImage::Null => "null",
+            PredictorImage::Dbcp(_) => "dbcp",
+            PredictorImage::Ghb(_) => "ghb",
+            PredictorImage::Stride(_) => "stride",
+            PredictorImage::Sketch(_) => "sketch",
+        }
+    }
+
+    /// Bytes of simulated state the image carries (the imaging analogue
+    /// of [`crate::Prefetcher::memory_bytes`]).
+    pub fn image_bytes(&self) -> u64 {
+        match self {
+            PredictorImage::Null => 0,
+            PredictorImage::Dbcp(i) => {
+                i.history.image_bytes() + i.table.image_bytes() + i.inflight.len() as u64 * 12 + 8
+            }
+            PredictorImage::Ghb(i) => {
+                i.index_pc_tag.len() as u64 * 17 + i.ring_addr.len() as u64 * 16 + 8
+            }
+            PredictorImage::Stride(i) => i.pc_tag.len() as u64 * 26,
+            PredictorImage::Sketch(i) => i.history.image_bytes() + i.summary.budget_bytes + 8,
+        }
+    }
+
+    /// The [`ImageError::Kind`] for restoring this image into a
+    /// predictor expecting `expected`.
+    pub fn kind_mismatch(&self, expected: &str) -> ImageError {
+        ImageError::Kind { expected: expected.to_string(), found: self.kind().to_string() }
+    }
+}
+
+impl Serialize for PredictorImage {
+    fn to_value(&self) -> Value {
+        let (tag, body) = match self {
+            PredictorImage::Null => ("null", Value::Null),
+            PredictorImage::Dbcp(i) => ("dbcp", i.to_value()),
+            PredictorImage::Ghb(i) => ("ghb", i.to_value()),
+            PredictorImage::Stride(i) => ("stride", i.to_value()),
+            PredictorImage::Sketch(i) => ("sketch", i.to_value()),
+        };
+        Value::Map(vec![(tag.to_string(), body)])
+    }
+}
+
+impl<'de> Deserialize<'de> for PredictorImage {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let entries =
+            value.as_map().ok_or_else(|| DeError::expected("tagged map", "PredictorImage"))?;
+        let [(tag, body)] = entries else {
+            return Err(DeError::expected("single-variant map", "PredictorImage"));
+        };
+        match tag.as_str() {
+            "null" => Ok(PredictorImage::Null),
+            "dbcp" => Ok(PredictorImage::Dbcp(DbcpImage::from_value(body)?)),
+            "ghb" => Ok(PredictorImage::Ghb(GhbImage::from_value(body)?)),
+            "stride" => Ok(PredictorImage::Stride(StrideImage::from_value(body)?)),
+            "sketch" => Ok(PredictorImage::Sketch(SketchImage::from_value(body)?)),
+            other => Err(DeError::expected("known predictor image tag", other)),
+        }
+    }
+}
+
+/// Checks that every `(field, found)` length equals `expected`.
+pub(crate) fn check_shapes(
+    expected: usize,
+    shapes: &[(&'static str, usize)],
+) -> Result<(), ImageError> {
+    for &(field, found) in shapes {
+        if found != expected {
+            return Err(ImageError::Shape { field, expected, found });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_image_round_trips() {
+        let v = PredictorImage::Null.to_value();
+        assert_eq!(PredictorImage::from_value(&v), Ok(PredictorImage::Null));
+    }
+
+    #[test]
+    fn unknown_tag_is_a_typed_error() {
+        let v = Value::Map(vec![("martian".to_string(), Value::Null)]);
+        assert!(PredictorImage::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn kind_mismatch_names_both_sides() {
+        let err = PredictorImage::Null.kind_mismatch("dbcp");
+        assert!(err.to_string().contains("null"), "{err}");
+        assert!(err.to_string().contains("dbcp"), "{err}");
+    }
+
+    #[test]
+    fn check_shapes_flags_the_offending_field() {
+        assert!(check_shapes(3, &[("a", 3), ("b", 3)]).is_ok());
+        let err = check_shapes(3, &[("a", 3), ("b", 2)]).unwrap_err();
+        assert!(matches!(err, ImageError::Shape { field: "b", expected: 3, found: 2 }));
+    }
+}

@@ -18,6 +18,7 @@
 
 pub mod dbcp;
 pub mod ghb;
+pub mod image;
 pub mod null;
 pub mod prefetcher;
 pub mod queue;
@@ -27,9 +28,10 @@ pub mod table;
 
 pub use dbcp::{DbcpConfig, DbcpPrefetcher};
 pub use ghb::{GhbConfig, GhbPrefetcher};
+pub use image::{DbcpImage, GhbImage, PredictorImage, SketchImage, StrideImage};
 pub use null::NullPrefetcher;
 pub use prefetcher::{PredictorTraffic, PrefetchLevel, PrefetchRequest, Prefetcher};
 pub use queue::RequestQueue;
 pub use sketch::{SketchDbcp, SketchDbcpConfig};
 pub use stride::{StrideConfig, StridePrefetcher};
-pub use table::{CorrelationTable, TableConfig};
+pub use table::{CorrelationTable, CorrelationTableState, TableConfig};

@@ -1,4 +1,5 @@
-//! Shared generator checkpoints for segmented streaming runs.
+//! Shared generator checkpoints and warm hierarchy images for segmented
+//! streaming runs.
 //!
 //! A segmented worker used to pay O(start) generator work just to reach
 //! its slice: segment `i` of `N` skips `i·S/N` accesses before the
@@ -10,9 +11,23 @@
 //! worker restore its snapshot instead of regenerating the prefix —
 //! O(S) total recording plus O(warm-up) per worker.
 //!
+//! The remaining per-worker cost — replaying the warm-up window through
+//! a cold hierarchy — is removed the same way: the recording pass also
+//! replays each window once and snapshots the *simulated hierarchy* at
+//! the slice start (a [`WarmImage`]). A worker that finds an image for
+//! its exact start restores the cache state directly and skips the
+//! replay entirely; paired with a checkpoint at the start itself, its
+//! setup collapses to O(1). The image holds the state the replay would
+//! have produced, so results stay byte-identical either way (asserted
+//! by the cross-backend equality tests and the nightly A/B diff).
+//! Setting the `LTC_NO_WARM_IMAGES` environment variable (non-empty)
+//! disables recording and lookup, forcing the replay path.
+//!
 //! Checkpoints are keyed by `(benchmark, seed)` — together with the
-//! model version these fully determine the access stream — and live in
-//! two tiers:
+//! model version these fully determine the access stream — and warm
+//! images additionally by the configured warm-up length
+//! ([`ltc_analysis::StreamConfig::warmup`], which changes the window and
+//! therefore the state). Both live in two tiers:
 //!
 //! 1. a process-global registry, which in-process backends (`threads`,
 //!    `sharded`) hit directly, and
@@ -24,15 +39,19 @@
 //! the access stream a worker sees — and every report built from it —
 //! is byte-identical to the skip-loop path ([`ltc_analysis::StreamAnalysis::
 //! run_segment_with`] falls back to plain skipping whenever no usable
-//! checkpoint exists, e.g. for non-checkpointable external sources).
+//! checkpoint exists, e.g. for non-checkpointable external sources). A
+//! corrupt or truncated on-disk store is ignored with a warning — the
+//! worker falls back rather than failing the run.
 
 use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use ltc_analysis::WarmImage;
+use ltc_cache::{Hierarchy, HierarchyConfig};
 use ltc_trace::{suite, Checkpoint, CheckpointStore, TraceSource};
-use serde::Deserialize;
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::engine::spec::{fnv1a64, MODEL_VERSION};
 
@@ -42,6 +61,17 @@ use crate::engine::spec::{fnv1a64, MODEL_VERSION};
 /// falls back to it, so `ltsim worker` subprocesses (which inherit the
 /// variable) reuse the parent's recording pass.
 pub const CHECKPOINT_DIR_ENV: &str = "LTC_CHECKPOINT_DIR";
+
+/// Environment variable disabling warm hierarchy images (any non-empty
+/// value). Workers then warm up by replay, the behaviour the images
+/// must reproduce byte-identically — the nightly CI job runs every
+/// backend both ways and diffs the reports.
+pub const NO_WARM_IMAGES_ENV: &str = "LTC_NO_WARM_IMAGES";
+
+/// Whether warm hierarchy images are disabled via [`NO_WARM_IMAGES_ENV`].
+pub fn warm_images_disabled() -> bool {
+    std::env::var_os(NO_WARM_IMAGES_ENV).is_some_and(|v| !v.is_empty())
+}
 
 /// Walks `source` from the beginning and snapshots it at each of
 /// `targets` (positions in accesses produced), returning the recorded
@@ -67,6 +97,91 @@ pub fn record_targets<S: TraceSource + ?Sized>(source: &mut S, targets: &[u64]) 
         }
         let Some(state) = source.checkpoint() else { break };
         store.insert(Checkpoint { pos, state });
+    }
+    store
+}
+
+/// Warm hierarchy images for one `(benchmark, seed, warm-up)`, indexed
+/// by slice-start position.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WarmStore {
+    images: Vec<WarmImage>,
+}
+
+impl WarmStore {
+    /// Adds an image, keeping positions sorted (last insert wins on a
+    /// duplicate position).
+    pub fn insert(&mut self, image: WarmImage) {
+        match self.images.binary_search_by_key(&image.pos, |w| w.pos) {
+            Ok(i) => self.images[i] = image,
+            Err(i) => self.images.insert(i, image),
+        }
+    }
+
+    /// The image recorded at exactly `pos`, if any.
+    pub fn at(&self, pos: u64) -> Option<&WarmImage> {
+        self.images.binary_search_by_key(&pos, |w| w.pos).ok().map(|i| &self.images[i])
+    }
+
+    /// Recorded images in position order.
+    pub fn iter(&self) -> impl Iterator<Item = &WarmImage> {
+        self.images.iter()
+    }
+
+    /// Number of recorded images.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Whether the store holds no images.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+}
+
+/// Replays `source` once from the beginning and snapshots the simulated
+/// hierarchy at each of `starts`, warming each snapshot on the
+/// `warmup`-access window that precedes its position — exactly the
+/// window a segment worker would replay. This is the pure core of warm
+/// imaging: no registry, no filesystem, no environment.
+///
+/// Windows of nearby starts may overlap; each start gets its own
+/// hierarchy fed only its own window, all from a single source walk.
+/// Position zero is skipped (a slice starting at zero has no warm-up —
+/// its cold hierarchy is already exact). If the source ends before a
+/// start is reached, that image is simply not recorded and its worker
+/// falls back to the replay path.
+pub fn record_warm_images<S: TraceSource + ?Sized>(
+    source: &mut S,
+    warmup: u64,
+    starts: &[u64],
+) -> WarmStore {
+    let mut sorted: Vec<u64> = starts.iter().copied().filter(|&s| s > 0).collect();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut store = WarmStore::default();
+    let mut active: Vec<(u64, Hierarchy)> = Vec::new();
+    let mut next = 0usize;
+    let mut pos = 0u64;
+    loop {
+        // Window starts are non-decreasing along `sorted`, so each opens
+        // exactly when the walk reaches it.
+        while next < sorted.len() && sorted[next] - sorted[next].min(warmup) <= pos {
+            active.push((sorted[next], Hierarchy::new(HierarchyConfig::paper())));
+            next += 1;
+        }
+        while let Some(i) = active.iter().position(|(start, _)| *start == pos) {
+            let (start, hierarchy) = active.swap_remove(i);
+            store.insert(WarmImage { pos: start, image: hierarchy.to_image() });
+        }
+        if next >= sorted.len() && active.is_empty() {
+            break;
+        }
+        let Some(a) = source.next_access() else { break };
+        for (_, hierarchy) in &mut active {
+            hierarchy.access(a.addr, a.kind);
+        }
+        pos += 1;
     }
     store
 }
@@ -112,19 +227,90 @@ pub fn ensure(benchmark: &str, seed: u64, targets: &[u64]) -> Option<Arc<Checkpo
     Some(store)
 }
 
+/// Makes warm images for `(benchmark, seed, warmup)` at every slice
+/// start in `starts` available to [`lookup_warm`], recording them if
+/// needed — the warm-image counterpart of [`ensure`].
+///
+/// Returns `None` for an unknown benchmark or when warm images are
+/// disabled ([`NO_WARM_IMAGES_ENV`]). Start zero is skipped (no warm-up
+/// window to capture).
+pub fn ensure_warm(
+    benchmark: &str,
+    seed: u64,
+    warmup: u64,
+    starts: &[u64],
+) -> Option<Arc<WarmStore>> {
+    if warm_images_disabled() {
+        return None;
+    }
+    let wanted: Vec<u64> = {
+        let mut s: Vec<u64> = starts.iter().copied().filter(|&s| s > 0).collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    };
+    let existing = lookup_warm(benchmark, seed, warmup);
+    if let Some(store) = &existing {
+        if wanted.iter().all(|&s| store.at(s).is_some()) {
+            return existing;
+        }
+    }
+    let entry = suite::by_name(benchmark)?;
+    let mut union = wanted;
+    if let Some(store) = &existing {
+        union.extend(store.iter().map(|w| w.pos));
+    }
+    let store = Arc::new(record_warm_images(&mut entry.build(seed), warmup, &union));
+    warm_registry()
+        .lock()
+        .expect("warm-image registry lock")
+        .insert(warm_key(benchmark, seed, warmup), store.clone());
+    if let Some(dir) = dir_from_env() {
+        let _ = persist_warm(&dir, benchmark, seed, warmup, &store);
+    }
+    Some(store)
+}
+
 /// The pre-warm-up checkpoint positions of a segmented streaming run:
 /// for each of `segments` even slices of `accesses`, the point a worker
-/// must reach before its [`ltc_analysis::SEGMENT_WARMUP`] warm replay
-/// begins. Zero positions (segments whose whole prefix is warm-up) are
-/// omitted — those workers generate everything anyway.
-pub fn segment_targets(accesses: u64, segments: u32) -> Vec<u64> {
+/// must reach before its `warmup`-access warm replay begins. Zero
+/// positions (segments whose whole prefix is warm-up) are omitted —
+/// those workers generate everything anyway.
+pub fn segment_targets(accesses: u64, segments: u32, warmup: u64) -> Vec<u64> {
     (0..segments)
         .map(|segment| {
             let start = ltc_trace::TraceSegment::nth(accesses, segments, segment).start;
-            start - start.min(ltc_analysis::SEGMENT_WARMUP)
+            start - start.min(warmup)
         })
         .filter(|&t| t > 0)
         .collect()
+}
+
+/// The slice-start positions of a segmented streaming run (zero
+/// omitted): where warm images are snapshotted, and where the fast-path
+/// generator checkpoints land when images are enabled.
+pub fn segment_starts(accesses: u64, segments: u32) -> Vec<u64> {
+    (0..segments)
+        .map(|segment| ltc_trace::TraceSegment::nth(accesses, segments, segment).start)
+        .filter(|&s| s > 0)
+        .collect()
+}
+
+/// One-stop preparation for a segmented run over `(benchmark, seed)`:
+/// records the pre-warm-up generator checkpoints, and — unless disabled
+/// — the warm images at each slice start plus the slice-start
+/// checkpoints that let an image-restoring worker seek straight to its
+/// slice. Used by the sequential [`crate::engine::Mode::StreamSegmented`]
+/// execution path; the scheduler performs the same preparation batched
+/// across specs.
+pub fn prepare_segments(benchmark: &str, seed: u64, accesses: u64, segments: u32, warmup: u64) {
+    let mut targets = segment_targets(accesses, segments, warmup);
+    if !warm_images_disabled() {
+        let starts = segment_starts(accesses, segments);
+        ensure_warm(benchmark, seed, warmup, &starts);
+        targets.extend(starts);
+    }
+    ensure(benchmark, seed, &targets);
 }
 
 /// The checkpoint store for `(benchmark, seed)`, if one has been
@@ -137,13 +323,38 @@ pub fn lookup(benchmark: &str, seed: u64) -> Option<Arc<CheckpointStore>> {
         return Some(store.clone());
     }
     let dir = dir_from_env()?;
-    let text = fs::read_to_string(store_path(&dir, benchmark, seed)).ok()?;
-    let value = serde_json::parse(text.trim()).ok()?;
-    let store = Arc::new(CheckpointStore::from_value(&value).ok()?);
+    let store: CheckpointStore = load_disk_store(&store_path(&dir, benchmark, seed), "checkpoint")?;
+    let store = Arc::new(store);
     registry()
         .lock()
         .expect("checkpoint registry lock")
         .insert(key(benchmark, seed), store.clone());
+    Some(store)
+}
+
+/// The warm-image store for `(benchmark, seed, warmup)`, if one has
+/// been recorded: process registry first, then the on-disk store under
+/// [`CHECKPOINT_DIR_ENV`]. Always `None` when images are disabled via
+/// [`NO_WARM_IMAGES_ENV`].
+pub fn lookup_warm(benchmark: &str, seed: u64, warmup: u64) -> Option<Arc<WarmStore>> {
+    if warm_images_disabled() {
+        return None;
+    }
+    if let Some(store) = warm_registry()
+        .lock()
+        .expect("warm-image registry lock")
+        .get(&warm_key(benchmark, seed, warmup))
+    {
+        return Some(store.clone());
+    }
+    let dir = dir_from_env()?;
+    let store: WarmStore =
+        load_disk_store(&warm_store_path(&dir, benchmark, seed, warmup), "warm-image")?;
+    let store = Arc::new(store);
+    warm_registry()
+        .lock()
+        .expect("warm-image registry lock")
+        .insert(warm_key(benchmark, seed, warmup), store.clone());
     Some(store)
 }
 
@@ -157,19 +368,66 @@ pub fn store_path(dir: &Path, benchmark: &str, seed: u64) -> PathBuf {
     dir.join(format!("ckpt_{:016x}.json", fnv1a64(id.as_bytes())))
 }
 
+/// The on-disk path of the warm-image store for `(benchmark, seed,
+/// warmup)` under `dir`. The warm-up length is part of the identity: it
+/// changes the captured window, so differently-configured runs must
+/// never share images.
+pub fn warm_store_path(dir: &Path, benchmark: &str, seed: u64, warmup: u64) -> PathBuf {
+    let id = format!("{benchmark}|{seed}|w{warmup}|v{MODEL_VERSION}");
+    dir.join(format!("warm_{:016x}.json", fnv1a64(id.as_bytes())))
+}
+
+/// Reads and parses a JSON store file, tolerating damage: a missing
+/// file is a silent miss (the normal cold-cache case), while unparsable
+/// or shape-mismatched content — a torn write from a crashed recorder,
+/// manual truncation — warns on stderr and degrades to a miss so the
+/// worker falls back to the replay path instead of failing the run.
+fn load_disk_store<T: for<'de> Deserialize<'de>>(path: &Path, what: &str) -> Option<T> {
+    let text = fs::read_to_string(path).ok()?;
+    let parsed = serde_json::parse(text.trim())
+        .ok()
+        .and_then(|value: Value| T::from_value(&value).map_err(|_: DeError| ()).ok());
+    if parsed.is_none() {
+        eprintln!(
+            "warning: ignoring corrupt {what} store at {}; workers fall back to replay",
+            path.display()
+        );
+    }
+    parsed
+}
+
 fn persist(dir: &Path, benchmark: &str, seed: u64, store: &CheckpointStore) -> std::io::Result<()> {
-    fs::create_dir_all(dir)?;
     let path = store_path(dir, benchmark, seed);
+    persist_at(dir, &path, serde_json::to_string(store))
+}
+
+fn persist_warm(
+    dir: &Path,
+    benchmark: &str,
+    seed: u64,
+    warmup: u64,
+    store: &WarmStore,
+) -> std::io::Result<()> {
+    let path = warm_store_path(dir, benchmark, seed, warmup);
+    persist_at(dir, &path, serde_json::to_string(store))
+}
+
+fn persist_at(dir: &Path, path: &Path, json: String) -> std::io::Result<()> {
+    fs::create_dir_all(dir)?;
     // Atomic replace: concurrent ensure passes (several schedulers, or a
     // scheduler racing its own workers) must never expose a half-written
     // file to a reader.
     let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-    fs::write(&tmp, serde_json::to_string(store))?;
-    fs::rename(&tmp, &path)
+    fs::write(&tmp, json)?;
+    fs::rename(&tmp, path)
 }
 
 fn key(benchmark: &str, seed: u64) -> (String, u64) {
     (benchmark.to_string(), seed)
+}
+
+fn warm_key(benchmark: &str, seed: u64, warmup: u64) -> (String, u64, u64) {
+    (benchmark.to_string(), seed, warmup)
 }
 
 fn dir_from_env() -> Option<PathBuf> {
@@ -187,9 +445,17 @@ fn registry() -> &'static Registry {
     REGISTRY.get_or_init(Mutex::default)
 }
 
+type WarmRegistry = Mutex<HashMap<(String, u64, u64), Arc<WarmStore>>>;
+
+fn warm_registry() -> &'static WarmRegistry {
+    static REGISTRY: OnceLock<WarmRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(Mutex::default)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ltc_analysis::SEGMENT_WARMUP;
 
     #[test]
     fn record_targets_resumes_streams_exactly() {
@@ -239,5 +505,101 @@ mod tests {
         assert!(extended.at(2_000).is_some());
         assert!(extended.at(4_000).is_some());
         assert!(ensure("no-such-benchmark", seed, &[1]).is_none());
+    }
+
+    #[test]
+    fn warm_images_match_the_replay_path_exactly() {
+        // The recorded image must equal the hierarchy a worker builds by
+        // the replay path: skip to start − warm, then replay the window.
+        let entry = suite::by_name("gcc").unwrap();
+        let warmup = 1_500u64;
+        let starts = [800u64, 2_000, 2_600]; // overlapping + short-prefix windows
+        let store = record_warm_images(&mut entry.build(7), warmup, &starts);
+        assert_eq!(store.len(), starts.len());
+        for &start in &starts {
+            let image = store.at(start).expect("image recorded");
+            let warm = start.min(warmup);
+            let mut src = entry.build(7);
+            for _ in 0..start - warm {
+                src.next_access();
+            }
+            let mut h = Hierarchy::new(HierarchyConfig::paper());
+            for _ in 0..warm {
+                let a = src.next_access().expect("trace long enough");
+                h.access(a.addr, a.kind);
+            }
+            assert_eq!(image.image, h.to_image(), "image diverges from replay at {start}");
+        }
+    }
+
+    #[test]
+    fn warm_store_round_trips_and_indexes_by_position() {
+        let entry = suite::by_name("gzip").unwrap();
+        let store = record_warm_images(&mut entry.build(3), 400, &[900, 300, 900, 0]);
+        assert_eq!(store.len(), 2, "duplicates and zero collapse");
+        assert!(store.at(300).is_some());
+        assert!(store.at(900).is_some());
+        assert!(store.at(600).is_none());
+        let parsed: WarmStore =
+            serde_json::from_str(&serde_json::to_string(&store)).expect("parses");
+        assert_eq!(parsed, store);
+    }
+
+    #[test]
+    fn ensure_warm_registers_and_extends() {
+        let seed = 0xbeef;
+        let warmup = SEGMENT_WARMUP;
+        assert!(lookup_warm("swim", seed, warmup).is_none());
+        let store = ensure_warm("swim", seed, warmup, &[1_000]).expect("known benchmark");
+        assert!(store.at(1_000).is_some());
+        let served = ensure_warm("swim", seed, warmup, &[1_000]).unwrap();
+        assert!(Arc::ptr_eq(&store, &served), "covered starts are not re-recorded");
+        let extended = ensure_warm("swim", seed, warmup, &[2_500]).unwrap();
+        assert!(extended.at(1_000).is_some());
+        assert!(extended.at(2_500).is_some());
+        // A different warm-up length is a different store.
+        assert!(lookup_warm("swim", seed, warmup + 1).is_none());
+        assert!(ensure_warm("no-such-benchmark", seed, warmup, &[1]).is_none());
+    }
+
+    #[test]
+    fn corrupt_disk_store_degrades_to_a_miss() {
+        // Satellite regression: a half-written (torn) store file must be
+        // ignored with a fallback, never a panic or a parse abort.
+        let dir = std::env::temp_dir().join(format!("ltc-ckpt-corrupt-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let entry = suite::by_name("mcf").unwrap();
+        let store = record_warm_images(&mut entry.build(1), 500, &[1_200]);
+        let full = serde_json::to_string(&store);
+
+        // Truncate mid-document, as a crashed writer without the atomic
+        // rename would leave it.
+        let warm_path = warm_store_path(&dir, "mcf", 1, 500);
+        fs::write(&warm_path, &full[..full.len() / 2]).unwrap();
+        assert!(load_disk_store::<WarmStore>(&warm_path, "warm-image").is_none());
+
+        let ckpt_path = store_path(&dir, "mcf", 1);
+        fs::write(&ckpt_path, "{\"checkpoints\": [tr").unwrap();
+        assert!(load_disk_store::<CheckpointStore>(&ckpt_path, "checkpoint").is_none());
+
+        // Valid JSON of the wrong shape is also a miss, not a panic.
+        fs::write(&warm_path, "{\"images\": 7}").unwrap();
+        assert!(load_disk_store::<WarmStore>(&warm_path, "warm-image").is_none());
+
+        // An intact file still loads.
+        fs::write(&warm_path, &full).unwrap();
+        let loaded = load_disk_store::<WarmStore>(&warm_path, "warm-image").expect("intact loads");
+        assert_eq!(loaded, store);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segment_helpers_cover_starts_and_targets() {
+        let targets = segment_targets(40_000, 4, 5_000);
+        assert_eq!(targets, vec![5_000, 15_000, 25_000], "start − warm, zero omitted");
+        let starts = segment_starts(40_000, 4);
+        assert_eq!(starts, vec![10_000, 20_000, 30_000], "slice starts, zero omitted");
+        // A warm-up longer than any prefix leaves nothing to seek to.
+        assert!(segment_targets(40_000, 4, SEGMENT_WARMUP).is_empty());
     }
 }

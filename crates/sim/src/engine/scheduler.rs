@@ -198,29 +198,50 @@ impl Scheduler {
             }
         }
 
-        // Record generator checkpoints once per (benchmark, seed) before
-        // the backend fans segment workers out: one O(trace) recording
-        // pass replaces every worker's O(start) skip loop. In-process
-        // backends find the store in the process registry; subprocess
-        // workers read it from `LTC_CHECKPOINT_DIR` when set.
+        // Record generator checkpoints and warm hierarchy images once per
+        // trace before the backend fans segment workers out: one O(trace)
+        // recording pass replaces every worker's O(start) skip loop, and
+        // one warm-up replay per slice start replaces every worker's
+        // O(warm-up) cache rebuild. In-process backends find the stores
+        // in the process registry; subprocess workers read them from
+        // `LTC_CHECKPOINT_DIR` when set. With warm images enabled the
+        // generator checkpoints land at the slice starts themselves (the
+        // image covers the window before); with `LTC_NO_WARM_IMAGES` set
+        // they land at the pre-warm-up points and workers replay.
+        let warm_enabled = !checkpoints::warm_images_disabled();
         let mut seek_targets: HashMap<(&str, u64), Vec<u64>> = HashMap::new();
+        let mut warm_starts: HashMap<(&str, u64, u64), Vec<u64>> = HashMap::new();
         for spec in &to_run {
-            if let Mode::StreamSegment { segments, segment, .. } = spec.mode {
+            if let Mode::StreamSegment { segments, segment, warmup, .. } = spec.mode {
                 let start = ltc_trace::TraceSegment::nth(spec.accesses, segments, segment).start;
-                let target = start - start.min(ltc_analysis::SEGMENT_WARMUP);
+                if start == 0 {
+                    continue;
+                }
+                let group = seek_targets.entry((&spec.benchmark, spec.seed)).or_default();
+                let target = start - start.min(warmup);
                 if target > 0 {
-                    seek_targets.entry((&spec.benchmark, spec.seed)).or_default().push(target);
+                    group.push(target);
+                }
+                if warm_enabled {
+                    group.push(start);
+                    warm_starts
+                        .entry((&spec.benchmark, spec.seed, warmup))
+                        .or_default()
+                        .push(start);
                 }
             }
         }
         if !seek_targets.is_empty() {
             // Default the on-disk hand-off next to the artifact cache so
-            // subprocess workers inherit a populated store without the
+            // subprocess workers inherit populated stores without the
             // caller exporting LTC_CHECKPOINT_DIR themselves.
             if std::env::var_os(checkpoints::CHECKPOINT_DIR_ENV).is_none() {
                 if let Some(dir) = &opts.cache_dir {
                     std::env::set_var(checkpoints::CHECKPOINT_DIR_ENV, dir.join("checkpoints"));
                 }
+            }
+            for ((benchmark, seed, warmup), starts) in &warm_starts {
+                checkpoints::ensure_warm(benchmark, *seed, *warmup, starts);
             }
             for ((benchmark, seed), targets) in &seek_targets {
                 checkpoints::ensure(benchmark, *seed, targets);

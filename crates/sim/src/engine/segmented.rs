@@ -27,7 +27,7 @@ use crate::engine::spec::{Mode, RunSpec};
 /// or `None` if `spec` is not a [`Mode::StreamSegmented`] run.
 pub fn children(spec: &RunSpec) -> Option<Vec<RunSpec>> {
     match spec.mode {
-        Mode::StreamSegmented { budget_bytes, segments } => Some(
+        Mode::StreamSegmented { budget_bytes, segments, warmup } => Some(
             (0..segments)
                 .map(|segment| {
                     RunSpec::stream_segment(
@@ -38,6 +38,7 @@ pub fn children(spec: &RunSpec) -> Option<Vec<RunSpec>> {
                         spec.accesses,
                         spec.seed,
                     )
+                    .with_stream_warmup(warmup)
                 })
                 .collect(),
         ),
@@ -101,12 +102,21 @@ mod tests {
         for (i, kid) in kids.iter().enumerate() {
             assert_eq!(
                 kid.mode,
-                Mode::StreamSegment { budget_bytes: 64 << 10, segments: 3, segment: i as u32 }
+                Mode::StreamSegment {
+                    budget_bytes: 64 << 10,
+                    segments: 3,
+                    segment: i as u32,
+                    warmup: ltc_analysis::SEGMENT_WARMUP,
+                }
             );
             assert_eq!(kid.benchmark, "mcf");
             assert_eq!((kid.accesses, kid.seed), (6_000, 1));
         }
         assert!(children(&RunSpec::stream("mcf", 64 << 10, 6_000, 1)).is_none());
+        // A non-default warm-up is inherited by every child.
+        for kid in children(&parent().with_stream_warmup(7_000)).unwrap() {
+            assert!(matches!(kid.mode, Mode::StreamSegment { warmup: 7_000, .. }));
+        }
     }
 
     #[test]

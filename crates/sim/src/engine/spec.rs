@@ -53,6 +53,11 @@ pub enum Mode {
         segments: u32,
         /// This slice's 0-based index.
         segment: u32,
+        /// Warm-up accesses replayed (or image-restored) before the
+        /// slice ([`ltc_analysis::StreamConfig::warmup`]). Part of the
+        /// key: the warm-up length changes deep-segment results, so
+        /// differently-configured runs must never share artifacts.
+        warmup: u64,
     },
     /// A whole segmented streaming run: the merged report of `segments`
     /// [`Mode::StreamSegment`] children. The scheduler fans the children
@@ -64,6 +69,9 @@ pub enum Mode {
         budget_bytes: u64,
         /// Segments the trace splits into.
         segments: u32,
+        /// Per-segment warm-up accesses (inherited by every child
+        /// [`Mode::StreamSegment`]).
+        warmup: u64,
     },
 }
 
@@ -93,19 +101,21 @@ impl Serialize for Mode {
             Mode::Stream { budget_bytes } => {
                 Value::Map(vec![("stream".to_string(), Value::U64(*budget_bytes))])
             }
-            Mode::StreamSegment { budget_bytes, segments, segment } => Value::Map(vec![(
+            Mode::StreamSegment { budget_bytes, segments, segment, warmup } => Value::Map(vec![(
                 "stream-segment".to_string(),
                 Value::Map(vec![
                     ("budget_bytes".to_string(), Value::U64(*budget_bytes)),
                     ("segments".to_string(), Value::U64(u64::from(*segments))),
                     ("segment".to_string(), Value::U64(u64::from(*segment))),
+                    ("warmup".to_string(), Value::U64(*warmup)),
                 ]),
             )]),
-            Mode::StreamSegmented { budget_bytes, segments } => Value::Map(vec![(
+            Mode::StreamSegmented { budget_bytes, segments, warmup } => Value::Map(vec![(
                 "stream-segmented".to_string(),
                 Value::Map(vec![
                     ("budget_bytes".to_string(), Value::U64(*budget_bytes)),
                     ("segments".to_string(), Value::U64(u64::from(*segments))),
+                    ("warmup".to_string(), Value::U64(*warmup)),
                 ]),
             )]),
             simple => Value::Str(simple.name().to_string()),
@@ -126,12 +136,17 @@ impl<'de> Deserialize<'de> for Mode {
                 budget_bytes: serde::field(seg, "budget_bytes", "Mode::StreamSegment")?,
                 segments: serde::field(seg, "segments", "Mode::StreamSegment")?,
                 segment: serde::field(seg, "segment", "Mode::StreamSegment")?,
+                // A missing warm-up (pre-field artifacts) is an error, so
+                // those cache files degrade to misses instead of aliasing
+                // differently-warmed runs.
+                warmup: serde::field(seg, "warmup", "Mode::StreamSegment")?,
             });
         }
         if let Some(seg) = value.get("stream-segmented") {
             return Ok(Mode::StreamSegmented {
                 budget_bytes: serde::field(seg, "budget_bytes", "Mode::StreamSegmented")?,
                 segments: serde::field(seg, "segments", "Mode::StreamSegmented")?,
+                warmup: serde::field(seg, "warmup", "Mode::StreamSegmented")?,
             });
         }
         match value.as_str() {
@@ -333,7 +348,12 @@ impl RunSpec {
             model_version: MODEL_VERSION,
             benchmark: benchmark.to_string(),
             predictor: PredictorKind::Baseline,
-            mode: Mode::StreamSegment { budget_bytes, segments, segment },
+            mode: Mode::StreamSegment {
+                budget_bytes,
+                segments,
+                segment,
+                warmup: ltc_analysis::SEGMENT_WARMUP,
+            },
             accesses,
             seed,
         }
@@ -357,10 +377,27 @@ impl RunSpec {
             model_version: MODEL_VERSION,
             benchmark: benchmark.to_string(),
             predictor: PredictorKind::Baseline,
-            mode: Mode::StreamSegmented { budget_bytes, segments },
+            mode: Mode::StreamSegmented {
+                budget_bytes,
+                segments,
+                warmup: ltc_analysis::SEGMENT_WARMUP,
+            },
             accesses,
             seed,
         }
+    }
+
+    /// The same spec with an explicit per-segment warm-up length
+    /// (stream-segment modes only; other modes are returned unchanged).
+    /// Non-default warm-ups key separately in the artifact cache.
+    pub fn with_stream_warmup(mut self, warmup: u64) -> Self {
+        match &mut self.mode {
+            Mode::StreamSegment { warmup: w, .. } | Mode::StreamSegmented { warmup: w, .. } => {
+                *w = warmup;
+            }
+            _ => {}
+        }
+        self
     }
 
     /// A multi-programmed coverage run.
@@ -399,11 +436,13 @@ impl RunSpec {
         let mode = match &self.mode {
             Mode::MultiProg { partner: Some(p) } => format!("multiprog+{p}"),
             Mode::Stream { budget_bytes } => format!("stream[{budget_bytes}B]"),
-            Mode::StreamSegment { budget_bytes, segments, segment } => {
-                format!("stream[{budget_bytes}B,seg {}/{segments}]", segment + 1)
+            Mode::StreamSegment { budget_bytes, segments, segment, warmup } => {
+                let w = warm_suffix(*warmup);
+                format!("stream[{budget_bytes}B,seg {}/{segments}{w}]", segment + 1)
             }
-            Mode::StreamSegmented { budget_bytes, segments } => {
-                format!("stream[{budget_bytes}B,{segments}seg]")
+            Mode::StreamSegmented { budget_bytes, segments, warmup } => {
+                let w = warm_suffix(*warmup);
+                format!("stream[{budget_bytes}B,{segments}seg{w}]")
             }
             m => m.name().to_string(),
         };
@@ -472,14 +511,27 @@ impl RunSpec {
                     StreamConfig::with_budget(*budget_bytes).with_seed(self.seed),
                 ))
             }
-            Mode::StreamSegment { budget_bytes, segments, segment } => {
+            Mode::StreamSegment { budget_bytes, segments, segment, warmup } => {
                 let mut src = self.build_source();
                 let slice = ltc_trace::TraceSegment::nth(self.accesses, *segments, *segment);
-                // A recorded checkpoint covering the skipped prefix (the
-                // scheduler's ensure pass, or a previous worker in this
-                // process) turns the O(start) skip loop into a restore;
-                // without one the worker degrades to plain skipping.
-                let target = slice.start - slice.start.min(ltc_analysis::SEGMENT_WARMUP);
+                // A recorded warm image at the slice start (the
+                // scheduler's ensure pass, or the parent spec in this
+                // process) replaces the warm-up replay outright; the
+                // generator checkpoint then seeks to the slice start
+                // itself instead of the pre-warm-up point. Without either
+                // the worker degrades gracefully: checkpoint-seek plus
+                // replay, or the plain skip loop.
+                let warm_image = match slice.start {
+                    0 => None,
+                    _ => {
+                        crate::engine::checkpoints::lookup_warm(&self.benchmark, self.seed, *warmup)
+                            .and_then(|store| store.at(slice.start).cloned())
+                    }
+                };
+                let target = match &warm_image {
+                    Some(_) => slice.start,
+                    None => slice.start - slice.start.min(*warmup),
+                };
                 let checkpoint = match target {
                     0 => None,
                     _ => crate::engine::checkpoints::lookup(&self.benchmark, self.seed)
@@ -488,19 +540,25 @@ impl RunSpec {
                 RunResult::StreamPartial(Box::new(StreamAnalysis::run_segment_with(
                     &mut src,
                     slice,
-                    StreamConfig::with_budget(*budget_bytes).with_seed(self.seed),
+                    StreamConfig::with_budget(*budget_bytes)
+                        .with_seed(self.seed)
+                        .with_warmup(*warmup),
                     checkpoint.as_ref(),
+                    warm_image.as_ref(),
                 )))
             }
-            Mode::StreamSegmented { segments, .. } => {
+            Mode::StreamSegmented { segments, warmup, .. } => {
                 // A worker handed the parent runs its children
                 // sequentially; the scheduler path fans them out instead
                 // (`crate::engine::segmented`). One recording pass up
-                // front replaces the children's per-segment skip loops.
-                crate::engine::checkpoints::ensure(
+                // front replaces the children's per-segment skip loops
+                // and warm-up replays.
+                crate::engine::checkpoints::prepare_segments(
                     &self.benchmark,
                     self.seed,
-                    &crate::engine::checkpoints::segment_targets(self.accesses, *segments),
+                    self.accesses,
+                    *segments,
+                    *warmup,
                 );
                 let children = crate::engine::segmented::children(self)
                     .expect("StreamSegmented always has children");
@@ -555,6 +613,16 @@ impl<'de> Deserialize<'de> for RunSpec {
     }
 }
 
+/// The label suffix for a non-default segment warm-up (empty for the
+/// default, keeping established labels stable).
+fn warm_suffix(warmup: u64) -> String {
+    if warmup == ltc_analysis::SEGMENT_WARMUP {
+        String::new()
+    } else {
+        format!(",warm {warmup}")
+    }
+}
+
 /// FNV-1a 64-bit hash (stable across platforms and runs, unlike
 /// `DefaultHasher`), used to name artifact files.
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -583,7 +651,9 @@ mod tests {
             RunSpec::multiprog("gcc", None, PredictorKind::LtCords, 40_000, 1),
             RunSpec::stream("mcf", 256 << 10, 60_000, 1),
             RunSpec::stream_segment("mcf", 256 << 10, 4, 2, 60_000, 1),
+            RunSpec::stream_segment("mcf", 256 << 10, 4, 2, 60_000, 1).with_stream_warmup(9_000),
             RunSpec::stream_segmented("mcf", 256 << 10, 4, 60_000, 1),
+            RunSpec::stream_segmented("mcf", 256 << 10, 4, 60_000, 1).with_stream_warmup(9_000),
             RunSpec::coverage("art", PredictorKind::SketchDbcp(128 << 10), 50_000, 2),
             RunSpec::coverage(
                 "em3d",
@@ -664,6 +734,33 @@ mod tests {
         assert_ne!(slice_a.key(), slice_other_split.key(), "segment count must key");
         assert_ne!(slice_a.hash_hex(), slice_other_split.hash_hex());
         assert_ne!(slice_a.key(), four.key(), "child and parent must not alias");
+    }
+
+    #[test]
+    fn segment_warmup_is_part_of_the_key() {
+        let child = RunSpec::stream_segment("gzip", 64 << 10, 4, 1, 1000, 1);
+        let rewarmed = child.clone().with_stream_warmup(50_000);
+        assert_ne!(child.key(), rewarmed.key());
+        assert_ne!(child.hash_hex(), rewarmed.hash_hex());
+        let parsed: RunSpec = serde_json::from_str(&rewarmed.key()).expect("parses");
+        assert_eq!(parsed, rewarmed);
+
+        let parent = RunSpec::stream_segmented("gzip", 64 << 10, 4, 1000, 1);
+        assert_ne!(parent.key(), parent.clone().with_stream_warmup(50_000).key());
+
+        // Labels surface only non-default warm-ups, keeping the
+        // established default labels stable.
+        assert!(!child.label().contains("warm"));
+        assert!(rewarmed.label().contains("warm 50000"));
+
+        // Warm-up only applies to stream-segment modes.
+        let coverage = RunSpec::coverage("gzip", PredictorKind::Baseline, 1000, 1);
+        assert_eq!(coverage.clone().with_stream_warmup(5).key(), coverage.key());
+
+        // A pre-warm-up-field artifact spec must fail to parse, so stale
+        // cache entries degrade to misses instead of aliasing.
+        let legacy = r#"{"model_version":4,"benchmark":"gzip","predictor":"baseline","mode":{"stream-segment":{"budget_bytes":65536,"segments":4,"segment":1}},"accesses":1000,"seed":1}"#;
+        assert!(serde_json::from_str::<RunSpec>(legacy).is_err());
     }
 
     #[test]

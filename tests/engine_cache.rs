@@ -113,7 +113,12 @@ fn segment_counts_never_collide_in_the_artifact_cache() {
         assert_eq!(repeat.cache_hits(), 1);
     }
     // Every artifact file is distinct: 4 + 8 children plus 2 parents.
-    let files = std::fs::read_dir(&dir).unwrap().count();
+    // (The shared checkpoint/warm-image store is a subdirectory, not an
+    // artifact — only plain files are artifact slots.)
+    let files = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter(|e| e.as_ref().unwrap().file_type().unwrap().is_file())
+        .count();
     assert_eq!(files, 14, "parents and children must all key separately");
     std::fs::remove_dir_all(&dir).unwrap();
 }
