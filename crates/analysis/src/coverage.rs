@@ -152,6 +152,25 @@ impl CoverageReport {
     }
 }
 
+/// One `coverage.run` telemetry point summarizing a finished run. The
+/// per-access loop stays uninstrumented — telemetry cost is per *run*,
+/// which is what the bench report's telemetry-overhead delta documents.
+fn emit_run_point(report: &CoverageReport) {
+    if !ltc_telemetry::enabled() {
+        return;
+    }
+    ltc_telemetry::point(
+        "coverage.run",
+        vec![
+            ("predictor".to_string(), report.predictor.clone().into()),
+            ("accesses".to_string(), report.accesses.into()),
+            ("base_l1_misses".to_string(), report.base_l1_misses.into()),
+            ("correct".to_string(), report.correct.into()),
+            ("early".to_string(), report.early.into()),
+        ],
+    );
+}
+
 /// Runs a predictor against a shadow baseline on the same trace.
 ///
 /// Per access, both hierarchies are stepped; the cross-classification of
@@ -177,7 +196,9 @@ where
     // golden wall and `passive_fast_path_mirrors_two_hierarchy_run` assert
     // this); baseline runs cost one hierarchy instead of two.
     if predictor.is_passive() {
-        return run_coverage_passive(source, predictor, cfg);
+        let report = run_coverage_passive(source, predictor, cfg);
+        emit_run_point(&report);
+        return report;
     }
     let mut base = Hierarchy::new(cfg.hierarchy);
     let mut pf = Hierarchy::new(cfg.hierarchy);
@@ -288,6 +309,7 @@ where
     };
     report.storage_bytes = predictor.storage_bytes();
     report.memory_bytes = predictor.memory_bytes();
+    emit_run_point(&report);
     report
 }
 

@@ -27,6 +27,11 @@ pub struct StreamConfig {
     /// it changes segmented results, so engine runs key their artifact
     /// cache on it.
     pub warmup: u64,
+    /// Misses between sketch-occupancy telemetry samples (defaults to
+    /// [`SKETCH_SAMPLE_EVERY`]; 0 disables periodic sampling). Telemetry
+    /// only — never affects the report, so it is deliberately **not**
+    /// part of any artifact cache key.
+    pub sample_every: u64,
 }
 
 /// Heavy hitters reported per summary (fixed so the report — and with it
@@ -44,10 +49,22 @@ pub const REPORT_TOP: usize = 8;
 /// non-default value caches separately instead of colliding.
 pub const SEGMENT_WARMUP: u64 = 150_000;
 
+/// Default for [`StreamConfig::sample_every`]: misses between the
+/// sketch-occupancy gauge samples the stream loop emits when telemetry
+/// is enabled. Occupancy scans are O(sketch size), so the interval
+/// keeps sampling cost far below the replay itself; one final sample is
+/// always emitted per segment regardless.
+pub const SKETCH_SAMPLE_EVERY: u64 = 65_536;
+
 impl StreamConfig {
     /// A run with the given summary budget.
     pub fn with_budget(budget_bytes: u64) -> Self {
-        StreamConfig { budget_bytes, seed: 1, warmup: SEGMENT_WARMUP }
+        StreamConfig {
+            budget_bytes,
+            seed: 1,
+            warmup: SEGMENT_WARMUP,
+            sample_every: SKETCH_SAMPLE_EVERY,
+        }
     }
 
     /// Same budget, explicit seed.
@@ -59,6 +76,13 @@ impl StreamConfig {
     /// Same budget, explicit segment warm-up length.
     pub fn with_warmup(mut self, warmup: u64) -> Self {
         self.warmup = warmup;
+        self
+    }
+
+    /// Same budget, explicit sketch-telemetry sampling interval
+    /// (0 disables periodic samples).
+    pub fn with_sample_every(mut self, sample_every: u64) -> Self {
+        self.sample_every = sample_every;
         self
     }
 }
@@ -333,15 +357,40 @@ impl StreamAnalysis {
         let restored = warm_image
             .filter(|w| w.pos == segment.start)
             .and_then(|w| Hierarchy::from_image(HierarchyConfig::paper(), &w.image).ok());
+        let used_warm_image = restored.is_some();
         let warm = match restored {
             Some(_) => 0,
             None => segment.start.min(cfg.warmup),
         };
         let mut skip = segment.start - warm;
+        let mut used_checkpoint = false;
         if let Some(c) = checkpoint {
             if c.pos <= skip && source.restore(&c.state).is_ok() {
                 skip -= c.pos;
+                used_checkpoint = true;
             }
+        }
+        if ltc_telemetry::enabled() {
+            // The restore-outcome histogram: which setup path this
+            // worker actually took (offers that were ignored — wrong
+            // position, failed restore — do not count).
+            let outcome = if used_warm_image {
+                "warm_image"
+            } else if used_checkpoint {
+                "checkpoint"
+            } else {
+                "replay"
+            };
+            ltc_telemetry::point(
+                "segment_restore",
+                vec![
+                    ("outcome".to_string(), outcome.into()),
+                    ("checkpoint".to_string(), used_checkpoint.into()),
+                    ("index".to_string(), u64::from(segment.index).into()),
+                    ("start".to_string(), segment.start.into()),
+                    ("warm".to_string(), warm.into()),
+                ],
+            );
         }
         for _ in 0..skip {
             if source.next_access().is_none() {
@@ -365,6 +414,11 @@ impl StreamAnalysis {
             ..StreamPartial::default()
         };
         let mut last_miss: Option<u64> = None;
+        // Captured once: the hot loop pays one branch per miss when
+        // telemetry is off, never a hub probe.
+        let telemetry = ltc_telemetry::enabled();
+        let sample_every = cfg.sample_every;
+        let mut sampled_evictions = 0u64;
 
         for _ in 0..segment.len {
             let Some(a) = source.next_access() else { break };
@@ -382,6 +436,14 @@ impl StreamAnalysis {
                 partial.first_miss = Some(line);
             }
             last_miss = Some(line);
+            if telemetry && sample_every > 0 && partial.misses % sample_every == 0 {
+                sample_sketches(&heavy, &pairs, &mut sampled_evictions);
+            }
+        }
+        if telemetry {
+            // Always close with one sample so short segments still
+            // report occupancy (and the eviction counter total lands).
+            sample_sketches(&heavy, &pairs, &mut sampled_evictions);
         }
 
         partial.memory_bytes = heavy.memory_bytes() + pairs.memory_bytes();
@@ -389,6 +451,41 @@ impl StreamAnalysis {
         partial.heavy = heavy.to_state();
         partial.pairs = pairs.to_state();
         partial
+    }
+}
+
+/// Emits one sketch-occupancy telemetry sample: resident bytes, the
+/// Space-Saving and CHH fill levels, the nested Count-Min's non-zero
+/// counters, and the eviction count accumulated since the last sample
+/// (as a counter delta). Occupancy scans are O(sketch size) — callers
+/// rate-limit via [`StreamConfig::sample_every`].
+fn sample_sketches(heavy: &SpaceSaving<u64>, pairs: &ChhSummary, sampled_evictions: &mut u64) {
+    let field = |name: &str, v: u64| (name.to_string(), ltc_telemetry::FieldValue::U64(v));
+    ltc_telemetry::gauge(
+        "sketch.memory_bytes",
+        heavy.memory_bytes() + pairs.memory_bytes(),
+        Vec::new(),
+    );
+    ltc_telemetry::gauge(
+        "sketch.heavy_occupancy",
+        heavy.len() as u64,
+        vec![field("capacity", heavy.capacity() as u64)],
+    );
+    ltc_telemetry::gauge(
+        "sketch.chh_keys",
+        pairs.keys() as u64,
+        vec![field("capacity", pairs.key_capacity() as u64)],
+    );
+    let cm = pairs.pair_sketch();
+    ltc_telemetry::gauge(
+        "sketch.cm_occupancy",
+        cm.occupancy(),
+        vec![field("cells", (cm.width() * cm.depth()) as u64)],
+    );
+    let evictions = heavy.evictions();
+    if evictions > *sampled_evictions {
+        ltc_telemetry::counter("sketch.evictions", evictions - *sampled_evictions);
+        *sampled_evictions = evictions;
     }
 }
 
@@ -656,6 +753,107 @@ mod tests {
         assert_eq!(full.accesses, short.accesses);
         assert!(short.misses >= full.misses + 64, "cold boundary re-misses the working set");
         assert_ne!(full, short, "warm-up length must reach the hierarchy state");
+    }
+
+    #[test]
+    fn segment_runs_emit_restore_outcomes_and_sketch_samples() {
+        use ltc_telemetry::{Capture, EventKind, FieldValue};
+        use std::sync::Arc;
+
+        let cfg = StreamConfig::with_budget(32 << 10);
+        let seg = TraceSegment { index: 1, segments: 2, start: SEGMENT_WARMUP + 10_000, len: 500 };
+        let passes = ((seg.start + seg.len) / 4 + 1) as usize;
+
+        let outcome_of = |capture: &Capture| {
+            let points = capture.named("segment_restore");
+            assert_eq!(points.len(), 1, "exactly one restore outcome per segment run");
+            match points[0].field("outcome") {
+                Some(FieldValue::Str(s)) => s.clone(),
+                other => panic!("outcome field missing: {other:?}"),
+            }
+        };
+
+        // Replay fallback: no checkpoint, no image.
+        let capture = Arc::new(Capture::new());
+        ltc_telemetry::with_subscriber(capture.clone(), || {
+            StreamAnalysis::run_segment(&mut conflict_loop(4, passes), seg, cfg)
+        });
+        assert_eq!(outcome_of(&capture), "replay");
+        // The final sketch sample always lands, even for short segments.
+        assert!(!capture.named("sketch.memory_bytes").is_empty());
+        assert!(!capture.named("sketch.cm_occupancy").is_empty());
+        assert!(capture
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::Gauge)
+            .all(|e| e.value().is_some()));
+
+        // Checkpoint outcome.
+        let mut recorder = conflict_loop(4, passes);
+        for _ in 0..8_000 {
+            recorder.next_access();
+        }
+        let c = Checkpoint { pos: 8_000, state: recorder.checkpoint().unwrap() };
+        let capture = Arc::new(Capture::new());
+        ltc_telemetry::with_subscriber(capture.clone(), || {
+            StreamAnalysis::run_segment_with(
+                &mut conflict_loop(4, passes),
+                seg,
+                cfg,
+                Some(&c),
+                None,
+            )
+        });
+        assert_eq!(outcome_of(&capture), "checkpoint");
+
+        // Warm-image outcome.
+        let warm = record_warm_image(conflict_loop(4, passes), seg.start, cfg.warmup);
+        let capture = Arc::new(Capture::new());
+        ltc_telemetry::with_subscriber(capture.clone(), || {
+            StreamAnalysis::run_segment_with(
+                &mut conflict_loop(4, passes),
+                seg,
+                cfg,
+                None,
+                Some(&warm),
+            )
+        });
+        assert_eq!(outcome_of(&capture), "warm_image");
+    }
+
+    #[test]
+    fn sketch_sampling_interval_rate_limits_gauges() {
+        use ltc_telemetry::Capture;
+        use std::sync::Arc;
+
+        let seg = TraceSegment { index: 0, segments: 1, start: 0, len: 800 };
+        // Every miss in this trace reaches the sketches; ~800 misses at
+        // interval 100 → 8 periodic samples plus the final one.
+        let run = |sample_every: u64| {
+            let capture = Arc::new(Capture::new());
+            let cfg = StreamConfig::with_budget(32 << 10).with_sample_every(sample_every);
+            ltc_telemetry::with_subscriber(capture.clone(), || {
+                StreamAnalysis::run_segment(&mut conflict_loop(4, 200), seg, cfg)
+            });
+            capture.named("sketch.memory_bytes").len()
+        };
+        assert_eq!(run(0), 1, "interval 0 keeps only the final sample");
+        let sampled = run(100);
+        assert!((8..=10).contains(&sampled), "expected ~9 samples, got {sampled}");
+    }
+
+    #[test]
+    fn telemetry_never_changes_the_partial() {
+        use ltc_telemetry::Capture;
+        use std::sync::Arc;
+
+        let cfg = StreamConfig::with_budget(32 << 10).with_sample_every(50);
+        let seg = TraceSegment { index: 0, segments: 1, start: 0, len: 600 };
+        let quiet = StreamAnalysis::run_segment(&mut conflict_loop(4, 200), seg, cfg);
+        let observed = ltc_telemetry::with_subscriber(Arc::new(Capture::new()), || {
+            StreamAnalysis::run_segment(&mut conflict_loop(4, 200), seg, cfg)
+        });
+        assert_eq!(quiet, observed);
     }
 
     #[test]

@@ -11,11 +11,14 @@
 //! ltsim plan     [--figures a,b,..] [--quick]
 //! ltsim run      [--figures a,b,..] [--out DIR] [--quick] [--force] [--threads N]
 //!                [--backend threads|sharded|subprocess] [--progress off|plain|live|auto]
+//!                [--events FILE]
 //! ltsim render   [--figures a,b,..] [--out DIR] [--format table|json|csv]
 //! ltsim stream   <benchmark|all> [--budget BYTES] [--segments N] [--accesses N] [--seed N]
 //!                [--out DIR] [--force] [--threads N] [--backend ...] [--progress ...]
+//!                [--events FILE]
 //! ltsim bench    [--quick] [--accesses N] [--benchmark NAME] [--seed N] [--rounds N]
 //!                [--out FILE] [--compare FILE] [--tolerance PCT]
+//! ltsim events   summarize <file>
 //! ltsim worker
 //! ```
 //!
@@ -34,6 +37,17 @@
 //! from stdin and answers each with one `RunResult` JSON line on stdout
 //! until stdin closes.
 //!
+//! `run --events FILE` (also on `stream`) records the structured
+//! telemetry stream — scheduler planning, per-spec spans with queue-wait
+//! vs run time, segment-restore outcomes, sketch occupancy gauges,
+//! warnings — as JSON lines (`ltc_telemetry` schema v1), including
+//! events forwarded from subprocess workers. `events summarize` renders
+//! a recorded log as per-phase/per-spec breakdown tables. Progress/ETA
+//! rendering itself rides the same event stream (a
+//! [`ProgressSubscriber`] is installed instead of handing the engine a
+//! sink), and every `run`/`stream` ends with a one-line summary from the
+//! in-memory aggregator even under `--progress off`.
+//!
 //! `stream` runs the bounded-memory one-pass miss analysis. Its runs are
 //! ordinary `RunSpec`s (mode `stream`, budget in the key), so they
 //! dedupe, cache and execute through the same scheduler and backends as
@@ -43,10 +57,14 @@
 //! streaming" for when the merge is exact vs approximate.
 
 use std::io::{BufRead, Write};
+use std::sync::Arc;
+use std::time::Instant;
 
 use ltc_bench::harness::{self, FigureDef};
 use ltc_bench::Scale;
-use ltc_sim::engine::{artifact, BackendKind, EngineOptions, ProgressMode, ResultSet, RunSpec};
+use ltc_sim::engine::{
+    artifact, BackendKind, EngineOptions, ProgressMode, ProgressSubscriber, ResultSet, RunSpec,
+};
 use ltc_sim::experiment::{run_coverage, run_timing, PredictorKind};
 use ltc_sim::report::{pct1, Table};
 use ltc_sim::trace::suite;
@@ -81,10 +99,11 @@ fn main() {
         Some("render") => cmd_render(&args[1..]),
         Some("stream") => cmd_stream(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("events") => cmd_events(&args[1..]),
         Some("worker") => cmd_worker(),
         _ => {
             eprintln!(
-                "usage: ltsim <list|coverage|timing|compare|power|record|replay|plan|run|render|stream|bench|worker> ..."
+                "usage: ltsim <list|coverage|timing|compare|power|record|replay|plan|run|render|stream|bench|events|worker> ..."
             );
             std::process::exit(2);
         }
@@ -226,6 +245,8 @@ struct FigureArgs {
     scale: Scale,
     format: String,
     opts: EngineOptions,
+    /// `--events FILE`: record the telemetry stream as JSON lines.
+    events: Option<String>,
 }
 
 /// The worker argv for `--backend subprocess`: this very binary,
@@ -237,15 +258,17 @@ fn self_worker_command() -> Result<Vec<String>, String> {
 }
 
 /// Parses one engine flag (`--out`, `--force`, `--threads`, `--backend`,
-/// `--progress`) into `opts`. Shared by the figure subcommands and
-/// `stream` so the engine surface cannot drift between them. Returns
-/// `Ok(false)` when `arg` is not an engine flag.
+/// `--progress`, `--events`) into `opts`/`events`. Shared by the figure
+/// subcommands and `stream` so the engine surface cannot drift between
+/// them. Returns `Ok(false)` when `arg` is not an engine flag.
 fn parse_engine_flag(
     arg: &str,
     it: &mut std::slice::Iter<'_, String>,
     opts: &mut EngineOptions,
+    events: &mut Option<String>,
 ) -> Result<bool, String> {
     match arg {
+        "--events" => *events = Some(it.next().ok_or("--events needs a file path")?.clone()),
         "--out" => opts.cache_dir = Some(it.next().ok_or("--out needs a directory")?.into()),
         "--force" => opts.force = true,
         "--threads" => {
@@ -286,10 +309,11 @@ fn parse_figure_args(args: &[String]) -> Result<FigureArgs, String> {
             progress: ProgressMode::Auto,
             ..EngineOptions::default()
         },
+        events: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if parse_engine_flag(a, &mut it, &mut out.opts)? {
+        if parse_engine_flag(a, &mut it, &mut out.opts, &mut out.events)? {
             continue;
         }
         match a.as_str() {
@@ -339,8 +363,68 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The telemetry subscribers one `run`/`stream` invocation installs: an
+/// in-memory aggregator (always — it powers the end-of-run summary
+/// line), the JSON-lines event log (with `--events`), and the progress
+/// renderer (progress rides the event stream instead of an engine
+/// [`ltc_sim::engine::ProgressSink`], so the engine itself runs with
+/// progress off).
+struct RunTelemetry {
+    aggregator: Arc<ltc_telemetry::Aggregator>,
+    writer: Option<(Arc<ltc_telemetry::JsonLinesWriter>, String)>,
+    tokens: Vec<ltc_telemetry::SubscriberToken>,
+    started: Instant,
+}
+
+impl RunTelemetry {
+    /// Installs the subscribers and strips the progress mode out of
+    /// `opts` (the returned session renders it from events instead).
+    fn install(events: Option<&String>, opts: &mut EngineOptions) -> Result<RunTelemetry, String> {
+        let aggregator = Arc::new(ltc_telemetry::Aggregator::new());
+        let mut tokens = vec![ltc_telemetry::install(aggregator.clone())];
+        let writer = match events {
+            Some(path) => {
+                let w = Arc::new(
+                    ltc_telemetry::JsonLinesWriter::create(std::path::Path::new(path))
+                        .map_err(|e| format!("creating event log {path}: {e}"))?,
+                );
+                tokens.push(ltc_telemetry::install(w.clone()));
+                Some((w, path.clone()))
+            }
+            None => None,
+        };
+        tokens.push(ltc_telemetry::install(Arc::new(ProgressSubscriber::new(opts.progress))));
+        opts.progress = ProgressMode::Off;
+        Ok(RunTelemetry { aggregator, writer, tokens, started: Instant::now() })
+    }
+
+    /// Flushes and uninstalls the subscribers, then prints the one-line
+    /// end-of-run summary (and the event-log location, if any).
+    fn finish(self) {
+        ltc_telemetry::flush();
+        for token in self.tokens {
+            ltc_telemetry::uninstall(token);
+        }
+        println!(
+            "summary: {} specs run, {} deduped, {} served from artifact cache in {:.1}s",
+            self.aggregator.counter("scheduler.simulated"),
+            self.aggregator.counter("scheduler.deduped"),
+            self.aggregator.counter("scheduler.cache_hits"),
+            self.started.elapsed().as_secs_f64()
+        );
+        if let Some((writer, path)) = &self.writer {
+            println!(
+                "events: {} events ({} bytes) written to {path}",
+                writer.events_written(),
+                writer.bytes_written()
+            );
+        }
+    }
+}
+
 fn cmd_run(args: &[String]) -> Result<(), String> {
-    let fa = parse_figure_args(args)?;
+    let mut fa = parse_figure_args(args)?;
+    let telemetry = RunTelemetry::install(fa.events.as_ref(), &mut fa.opts)?;
     let mut results = ResultSet::new();
     harness::collect(&fa.figures, fa.scale, &fa.opts, &mut results).map_err(|e| e.to_string())?;
     for def in &fa.figures {
@@ -351,6 +435,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if let Some(dir) = &fa.opts.cache_dir {
         println!("artifacts: {} runs under {}", results.len(), dir.display());
     }
+    telemetry.finish();
     Ok(())
 }
 
@@ -458,9 +543,10 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     let mut accesses: u64 = 2_000_000;
     let mut seed: u64 = 1;
     let mut opts = EngineOptions { threads: 4, ..EngineOptions::default() };
+    let mut events: Option<String> = None;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
-        if parse_engine_flag(a, &mut it, &mut opts)? {
+        if parse_engine_flag(a, &mut it, &mut opts, &mut events)? {
             continue;
         }
         match a.as_str() {
@@ -498,6 +584,7 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
             }
         })
         .collect();
+    let telemetry = RunTelemetry::install(events.as_ref(), &mut opts)?;
     let mut sched = ltc_sim::engine::Scheduler::new();
     sched.request_all(specs.iter().cloned());
     let mut results = ResultSet::new();
@@ -540,6 +627,7 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         println!();
     }
     println!("engine: {} simulated, {} from cache", results.simulated(), results.cache_hits());
+    telemetry.finish();
     Ok(())
 }
 
@@ -609,6 +697,12 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         ]);
     }
     print!("{}", t.render());
+    if let Some(tel) = &report.telemetry {
+        println!(
+            "telemetry overhead: {:+.2}% on coverage_baseline ({} events, {} bytes to a sink)",
+            tel.overhead_pct, tel.events, tel.bytes
+        );
+    }
 
     let path = out.unwrap_or_else(|| format!("BENCH_{}.json", perf::utc_date_string()));
     std::fs::write(&path, report.to_json() + "\n").map_err(|e| format!("writing {path}: {e}"))?;
@@ -644,11 +738,48 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `ltsim events summarize <file>`: render a `--events` JSON-lines log
+/// as per-phase/per-spec breakdown tables (see `ltc_bench::events`).
+fn cmd_events(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("summarize") => {
+            let path = args.get(1).ok_or("events summarize needs an event-log file")?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            print!("{}", ltc_bench::events::summarize(&text)?);
+            Ok(())
+        }
+        _ => Err("usage: ltsim events summarize <file>".into()),
+    }
+}
+
+/// Streams this worker's telemetry to stdout as `{"event":…}` frames,
+/// interleaved with (never inside) result lines: the Rust stdlib stdout
+/// lock is re-entrant per thread, and the worker is single-threaded, so
+/// frames written mid-`execute` land whole between protocol lines. The
+/// parent remaps span ids and stamps its own worker ids on arrival.
+struct WireSubscriber;
+
+impl ltc_telemetry::Subscriber for WireSubscriber {
+    fn event(&self, event: &ltc_telemetry::Event) {
+        let mut out = std::io::stdout().lock();
+        let _ = writeln!(out, "{}", ltc_telemetry::wire_line(event));
+        let _ = out.flush();
+    }
+}
+
 /// The subprocess-backend worker loop: one canonical `RunSpec` JSON line
 /// per request on stdin, one `RunResult` JSON line per answer on stdout
 /// (flushed per line — the parent blocks on it), until stdin closes.
 /// Blank lines are ignored so the stream is easy to drive by hand.
+///
+/// With `LTC_TELEMETRY_WIRE` set (the parent backend sets it whenever
+/// telemetry is enabled on its side), the worker also installs a
+/// [`WireSubscriber`] and wraps each execution in a `worker.spec` span,
+/// so child-side events — segment-restore outcomes, sketch gauges,
+/// warnings — interleave into the parent's event log.
 fn cmd_worker() -> Result<(), String> {
+    let _wire_token = std::env::var_os(ltc_telemetry::WIRE_ENV)
+        .map(|_| ltc_telemetry::install(Arc::new(WireSubscriber)));
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
@@ -673,7 +804,13 @@ fn cmd_worker() -> Result<(), String> {
                 ltc_sim::engine::MODEL_VERSION
             ));
         }
+        let span = if ltc_telemetry::enabled() {
+            ltc_telemetry::span("worker.spec", vec![("label".to_string(), spec.label().into())])
+        } else {
+            ltc_telemetry::span("worker.spec", Vec::new())
+        };
         let result = spec.execute();
+        drop(span); // emits the span end (with elapsed_us) before the result line
         writeln!(out, "{}", ltc_sim::serde_json::to_string(&result))
             .and_then(|()| out.flush())
             .map_err(|e| format!("writing result line: {e}"))?;

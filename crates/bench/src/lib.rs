@@ -14,6 +14,7 @@
 //! the *shape* — who wins, by what factor, where crossovers fall — is the
 //! reproduction target, recorded in EXPERIMENTS.md.
 
+pub mod events;
 pub mod figures;
 pub mod harness;
 pub mod perf;

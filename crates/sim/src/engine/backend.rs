@@ -20,12 +20,15 @@
 //! progress/ETA reporting — so an interrupted run keeps every completed
 //! simulation no matter which backend ran it.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufRead, BufReader, Write};
 use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+use ltc_telemetry::{Event, EventKind, FieldValue};
+use serde::Value;
 
 use crate::engine::result::RunResult;
 use crate::engine::spec::{Mode, RunSpec};
@@ -100,13 +103,58 @@ impl BackendKind {
 }
 
 /// Runs one spec with observer notifications; shared by all backends so
-/// event semantics cannot drift between them.
-fn run_observed(spec: &RunSpec, observer: &dyn RunObserver) -> RunResult {
+/// event semantics cannot drift between them. `queued` is when the
+/// backend's `execute` accepted the batch, so the span's `queue_wait_us`
+/// measures how long the spec sat behind its siblings before a worker
+/// picked it up.
+fn run_observed(spec: &RunSpec, observer: &dyn RunObserver, queued: Instant) -> RunResult {
     observer.started(spec);
+    let queue_wait = queued.elapsed();
+    let span = spec_span(spec);
     let start = Instant::now();
     let result = spec.execute();
-    observer.finished(spec, &result, start.elapsed());
+    let elapsed = start.elapsed();
+    end_spec_span(span, spec, queue_wait, elapsed);
+    observer.finished(spec, &result, elapsed);
     result
+}
+
+/// Opens the per-spec telemetry span all backends emit around execution.
+fn spec_span(spec: &RunSpec) -> ltc_telemetry::Span {
+    if !ltc_telemetry::enabled() {
+        return ltc_telemetry::span("spec", Vec::new());
+    }
+    ltc_telemetry::span(
+        "spec",
+        vec![
+            ("label".to_string(), spec.label().into()),
+            ("benchmark".to_string(), spec.benchmark.clone().into()),
+        ],
+    )
+}
+
+/// Closes a per-spec span with the queue-wait / run-time split. The label
+/// repeats on the end event so stream consumers (the progress adapter,
+/// `ltsim events summarize`) need not correlate begin/end pairs.
+fn end_spec_span(span: ltc_telemetry::Span, spec: &RunSpec, queue_wait: Duration, run: Duration) {
+    if !ltc_telemetry::enabled() {
+        return;
+    }
+    span.end_with(vec![
+        ("label".to_string(), spec.label().into()),
+        ("queue_wait_us".to_string(), (queue_wait.as_micros() as u64).into()),
+        ("run_us".to_string(), (run.as_micros() as u64).into()),
+    ]);
+}
+
+/// Tags the calling backend worker thread with a stable 1-based
+/// telemetry worker id, claiming one from `ids` the first time the
+/// thread runs a spec. Workers are scoped threads that die with the
+/// `execute` call, so ids never leak across executions.
+fn claim_worker_id(ids: &AtomicU64) {
+    if ltc_telemetry::enabled() && ltc_telemetry::current_worker().is_none() {
+        ltc_telemetry::set_worker(ids.fetch_add(1, Ordering::Relaxed));
+    }
 }
 
 /// The scoped-thread pool: workers claim specs from a shared atomic index
@@ -123,7 +171,12 @@ impl ExecutionBackend for ThreadPoolBackend {
     }
 
     fn execute(&self, specs: &[RunSpec], observer: &dyn RunObserver) -> io::Result<Vec<RunResult>> {
-        Ok(sweep_bounded(specs.to_vec(), self.threads, |spec| run_observed(spec, observer)))
+        let queued = Instant::now();
+        let worker_ids = AtomicU64::new(1);
+        Ok(sweep_bounded(specs.to_vec(), self.threads, |spec| {
+            claim_worker_id(&worker_ids);
+            run_observed(spec, observer, queued)
+        }))
     }
 }
 
@@ -207,13 +260,17 @@ impl ExecutionBackend for ShardedBackend {
         let n = specs.len();
         let workers = self.workers.max(1).min(n.max(1));
         let shards = self.seed_shards(specs, workers);
+        let queued = Instant::now();
         let slots: Vec<Mutex<Option<RunResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for me in 0..workers {
                 let (shards, slots) = (&shards, &slots);
                 scope.spawn(move || {
+                    if ltc_telemetry::enabled() {
+                        ltc_telemetry::set_worker(me as u64 + 1);
+                    }
                     while let Some(idx) = steal(shards, me) {
-                        let result = run_observed(&specs[idx], observer);
+                        let result = run_observed(&specs[idx], observer, queued);
                         *slots[idx].lock().expect("slot lock") = Some(result);
                     }
                 });
@@ -266,13 +323,18 @@ impl ExecutionBackend for SubprocessBackend {
         // error anyway, and without a cache the remaining simulations
         // would be wasted wall time.
         let abort = AtomicBool::new(false);
+        let queued = Instant::now();
         let slots: Vec<Mutex<Option<RunResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let first_error: Mutex<Option<io::Error>> = Mutex::new(None);
         std::thread::scope(|scope| {
-            for _ in 0..workers {
+            for me in 0..workers {
                 let (next, abort, slots, first_error) = (&next, &abort, &slots, &first_error);
                 scope.spawn(move || {
-                    if let Err(e) = drive_worker(&self.command, specs, next, abort, slots, observer)
+                    if ltc_telemetry::enabled() {
+                        ltc_telemetry::set_worker(me as u64 + 1);
+                    }
+                    if let Err(e) =
+                        drive_worker(&self.command, specs, next, abort, slots, observer, queued)
                     {
                         abort.store(true, Ordering::Relaxed);
                         first_error.lock().expect("error lock").get_or_insert(e);
@@ -300,6 +362,7 @@ fn drive_worker(
     abort: &AtomicBool,
     slots: &[Mutex<Option<RunResult>>],
     observer: &dyn RunObserver,
+    queued: Instant,
 ) -> io::Result<()> {
     let mut worker = WorkerProcess::spawn(command)?;
     loop {
@@ -309,9 +372,13 @@ fn drive_worker(
         let idx = next.fetch_add(1, Ordering::Relaxed);
         let Some(spec) = specs.get(idx) else { break };
         observer.started(spec);
+        let queue_wait = queued.elapsed();
+        let span = spec_span(spec);
         let start = Instant::now();
         let result = worker.round_trip(spec)?;
-        observer.finished(spec, &result, start.elapsed());
+        let elapsed = start.elapsed();
+        end_spec_span(span, spec, queue_wait, elapsed);
+        observer.finished(spec, &result, elapsed);
         *slots[idx].lock().expect("slot lock") = Some(result);
     }
     worker.shutdown()
@@ -323,47 +390,72 @@ struct WorkerProcess {
     /// `Option` so shutdown (and `Drop`) can close stdin to signal EOF.
     stdin: Option<ChildStdin>,
     stdout: BufReader<ChildStdout>,
+    /// Child telemetry span ids → parent span ids. Children number spans
+    /// from their own counters, so forwarded frames are remapped into the
+    /// parent's id space to stay collision-free across workers.
+    span_map: HashMap<u64, u64>,
 }
 
 impl WorkerProcess {
     fn spawn(command: &[String]) -> io::Result<Self> {
-        let mut child = Command::new(&command[0])
-            .args(&command[1..])
-            .stdin(Stdio::piped())
-            .stdout(Stdio::piped())
-            .spawn()
-            .map_err(|e| {
-                io::Error::new(e.kind(), format!("spawning worker `{}`: {e}", command[0]))
-            })?;
+        let mut cmd = Command::new(&command[0]);
+        cmd.args(&command[1..]).stdin(Stdio::piped()).stdout(Stdio::piped());
+        if ltc_telemetry::enabled() {
+            // Asks `ltsim worker` to interleave telemetry frames with its
+            // result lines; without the variable children stay silent.
+            cmd.env(ltc_telemetry::WIRE_ENV, "1");
+        }
+        let mut child = cmd.spawn().map_err(|e| {
+            io::Error::new(e.kind(), format!("spawning worker `{}`: {e}", command[0]))
+        })?;
         let stdin = child.stdin.take().expect("piped stdin");
         let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
-        Ok(WorkerProcess { child, stdin: Some(stdin), stdout })
+        Ok(WorkerProcess { child, stdin: Some(stdin), stdout, span_map: HashMap::new() })
     }
 
-    /// Sends one spec line, reads one result line.
+    /// Sends one spec line, then reads until the result line arrives,
+    /// forwarding any interleaved `{"event":…}` telemetry frames into the
+    /// parent's event stream.
     fn round_trip(&mut self, spec: &RunSpec) -> io::Result<RunResult> {
         let stdin = self.stdin.as_mut().expect("stdin open until shutdown");
         writeln!(stdin, "{}", spec.key())?;
         stdin.flush()?;
         let mut line = String::new();
-        if self.stdout.read_line(&mut line)? == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                format!("worker exited before answering spec {}", spec.key()),
-            ));
+        loop {
+            line.clear();
+            if self.stdout.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("worker exited before answering spec {}", spec.key()),
+                ));
+            }
+            let trimmed = line.trim();
+            if trimmed.starts_with("{\"event\":") {
+                forward_wire_frame(&mut self.span_map, trimmed);
+                continue;
+            }
+            return serde_json::from_str(trimmed).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad RunResult line from worker for spec {}: {e}", spec.key()),
+                )
+            });
         }
-        serde_json::from_str(line.trim()).map_err(|e| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("bad RunResult line from worker for spec {}: {e}", spec.key()),
-            )
-        })
     }
 
-    /// Closes stdin (the protocol's end-of-work signal) and reaps the
-    /// child, surfacing a non-zero exit as an error.
+    /// Closes stdin (the protocol's end-of-work signal), drains any
+    /// telemetry the child flushes on exit, and reaps it, surfacing a
+    /// non-zero exit as an error.
     fn shutdown(&mut self) -> io::Result<()> {
         drop(self.stdin.take());
+        let mut line = String::new();
+        while self.stdout.read_line(&mut line)? > 0 {
+            let trimmed = line.trim();
+            if trimmed.starts_with("{\"event\":") {
+                forward_wire_frame(&mut self.span_map, trimmed);
+            }
+            line.clear();
+        }
         let status = self.child.wait()?;
         if status.success() {
             Ok(())
@@ -371,6 +463,43 @@ impl WorkerProcess {
             Err(io::Error::other(format!("worker exited with {status}")))
         }
     }
+}
+
+/// Re-emits one child telemetry frame into this process's event stream:
+/// the timestamp is restamped on the parent clock, the span id remapped
+/// through `span_map`, and the worker id replaced with the driving
+/// thread's id (children don't know which pool slot they occupy).
+/// Malformed frames are dropped — telemetry must never fail a run.
+fn forward_wire_frame(span_map: &mut HashMap<u64, u64>, line: &str) {
+    let Ok(value) = serde_json::parse(line) else { return };
+    let Some(wrapped) = value.get("event") else { return };
+    if let Some(event) = wire_event(wrapped, span_map) {
+        ltc_telemetry::emit(&event);
+    }
+}
+
+/// Rebuilds an [`Event`] from a parsed wire frame payload.
+fn wire_event(v: &Value, span_map: &mut HashMap<u64, u64>) -> Option<Event> {
+    let kind = EventKind::parse(v.get("kind")?.as_str()?)?;
+    let mut event = Event::now(kind, v.get("name")?.as_str()?);
+    if let Some(child_span) = v.get("span").and_then(Value::as_u64) {
+        let id = *span_map.entry(child_span).or_insert_with(ltc_telemetry::next_span_id);
+        event.span = Some(id);
+    }
+    if let Some(fields) = v.get("fields").and_then(Value::as_map) {
+        for (key, field) in fields {
+            let value = match field {
+                Value::Bool(b) => FieldValue::Bool(*b),
+                Value::U64(n) => FieldValue::U64(*n),
+                Value::I64(n) => FieldValue::I64(*n),
+                Value::F64(f) => FieldValue::F64(*f),
+                Value::Str(s) => FieldValue::Str(s.clone()),
+                Value::Null | Value::Seq(_) | Value::Map(_) => continue,
+            };
+            event.fields.push((key.clone(), value));
+        }
+    }
+    Some(event)
 }
 
 impl Drop for WorkerProcess {

@@ -380,17 +380,26 @@ pub fn warm_store_path(dir: &Path, benchmark: &str, seed: u64, warmup: u64) -> P
 /// Reads and parses a JSON store file, tolerating damage: a missing
 /// file is a silent miss (the normal cold-cache case), while unparsable
 /// or shape-mismatched content — a torn write from a crashed recorder,
-/// manual truncation — warns on stderr and degrades to a miss so the
-/// worker falls back to the replay path instead of failing the run.
+/// manual truncation — emits one structured `corrupt_store` warning
+/// event (which falls back to stderr when no telemetry subscriber is
+/// installed) and degrades to a miss so the worker falls back to the
+/// replay path instead of failing the run.
 fn load_disk_store<T: for<'de> Deserialize<'de>>(path: &Path, what: &str) -> Option<T> {
     let text = fs::read_to_string(path).ok()?;
     let parsed = serde_json::parse(text.trim())
         .ok()
         .and_then(|value: Value| T::from_value(&value).map_err(|_: DeError| ()).ok());
     if parsed.is_none() {
-        eprintln!(
-            "warning: ignoring corrupt {what} store at {}; workers fall back to replay",
-            path.display()
+        ltc_telemetry::warning(
+            "corrupt_store",
+            &format!(
+                "ignoring corrupt {what} store at {}; workers fall back to replay",
+                path.display()
+            ),
+            vec![
+                ("store".to_string(), what.into()),
+                ("path".to_string(), path.display().to_string().into()),
+            ],
         );
     }
     parsed
@@ -590,6 +599,49 @@ mod tests {
         fs::write(&warm_path, &full).unwrap();
         let loaded = load_disk_store::<WarmStore>(&warm_path, "warm-image").expect("intact loads");
         assert_eq!(loaded, store);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_store_warns_exactly_once_and_replay_fallback_succeeds() {
+        use ltc_analysis::{StreamAnalysis, StreamConfig};
+        use ltc_telemetry::{Capture, EventKind, FieldValue};
+        use ltc_trace::TraceSegment;
+
+        let dir = std::env::temp_dir().join(format!("ltc-ckpt-warn-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let entry = suite::by_name("gcc").unwrap();
+        let warmup = 500u64;
+        let start = 1_200u64;
+        let store = record_warm_images(&mut entry.build(1), warmup, &[start]);
+        let full = serde_json::to_string(&store);
+        let warm_path = warm_store_path(&dir, "gcc", 1, warmup);
+        fs::write(&warm_path, &full[..full.len() / 2]).unwrap();
+
+        // The corrupt store is one miss and exactly one structured
+        // warning event (no stderr-only path once a subscriber exists).
+        let capture = std::sync::Arc::new(Capture::new());
+        let loaded = ltc_telemetry::with_subscriber(capture.clone(), || {
+            load_disk_store::<WarmStore>(&warm_path, "warm-image")
+        });
+        assert!(loaded.is_none());
+        let warnings = capture.named("corrupt_store");
+        assert_eq!(warnings.len(), 1, "exactly one warning event per corrupt load");
+        assert_eq!(warnings[0].kind, EventKind::Warning);
+        assert_eq!(warnings[0].field("store"), Some(&FieldValue::Str("warm-image".into())));
+        match warnings[0].field("message") {
+            Some(FieldValue::Str(m)) => assert!(m.contains("corrupt warm-image store")),
+            other => panic!("missing message field: {other:?}"),
+        }
+
+        // The miss degrades to the replay path, which still produces the
+        // byte-identical partial the intact image would have.
+        let cfg = StreamConfig::with_budget(32 << 10).with_warmup(warmup);
+        let seg = TraceSegment { index: 1, segments: 2, start, len: 400 };
+        let via_image =
+            StreamAnalysis::run_segment_with(&mut entry.build(1), seg, cfg, None, store.at(start));
+        let fallback = StreamAnalysis::run_segment_with(&mut entry.build(1), seg, cfg, None, None);
+        assert_eq!(fallback, via_image, "replay fallback diverged from the warm image");
         let _ = fs::remove_dir_all(&dir);
     }
 

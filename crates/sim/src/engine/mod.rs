@@ -36,6 +36,16 @@
 //!    regenerating an O(start) prefix (on-disk hand-off to subprocess
 //!    workers via `LTC_CHECKPOINT_DIR`).
 //!
+//! The whole pipeline is instrumented with `ltc_telemetry`: the
+//! scheduler emits planning spans, dedup/cache counters, and per-spec
+//! `cache_probe` points; every backend wraps each execution in a `spec`
+//! span carrying queue-wait vs run time and tags its workers with ids;
+//! subprocess children forward their own events over the worker protocol
+//! as `{"event":…}` frames interleaved with result lines. With no
+//! subscriber installed the instrumentation is inert (one atomic load on
+//! the warm paths). [`ProgressSubscriber`] rebuilds every
+//! [`ProgressMode`] from that event stream.
+//!
 //! # Example
 //!
 //! ```
@@ -65,7 +75,7 @@ pub use backend::{
     BackendKind, ExecutionBackend, NullObserver, RunObserver, ShardedBackend, SubprocessBackend,
     ThreadPoolBackend,
 };
-pub use progress::{NullProgress, ProgressMode, ProgressSink, TextProgress};
+pub use progress::{NullProgress, ProgressMode, ProgressSink, ProgressSubscriber, TextProgress};
 pub use result::{ResultSet, RunResult};
 pub use scheduler::{EngineOptions, Scheduler};
 pub use spec::{Mode, RunSpec, MODEL_VERSION};

@@ -4,10 +4,18 @@
 //! the engine wires the sink through its [`crate::engine::backend::RunObserver`]
 //! so artifact persistence and progress share one event stream. Sinks are
 //! called from worker threads concurrently and must be `Sync`.
+//!
+//! The same rendering is also available as a telemetry subscriber:
+//! [`ProgressSubscriber`] re-implements every [`ProgressMode`] on top of
+//! the structured event stream (`run_begin` points, `spec` spans,
+//! `run_end` points), so a CLI that installs telemetry subscribers gets
+//! progress/ETA from the same events its JSON log records.
 
 use std::io::{IsTerminal, Write};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+use ltc_telemetry::{Event, EventKind};
 
 use crate::engine::spec::RunSpec;
 
@@ -92,6 +100,8 @@ impl ProgressSink for NullProgress {}
 pub struct TextProgress {
     live: bool,
     state: Mutex<State>,
+    /// `None` writes to stderr; tests inject a buffer to check rendering.
+    out: Option<Mutex<Box<dyn Write + Send>>>,
 }
 
 #[derive(Debug)]
@@ -105,40 +115,135 @@ impl TextProgress {
     /// A sink printing one line per spec (`live: false`) or rewriting a
     /// single status line in place (`live: true`).
     pub fn new(live: bool) -> Self {
-        TextProgress { live, state: Mutex::new(State { total: 0, completed: 0, started: None }) }
+        TextProgress {
+            live,
+            state: Mutex::new(State { total: 0, completed: 0, started: None }),
+            out: None,
+        }
     }
-}
 
-impl ProgressSink for TextProgress {
-    fn begin(&self, total: usize) {
+    /// Like [`TextProgress::new`] but rendering into `out` instead of
+    /// stderr, so tests can assert the exact bytes each mode produces.
+    pub fn with_writer(live: bool, out: Box<dyn Write + Send>) -> Self {
+        TextProgress { out: Some(Mutex::new(out)), ..TextProgress::new(live) }
+    }
+
+    /// Resets the counters for a run over `total` specs.
+    pub fn begin_total(&self, total: usize) {
         let mut state = self.state.lock().expect("progress lock");
         state.total = total;
         state.completed = 0;
         state.started = Some(Instant::now());
     }
 
-    fn spec_finished(&self, spec: &RunSpec, elapsed: Duration) {
+    /// Renders one completed spec, identified by its label.
+    pub fn finish_line(&self, label: &str, elapsed: Duration) {
         let mut state = self.state.lock().expect("progress lock");
         state.completed += 1;
         let eta = state
             .started
             .map(|t| eta_after(t.elapsed(), state.completed, state.total))
             .unwrap_or_default();
-        let line = status_line(state.completed, state.total, &spec.label(), elapsed, eta);
-        let mut err = std::io::stderr().lock();
-        let _ = if self.live {
-            // \x1b[2K clears the previous (possibly longer) line.
-            write!(err, "\r\x1b[2K{line}")
-        } else {
-            writeln!(err, "{line}")
-        };
-        let _ = err.flush();
+        let line = status_line(state.completed, state.total, label, elapsed, eta);
+        self.write(|w| {
+            if self.live {
+                // \x1b[2K clears the previous (possibly longer) line.
+                write!(w, "\r\x1b[2K{line}")
+            } else {
+                writeln!(w, "{line}")
+            }
+        });
+    }
+
+    /// Finishes the run (terminates the live line, if any).
+    pub fn finish_run(&self) {
+        let state = self.state.lock().expect("progress lock");
+        if self.live && state.completed > 0 {
+            self.write(|w| writeln!(w));
+        }
+    }
+
+    fn write(&self, f: impl FnOnce(&mut dyn Write) -> std::io::Result<()>) {
+        match &self.out {
+            Some(out) => {
+                let mut out = out.lock().expect("progress writer lock");
+                let _ = f(&mut **out);
+                let _ = out.flush();
+            }
+            None => {
+                let mut err = std::io::stderr().lock();
+                let _ = f(&mut err);
+                let _ = err.flush();
+            }
+        }
+    }
+}
+
+impl ProgressSink for TextProgress {
+    fn begin(&self, total: usize) {
+        self.begin_total(total);
+    }
+
+    fn spec_finished(&self, spec: &RunSpec, elapsed: Duration) {
+        self.finish_line(&spec.label(), elapsed);
     }
 
     fn end(&self) {
-        let state = self.state.lock().expect("progress lock");
-        if self.live && state.completed > 0 {
-            let _ = writeln!(std::io::stderr());
+        self.finish_run();
+    }
+}
+
+/// Re-implements a [`ProgressMode`] as a telemetry subscriber: the
+/// scheduler's `run_begin`/`run_end` points and the backends' `spec`
+/// spans drive the same [`TextProgress`] rendering the sink path uses,
+/// so a run recording an event log needs no second progress channel.
+///
+/// The `spec` span-end's `run_us` field (pure execution time) feeds the
+/// per-spec column, matching what [`ProgressSink::spec_finished`]
+/// reports.
+pub struct ProgressSubscriber {
+    text: Option<TextProgress>,
+}
+
+impl ProgressSubscriber {
+    /// A subscriber rendering `mode` to stderr ([`ProgressMode::Off`]
+    /// renders nothing but still accepts events).
+    pub fn new(mode: ProgressMode) -> Self {
+        let text = match mode {
+            ProgressMode::Off => None,
+            ProgressMode::Plain => Some(TextProgress::new(false)),
+            ProgressMode::Live => Some(TextProgress::new(true)),
+            ProgressMode::Auto => Some(TextProgress::new(std::io::stderr().is_terminal())),
+        };
+        ProgressSubscriber { text }
+    }
+
+    /// A subscriber rendering through an injected [`TextProgress`]
+    /// (tests).
+    pub fn with_text(text: TextProgress) -> Self {
+        ProgressSubscriber { text: Some(text) }
+    }
+}
+
+impl ltc_telemetry::Subscriber for ProgressSubscriber {
+    fn event(&self, event: &Event) {
+        let Some(text) = &self.text else { return };
+        match (event.kind, event.name.as_str()) {
+            (EventKind::Point, "run_begin") => {
+                let total = event.field("total").and_then(|f| f.as_u64()).unwrap_or(0);
+                text.begin_total(total as usize);
+            }
+            (EventKind::SpanEnd, "spec") => {
+                let Some(label) = event.field("label").and_then(|f| f.as_str()) else { return };
+                let run_us = event
+                    .field("run_us")
+                    .or_else(|| event.field("elapsed_us"))
+                    .and_then(|f| f.as_u64())
+                    .unwrap_or(0);
+                text.finish_line(label, Duration::from_micros(run_us));
+            }
+            (EventKind::Point, "run_end") => text.finish_run(),
+            _ => {}
         }
     }
 }
@@ -214,6 +319,114 @@ mod tests {
         assert_eq!(fmt_duration(Duration::from_secs(47)), "47s");
         assert_eq!(fmt_duration(Duration::from_secs(182)), "3m02s");
         assert_eq!(fmt_duration(Duration::from_secs(4320)), "1h12m");
+    }
+
+    /// A cloneable in-memory writer so tests can inspect what a
+    /// [`TextProgress`] rendered.
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::sync::Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl SharedBuf {
+        fn contents(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    fn run_begin(total: u64) -> Event {
+        let mut e = Event::now(EventKind::Point, "run_begin");
+        e.fields.push(("total".to_string(), total.into()));
+        e
+    }
+
+    fn spec_end(label: &str, run_us: u64) -> Event {
+        let mut e = Event::now(EventKind::SpanEnd, "spec");
+        e.span = Some(1);
+        e.fields.push(("label".to_string(), label.into()));
+        e.fields.push(("run_us".to_string(), run_us.into()));
+        e
+    }
+
+    #[test]
+    fn plain_subscriber_renders_one_line_per_spec_with_eta() {
+        use ltc_telemetry::Subscriber;
+        let buf = SharedBuf::default();
+        let sub =
+            ProgressSubscriber::with_text(TextProgress::with_writer(false, Box::new(buf.clone())));
+        sub.event(&run_begin(3));
+        sub.event(&spec_end("coverage/gzip/baseline/1000k/s1", 1_840_000));
+        sub.event(&spec_end("coverage/mcf/baseline/1000k/s1", 500_000));
+        sub.event(&spec_end("coverage/art/baseline/1000k/s1", 250_000));
+        sub.event(&Event::now(EventKind::Point, "run_end"));
+        let out = buf.contents();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3, "one plain line per spec:\n{out}");
+        assert!(
+            lines[0].starts_with("[1/3] coverage/gzip/baseline/1000k/s1  1.84s"),
+            "first line: {:?}",
+            lines[0]
+        );
+        // Incomplete specs carry an ETA; the final one drops it.
+        assert!(lines[0].contains("(eta "), "eta on line 1: {:?}", lines[0]);
+        assert!(!lines[2].contains("eta"), "no eta on final line: {:?}", lines[2]);
+        assert!(!out.contains('\r'), "plain mode never rewrites in place");
+    }
+
+    #[test]
+    fn live_subscriber_rewrites_in_place_and_terminates_the_line() {
+        use ltc_telemetry::Subscriber;
+        let buf = SharedBuf::default();
+        let sub =
+            ProgressSubscriber::with_text(TextProgress::with_writer(true, Box::new(buf.clone())));
+        sub.event(&run_begin(2));
+        sub.event(&spec_end("a/b/c", 100_000));
+        sub.event(&spec_end("a/b/d", 100_000));
+        sub.event(&Event::now(EventKind::Point, "run_end"));
+        let out = buf.contents();
+        // Each update rewrites the same line: carriage return + clear.
+        assert_eq!(out.matches("\r\x1b[2K").count(), 2, "{out:?}");
+        assert!(out.contains("[1/2] a/b/c  0.10s"), "{out:?}");
+        assert!(out.contains("[2/2] a/b/d  0.10s"), "{out:?}");
+        // run_end terminates the rewritten line exactly once.
+        assert!(out.ends_with('\n'), "{out:?}");
+        assert_eq!(out.matches('\n').count(), 1, "{out:?}");
+    }
+
+    #[test]
+    fn off_subscriber_renders_nothing() {
+        use ltc_telemetry::Subscriber;
+        let sub = ProgressSubscriber::new(ProgressMode::Off);
+        sub.event(&run_begin(5));
+        sub.event(&spec_end("a/b/c", 1));
+        sub.event(&Event::now(EventKind::Point, "run_end"));
+        // Nothing to assert beyond "does not panic": Off has no writer.
+    }
+
+    #[test]
+    fn subscriber_ignores_unrelated_events_and_missing_fields() {
+        use ltc_telemetry::Subscriber;
+        let buf = SharedBuf::default();
+        let sub =
+            ProgressSubscriber::with_text(TextProgress::with_writer(false, Box::new(buf.clone())));
+        sub.event(&run_begin(1));
+        // A spec end without a label cannot be rendered; skip, not panic.
+        let mut unlabeled = Event::now(EventKind::SpanEnd, "spec");
+        unlabeled.fields.push(("run_us".to_string(), 5u64.into()));
+        sub.event(&unlabeled);
+        sub.event(&Event::now(EventKind::Counter, "scheduler.cache_hits"));
+        sub.event(&Event::now(EventKind::SpanEnd, "scheduler.plan"));
+        assert_eq!(buf.contents(), "", "unrelated events render nothing");
+        sub.event(&spec_end("x", 10_000));
+        assert!(buf.contents().starts_with("[1/1] x  0.01s"));
     }
 
     #[test]

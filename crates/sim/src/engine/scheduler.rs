@@ -141,8 +141,12 @@ impl Scheduler {
     /// Returns any artifact-cache I/O error, backend transport error, or
     /// segment-reduce error (shape-mismatched partials).
     pub fn execute_into(&self, results: &mut ResultSet, opts: &EngineOptions) -> io::Result<()> {
-        let pending: Vec<RunSpec> =
-            self.unique().into_iter().filter(|s| !results.contains(s)).collect();
+        let unique = self.unique();
+        let plan_span = ltc_telemetry::span("scheduler.plan", Vec::new());
+        ltc_telemetry::counter("scheduler.requested", self.requests.len() as u64);
+        ltc_telemetry::counter("scheduler.deduped", (self.requests.len() - unique.len()) as u64);
+        let hits_before = results.cache_hits;
+        let pending: Vec<RunSpec> = unique.into_iter().filter(|s| !results.contains(s)).collect();
 
         let mut to_run = Vec::new();
         let mut queued: HashSet<RunSpec> = HashSet::new();
@@ -158,6 +162,7 @@ impl Scheduler {
                 Some(dir) if !opts.force => artifact::load(dir, &spec)?,
                 _ => None,
             };
+            cache_probe(&spec, cached.is_some());
             match cached {
                 Some(result) => {
                     results.cache_hits += 1;
@@ -173,6 +178,7 @@ impl Scheduler {
                                 Some(dir) if !opts.force => artifact::load(dir, &child)?,
                                 _ => None,
                             };
+                            cache_probe(&child, cached.is_some());
                             match cached {
                                 Some(result) => {
                                     results.cache_hits += 1;
@@ -197,6 +203,12 @@ impl Scheduler {
                 },
             }
         }
+        let pass_hits = results.cache_hits - hits_before;
+        ltc_telemetry::counter("scheduler.cache_hits", pass_hits);
+        plan_span.end_with(vec![
+            ("cache_hits".to_string(), pass_hits.into()),
+            ("to_run".to_string(), (to_run.len() as u64).into()),
+        ]);
 
         // Record generator checkpoints and warm hierarchy images once per
         // trace before the backend fans segment workers out: one O(trace)
@@ -231,6 +243,7 @@ impl Scheduler {
                 }
             }
         }
+        let seek_span = ltc_telemetry::span("scheduler.checkpoints", Vec::new());
         if !seek_targets.is_empty() {
             // Default the on-disk hand-off next to the artifact cache so
             // subprocess workers inherit populated stores without the
@@ -247,6 +260,7 @@ impl Scheduler {
                 checkpoints::ensure(benchmark, *seed, targets);
             }
         }
+        seek_span.end_with(vec![("traces".to_string(), (seek_targets.len() as u64).into())]);
 
         // Each artifact persists from the worker that produced it (via
         // the observer), not after the backend returns: an interrupted
@@ -257,6 +271,15 @@ impl Scheduler {
         if let Some(dir) = &opts.cache_dir {
             std::fs::create_dir_all(dir)?;
         }
+        let backend = opts.backend.build(opts.threads);
+        ltc_telemetry::point(
+            "run_begin",
+            vec![
+                ("total".to_string(), (to_run.len() as u64).into()),
+                ("backend".to_string(), backend.name().into()),
+            ],
+        );
+        let execute_span = ltc_telemetry::span("scheduler.execute", Vec::new());
         let sink = opts.progress.sink();
         sink.begin(to_run.len());
         let store_error: Mutex<Option<io::Error>> = Mutex::new(None);
@@ -265,9 +288,15 @@ impl Scheduler {
             store_error: &store_error,
             sink: sink.as_ref(),
         };
-        let outcomes = opts.backend.build(opts.threads).execute(&to_run, &observer);
+        let outcomes = backend.execute(&to_run, &observer);
         sink.end();
+        execute_span.end_with(vec![("specs".to_string(), (to_run.len() as u64).into())]);
         let outcomes = outcomes?;
+        ltc_telemetry::point(
+            "run_end",
+            vec![("completed".to_string(), (to_run.len() as u64).into())],
+        );
+        ltc_telemetry::counter("scheduler.simulated", to_run.len() as u64);
         for (spec, result) in to_run.into_iter().zip(outcomes) {
             results.simulated += 1;
             results.insert(spec, result);
@@ -316,6 +345,19 @@ impl Scheduler {
             }
         }
         Ok(missing)
+    }
+}
+
+/// Emits one `cache_probe` telemetry point per planned spec, recording
+/// whether the artifact cache satisfied it. Probe outcomes depend only on
+/// the plan and the cache, never on the backend, so comparing the
+/// `cache_probe` streams of two runs checks backend equivalence.
+fn cache_probe(spec: &RunSpec, hit: bool) {
+    if ltc_telemetry::enabled() {
+        ltc_telemetry::point(
+            "cache_probe",
+            vec![("label".to_string(), spec.label().into()), ("hit".to_string(), hit.into())],
+        );
     }
 }
 
@@ -396,5 +438,80 @@ mod tests {
         let results = s.execute(&opts).unwrap();
         assert_eq!(results.simulated(), 2);
         assert!(results.coverage(&tiny("gzip", 1)).base_l1_misses > 0);
+    }
+
+    #[test]
+    fn engine_runs_emit_scheduler_and_spec_events() {
+        use ltc_telemetry::{Capture, EventKind};
+        // Backend workers run on their own threads, so a thread-local
+        // subscriber cannot see their events: install globally. Other
+        // tests executing engines concurrently may emit into the capture
+        // too, so assertions filter by this test's unique spec labels
+        // (the 4001/4002-access coverage runs exist nowhere else) and use
+        // lower bounds for unattributable counters.
+        let spec_a = RunSpec::coverage("gzip", PredictorKind::Baseline, 4_001, 1);
+        let spec_b = RunSpec::coverage("mesa", PredictorKind::Baseline, 4_002, 1);
+        let capture = std::sync::Arc::new(Capture::new());
+        let token = ltc_telemetry::install(capture.clone());
+        let mut s = Scheduler::new();
+        s.request(spec_a.clone());
+        s.request(spec_a.clone()); // dedup fodder
+        s.request(spec_b.clone());
+        let results = s.execute(&EngineOptions::in_memory(2)).unwrap();
+        ltc_telemetry::uninstall(token);
+        assert_eq!(results.simulated(), 2);
+
+        let events = capture.events();
+        let mine = |label: &str| {
+            events
+                .iter()
+                .filter(|e| e.field("label").and_then(|f| f.as_str()) == Some(label))
+                .count()
+        };
+        for spec in [&spec_a, &spec_b] {
+            let label = spec.label();
+            // One cache probe (a miss: no cache dir) and one spec span
+            // begin/end pair per unique spec.
+            let probes: Vec<_> = events
+                .iter()
+                .filter(|e| {
+                    e.name == "cache_probe"
+                        && e.field("label").and_then(|f| f.as_str()) == Some(label.as_str())
+                })
+                .collect();
+            assert_eq!(probes.len(), 1, "{label}");
+            assert_eq!(probes[0].field("hit"), Some(&ltc_telemetry::FieldValue::Bool(false)));
+            assert!(mine(&label) >= 3, "probe + span begin/end for {label}");
+            let ends: Vec<_> = events
+                .iter()
+                .filter(|e| {
+                    e.kind == EventKind::SpanEnd
+                        && e.name == "spec"
+                        && e.field("label").and_then(|f| f.as_str()) == Some(label.as_str())
+                })
+                .collect();
+            assert_eq!(ends.len(), 1, "{label}");
+            let end = ends[0];
+            assert!(end.span.is_some(), "spec span ends carry their span id");
+            assert!(end.worker.is_some(), "spec spans are stamped with a worker id");
+            assert!(end.field("queue_wait_us").is_some());
+            assert!(end.field("run_us").is_some());
+        }
+        // Scheduler lifecycle events exist (≥, in case a concurrent test
+        // also ran an engine while the capture was installed).
+        for name in ["run_begin", "run_end"] {
+            assert!(events.iter().any(|e| e.name == name), "{name} missing");
+        }
+        for name in ["scheduler.requested", "scheduler.deduped", "scheduler.simulated"] {
+            assert!(
+                events.iter().any(|e| e.kind == EventKind::Counter && e.name == name),
+                "{name} missing"
+            );
+        }
+        let plan_ends = events
+            .iter()
+            .filter(|e| e.kind == EventKind::SpanEnd && e.name == "scheduler.plan")
+            .count();
+        assert!(plan_ends >= 1, "planning span closed");
     }
 }

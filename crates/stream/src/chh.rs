@@ -227,6 +227,12 @@ impl ChhSummary {
         self.total
     }
 
+    /// The nested Count-Min pair sketch (read-only), so telemetry can
+    /// sample its occupancy alongside the outer table's.
+    pub fn pair_sketch(&self) -> &CountMin {
+        &self.pairs
+    }
+
     /// Expected-case bound on key-frequency overestimates under uniform
     /// set hashing (the per-set Space-Saving bound is `set
     /// observations / ways`; summed over sets that is `N / capacity` on

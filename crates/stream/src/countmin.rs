@@ -110,6 +110,14 @@ impl CountMin {
         (self.counters.len() as u64 + self.row_seeds.len() as u64) * 8
     }
 
+    /// Non-zero counters in the grid — the occupancy telemetry samples.
+    /// Approaching `width * depth` means rows are saturating and
+    /// estimates degrade toward `total`; an O(width·depth) scan, so
+    /// sample it, don't call it per observation.
+    pub fn occupancy(&self) -> u64 {
+        self.counters.iter().filter(|&&c| c > 0).count() as u64
+    }
+
     #[inline]
     fn slot(&self, row: usize, key: u64) -> usize {
         row * self.width + self.hash.index(key, self.row_seeds[row], self.width - 1)
@@ -248,6 +256,23 @@ pub struct CountMinState {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn occupancy_counts_nonzero_counters() {
+        let mut cm = CountMin::new(64, 4, 1);
+        assert_eq!(cm.occupancy(), 0);
+        cm.observe(42);
+        // One distinct key touches exactly one counter per row (hash
+        // collisions across rows land in different rows' slots).
+        assert_eq!(cm.occupancy(), cm.depth() as u64);
+        for key in 0..10_000u64 {
+            cm.observe(key);
+        }
+        let occ = cm.occupancy();
+        assert!(occ > 0 && occ <= (cm.width() * cm.depth()) as u64);
+        cm.clear();
+        assert_eq!(cm.occupancy(), 0);
+    }
 
     #[test]
     fn never_undercounts() {

@@ -84,6 +84,10 @@ pub struct SpaceSaving<K> {
     /// Live `(count, slot)` pairs ordered for O(log k) min retrieval.
     order: BTreeSet<(u64, u32)>,
     total: u64,
+    /// Replacements performed by this instance (telemetry only — not
+    /// part of the logical sketch state, so excluded from
+    /// [`SpaceSavingState`] and [`SpaceSaving::merge`]).
+    evictions: u64,
 }
 
 impl<K: Eq + Hash + Copy> SpaceSaving<K> {
@@ -100,6 +104,7 @@ impl<K: Eq + Hash + Copy> SpaceSaving<K> {
             index: HashMap::new(),
             order: BTreeSet::new(),
             total: 0,
+            evictions: 0,
         }
     }
 
@@ -134,6 +139,16 @@ impl<K: Eq + Hash + Copy> SpaceSaving<K> {
     /// Observations so far (`N`).
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    /// Min-key replacements performed by this instance since
+    /// construction (or the last [`SpaceSaving::clear`]): how often a
+    /// full summary displaced its minimum-count key. High eviction
+    /// rates relative to [`SpaceSaving::total`] signal the capacity is
+    /// too small for the stream's churn. Telemetry-only: snapshots and
+    /// merges neither carry nor combine it.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// The ε·N error bound: any estimate is within `total / capacity` of
@@ -174,6 +189,7 @@ impl<K: Eq + Hash + Copy> SpaceSaving<K> {
         *e = Entry { key, count: min_count + n, overestimate: min_count };
         self.index.insert(key, slot);
         self.order.insert((min_count + n, slot));
+        self.evictions += 1;
         Observed::Replaced(slot)
     }
 
@@ -224,6 +240,7 @@ impl<K: Eq + Hash + Copy> SpaceSaving<K> {
         self.index.clear();
         self.order.clear();
         self.total = 0;
+        self.evictions = 0;
     }
 
     /// The minimum monitored count (0 when empty) — the upper bound on
@@ -407,6 +424,23 @@ mod tests {
         assert_eq!(e.count, 4);
         assert_eq!(e.overestimate, 3);
         assert!(ss.estimate(&2).is_none());
+    }
+
+    #[test]
+    fn evictions_count_replacements_only() {
+        let mut ss = SpaceSaving::new(2);
+        ss.observe(1u64);
+        ss.observe(2);
+        ss.observe(1);
+        assert_eq!(ss.evictions(), 0, "inserts and increments are not evictions");
+        ss.observe(3); // displaces the min key
+        ss.observe(4); // displaces again
+        assert_eq!(ss.evictions(), 2);
+        // Telemetry-only: the counter survives neither snapshots nor clear.
+        let revived = SpaceSaving::from_state(&ss.to_state()).unwrap();
+        assert_eq!(revived.evictions(), 0);
+        ss.clear();
+        assert_eq!(ss.evictions(), 0);
     }
 
     #[test]
