@@ -11,11 +11,11 @@
 //! ltsim plan     [--figures a,b,..] [--quick]
 //! ltsim run      [--figures a,b,..] [--out DIR] [--quick] [--force] [--threads N]
 //!                [--backend threads|sharded|subprocess] [--progress off|plain|live|auto]
-//!                [--events FILE]
+//!                [--events FILE] [--retries N] [--spec-timeout SECS]
 //! ltsim render   [--figures a,b,..] [--out DIR] [--format table|json|csv]
 //! ltsim stream   <benchmark|all> [--budget BYTES] [--segments N] [--accesses N] [--seed N]
 //!                [--out DIR] [--force] [--threads N] [--backend ...] [--progress ...]
-//!                [--events FILE]
+//!                [--events FILE] [--retries N] [--spec-timeout SECS]
 //! ltsim bench    [--quick] [--accesses N] [--benchmark NAME] [--seed N] [--rounds N]
 //!                [--out FILE] [--compare FILE] [--tolerance PCT]
 //! ltsim events   summarize <file>
@@ -36,6 +36,14 @@
 //! subcommand, which reads one canonical `RunSpec` JSON line per request
 //! from stdin and answers each with one `RunResult` JSON line on stdout
 //! until stdin closes.
+//!
+//! Execution is supervised (see EXPERIMENTS.md "Fault tolerance"):
+//! `--retries N` sets the per-spec retry budget (default 2) and
+//! `--spec-timeout SECS` arms a per-spec wall-clock timeout on the
+//! subprocess backend. A dead worker's in-flight spec requeues onto a
+//! survivor and the child is respawned with exponential backoff. The
+//! `LTC_FAULT_INJECT` environment variable injects faults for chaos
+//! testing (`panic-once:<label>`, `exit-after:<n>`, `hang-before:<n>`).
 //!
 //! `run --events FILE` (also on `stream`) records the structured
 //! telemetry stream — scheduler planning, per-spec spans with queue-wait
@@ -63,7 +71,8 @@ use std::time::Instant;
 use ltc_bench::harness::{self, FigureDef};
 use ltc_bench::Scale;
 use ltc_sim::engine::{
-    artifact, BackendKind, EngineOptions, ProgressMode, ProgressSubscriber, ResultSet, RunSpec,
+    artifact, BackendKind, EngineOptions, FaultInject, FaultPolicy, ProgressMode,
+    ProgressSubscriber, ResultSet, RunSpec, FAULT_INJECT_ENV,
 };
 use ltc_sim::experiment::{run_coverage, run_timing, PredictorKind};
 use ltc_sim::report::{pct1, Table};
@@ -258,9 +267,10 @@ fn self_worker_command() -> Result<Vec<String>, String> {
 }
 
 /// Parses one engine flag (`--out`, `--force`, `--threads`, `--backend`,
-/// `--progress`, `--events`) into `opts`/`events`. Shared by the figure
-/// subcommands and `stream` so the engine surface cannot drift between
-/// them. Returns `Ok(false)` when `arg` is not an engine flag.
+/// `--progress`, `--events`, `--retries`, `--spec-timeout`) into
+/// `opts`/`events`. Shared by the figure subcommands and `stream` so the
+/// engine surface cannot drift between them. Returns `Ok(false)` when
+/// `arg` is not an engine flag.
 fn parse_engine_flag(
     arg: &str,
     it: &mut std::slice::Iter<'_, String>,
@@ -292,6 +302,20 @@ fn parse_engine_flag(
             opts.progress = ProgressMode::parse(name)
                 .ok_or_else(|| format!("unknown progress mode: {name}"))?;
         }
+        "--retries" => {
+            opts.fault.retries = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or("--retries needs a non-negative number")?;
+        }
+        "--spec-timeout" => {
+            let secs: f64 = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|&s: &f64| s > 0.0 && s.is_finite())
+                .ok_or("--spec-timeout needs a positive number of seconds")?;
+            opts.fault.spec_timeout = Some(std::time::Duration::from_secs_f64(secs));
+        }
         _ => return Ok(false),
     }
     Ok(true)
@@ -307,6 +331,9 @@ fn parse_figure_args(args: &[String]) -> Result<FigureArgs, String> {
             threads: scale.threads,
             backend: BackendKind::Threads,
             progress: ProgressMode::Auto,
+            // Pick up LTC_FAULT_INJECT for chaos runs; --retries /
+            // --spec-timeout refine the policy below.
+            fault: FaultPolicy::from_env(),
             ..EngineOptions::default()
         },
         events: None,
@@ -542,7 +569,8 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     let mut segments: u32 = 1;
     let mut accesses: u64 = 2_000_000;
     let mut seed: u64 = 1;
-    let mut opts = EngineOptions { threads: 4, ..EngineOptions::default() };
+    let mut opts =
+        EngineOptions { threads: 4, fault: FaultPolicy::from_env(), ..EngineOptions::default() };
     let mut events: Option<String> = None;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
@@ -780,6 +808,13 @@ impl ltc_telemetry::Subscriber for WireSubscriber {
 fn cmd_worker() -> Result<(), String> {
     let _wire_token = std::env::var_os(ltc_telemetry::WIRE_ENV)
         .map(|_| ltc_telemetry::install(Arc::new(WireSubscriber)));
+    // Chaos-test injection (the supervising parent must recover):
+    // `exit-after:<n>` dies abruptly after answering n specs,
+    // `hang-before:<n>` stalls the n-th answer until the parent's
+    // --spec-timeout watchdog kills us. Respawned children inherit the
+    // directive, so injected faults recur for the whole batch.
+    let inject = std::env::var(FAULT_INJECT_ENV).ok().as_deref().and_then(FaultInject::parse);
+    let mut answered: u64 = 0;
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
@@ -804,6 +839,14 @@ fn cmd_worker() -> Result<(), String> {
                 ltc_sim::engine::MODEL_VERSION
             ));
         }
+        if let Some(FaultInject::HangBefore(n)) = inject {
+            if answered + 1 == n {
+                // Stall until the parent's timeout watchdog kills us.
+                loop {
+                    std::thread::sleep(std::time::Duration::from_secs(3600));
+                }
+            }
+        }
         let span = if ltc_telemetry::enabled() {
             ltc_telemetry::span("worker.spec", vec![("label".to_string(), spec.label().into())])
         } else {
@@ -814,6 +857,14 @@ fn cmd_worker() -> Result<(), String> {
         writeln!(out, "{}", ltc_sim::serde_json::to_string(&result))
             .and_then(|()| out.flush())
             .map_err(|e| format!("writing result line: {e}"))?;
+        answered += 1;
+        if let Some(FaultInject::ExitAfter(n)) = inject {
+            if answered >= n {
+                // Die abruptly — no EOF handshake, non-zero status —
+                // exactly like a crashed worker.
+                std::process::exit(17);
+            }
+        }
     }
     Ok(())
 }

@@ -7,8 +7,15 @@
 //! structured warnings — including events forwarded from subprocess
 //! workers. [`summarize`] digests such a log into the operator-facing
 //! breakdown tables: per-phase span totals, the slowest specs, the
-//! artifact-cache hit ratio, the restore-outcome histogram, and peak
-//! gauge levels (e.g. peak worker summary memory).
+//! artifact-cache hit ratio, the restore-outcome histogram, the fault
+//! histogram (`spec.retry` / `spec.timeout` / `worker.respawn` points
+//! emitted by the supervised backends), and peak gauge levels (e.g.
+//! peak worker summary memory).
+//!
+//! Failed execution attempts close their `spec` spans with an `outcome`
+//! field (`"panic"`, `"retry"`, `"timeout"`); those ends count toward
+//! span balance and phase totals but are excluded from the slowest-spec
+//! table so retries do not masquerade as slow completions.
 
 use std::collections::HashMap;
 
@@ -46,6 +53,8 @@ pub struct EventLog {
     cache_hits: u64,
     cache_probes: u64,
     restores: Vec<(String, u64)>,
+    /// Fault-path points keyed by event name (`spec.retry`, …).
+    faults: Vec<(String, u64)>,
     gauges: Vec<(String, u64, Option<u64>)>,
     counters: Vec<(String, u64)>,
     warnings: Vec<String>,
@@ -140,7 +149,11 @@ impl EventLog {
                     }
                     None => self.phases.push((name.to_string(), 1, elapsed)),
                 }
-                if name == "spec" || name == "worker.spec" {
+                // Failed attempts (outcome-tagged ends) are not
+                // completions; keep them out of the slowest-spec table.
+                if (name == "spec" || name == "worker.spec")
+                    && field_str(event, "outcome").is_none()
+                {
                     if let Some(label) = field_str(event, "label") {
                         self.specs.push(SpecRow {
                             label: format!(
@@ -187,6 +200,9 @@ impl EventLog {
                 "segment_restore" => {
                     let outcome = field_str(event, "outcome").unwrap_or("unknown");
                     bump(&mut self.restores, outcome, 1);
+                }
+                "spec.retry" | "spec.timeout" | "worker.respawn" => {
+                    bump(&mut self.faults, name, 1);
                 }
                 _ => {}
             },
@@ -264,6 +280,15 @@ impl EventLog {
             let mut t = Table::new(vec!["segment restore", "count"]);
             for (outcome, count) in &self.restores {
                 t.row(vec![outcome.clone(), count.to_string()]);
+            }
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+
+        if !self.faults.is_empty() {
+            let mut t = Table::new(vec!["fault", "count"]);
+            for (name, count) in &self.faults {
+                t.row(vec![name.clone(), count.to_string()]);
             }
             out.push_str(&t.render());
             out.push('\n');
@@ -352,6 +377,43 @@ mod tests {
         assert!(out.contains("8192"), "peak gauge keeps the max: {out}");
         assert!(out.contains("sketch.evictions"), "{out}");
         assert!(out.contains("corrupt_store: ignoring corrupt checkpoint store"), "{out}");
+    }
+
+    #[test]
+    fn fault_points_build_the_fault_histogram() {
+        let log = [
+            r#"{"v":1,"t":1,"kind":"point","name":"spec.retry","fields":{"label":"a","attempt":1,"reason":"worker died"}}"#,
+            r#"{"v":1,"t":2,"kind":"point","name":"spec.retry","fields":{"label":"b","attempt":1,"reason":"worker died"}}"#,
+            r#"{"v":1,"t":3,"kind":"point","name":"spec.timeout","fields":{"label":"a","attempt":2,"reason":"timed out"}}"#,
+            r#"{"v":1,"t":4,"kind":"point","name":"worker.respawn","fields":{"worker":0,"consecutive_failures":1,"backoff_ms":1,"reason":"exited"}}"#,
+        ]
+        .join("\n");
+        let out = summarize(&log).unwrap();
+        assert!(out.contains("fault"), "{out}");
+        assert!(out.contains("spec.retry"), "{out}");
+        assert!(out.contains("spec.timeout"), "{out}");
+        assert!(out.contains("worker.respawn"), "{out}");
+        // spec.retry appeared twice, the others once.
+        let retry_row = out.lines().find(|l| l.contains("spec.retry")).unwrap();
+        assert!(retry_row.contains('2'), "{retry_row}");
+    }
+
+    #[test]
+    fn outcome_tagged_spec_ends_stay_out_of_the_slowest_table() {
+        let log = [
+            r#"{"v":1,"t":1,"kind":"span_begin","name":"spec","span":1,"worker":1,"fields":{"label":"failing"}}"#,
+            r#"{"v":1,"t":2,"kind":"span_end","name":"spec","span":1,"worker":1,"fields":{"elapsed_us":999,"label":"failing","run_us":999,"outcome":"retry"}}"#,
+            r#"{"v":1,"t":3,"kind":"span_begin","name":"spec","span":2,"worker":1,"fields":{"label":"completed"}}"#,
+            r#"{"v":1,"t":4,"kind":"span_end","name":"spec","span":2,"worker":1,"fields":{"elapsed_us":10,"label":"completed","run_us":10}}"#,
+        ]
+        .join("\n");
+        let parsed = EventLog::parse(&log).unwrap();
+        // Failed attempts still balance their spans...
+        assert_eq!(parsed.unbalanced_spans(), 0);
+        let out = parsed.render();
+        // ...but only the completion makes the slowest-spec table.
+        assert!(out.contains("completed"), "{out}");
+        assert!(!out.contains("failing"), "{out}");
     }
 
     #[test]

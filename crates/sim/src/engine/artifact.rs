@@ -13,6 +13,7 @@ use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Value};
 
+use crate::engine::fsutil;
 use crate::engine::result::RunResult;
 use crate::engine::spec::RunSpec;
 
@@ -31,6 +32,11 @@ pub fn json_line(spec: &RunSpec, result: &RunResult) -> String {
 
 /// Writes the artifact for one run (creates `dir` as needed).
 ///
+/// The write is atomic and durable ([`fsutil::write_atomic`]): a worker
+/// killed mid-store — a crash, a chaos-test injection, a timeout kill —
+/// can never leave a truncated `results/*.json` behind, only a staging
+/// file the next startup sweeps.
+///
 /// # Errors
 ///
 /// Returns any filesystem error.
@@ -38,7 +44,7 @@ pub fn store(dir: &Path, spec: &RunSpec, result: &RunResult) -> io::Result<()> {
     fs::create_dir_all(dir)?;
     let mut line = json_line(spec, result);
     line.push('\n');
-    fs::write(path_for(dir, spec), line)
+    fsutil::write_atomic(&path_for(dir, spec), line.as_bytes())
 }
 
 /// Loads the artifact for `spec`, verifying the stored spec matches.

@@ -423,12 +423,11 @@ fn persist_warm(
 
 fn persist_at(dir: &Path, path: &Path, json: String) -> std::io::Result<()> {
     fs::create_dir_all(dir)?;
-    // Atomic replace: concurrent ensure passes (several schedulers, or a
-    // scheduler racing its own workers) must never expose a half-written
-    // file to a reader.
-    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-    fs::write(&tmp, json)?;
-    fs::rename(&tmp, path)
+    // Atomic, fsynced replace: concurrent ensure passes (several
+    // schedulers, or a scheduler racing its own workers) must never
+    // expose a half-written file to a reader, and a crash must not be
+    // able to tear one.
+    crate::engine::fsutil::write_atomic(path, json.as_bytes())
 }
 
 fn key(benchmark: &str, seed: u64) -> (String, u64) {
@@ -444,7 +443,11 @@ fn dir_from_env() -> Option<PathBuf> {
     if dir.is_empty() {
         return None;
     }
-    Some(PathBuf::from(dir))
+    let dir = PathBuf::from(dir);
+    // First touch of the checkpoint dir in this process: reclaim any
+    // staging files a crashed predecessor leaked (cheap after once).
+    crate::engine::fsutil::sweep_once(&dir);
+    Some(dir)
 }
 
 type Registry = Mutex<HashMap<(String, u64), Arc<CheckpointStore>>>;

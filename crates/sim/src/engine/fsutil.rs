@@ -1,0 +1,214 @@
+//! Crash-safe filesystem primitives shared by the persistent stores.
+//!
+//! Every on-disk store the engine owns — the `results/` artifact cache,
+//! generator checkpoints, warm hierarchy images — goes through
+//! [`write_atomic`]: the bytes land in a `<file>.tmp.<pid>` sibling,
+//! are fsynced, and only then renamed over the destination. A reader
+//! can therefore never observe a truncated file, no matter where the
+//! writer was killed. The window that *does* remain — a process dying
+//! between write and rename — leaks the tmp file; [`sweep_stale_tmp`]
+//! reclaims those on the next startup by deleting tmp files whose
+//! embedded pid no longer names a live process.
+
+use std::collections::HashSet;
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+
+/// The tmp sibling `write_atomic` stages into: `<file name>.tmp.<pid>`.
+/// The pid suffix keeps concurrent writers (several schedulers, a
+/// scheduler racing its own subprocess workers) off each other's staging
+/// files, and lets the sweeper prove a leftover is orphaned.
+fn tmp_path(path: &Path) -> PathBuf {
+    let name = path.file_name().map(|n| n.to_string_lossy()).unwrap_or_default();
+    path.with_file_name(format!("{name}.tmp.{}", std::process::id()))
+}
+
+/// Writes `contents` to `path` atomically and durably: stage into a
+/// pid-suffixed tmp sibling, fsync, rename over the destination, then
+/// best-effort fsync the parent directory so the rename itself survives
+/// a crash.
+///
+/// # Errors
+///
+/// Returns any filesystem error; on failure the tmp file is removed so
+/// an I/O error cannot itself leak staging files.
+pub fn write_atomic(path: &Path, contents: &[u8]) -> io::Result<()> {
+    let tmp = tmp_path(path);
+    let staged = File::create(&tmp).and_then(|mut file| {
+        file.write_all(contents)?;
+        file.sync_all()
+    });
+    if let Err(e) = staged.and_then(|()| fs::rename(&tmp, path)) {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
+    // Durability of the rename needs the directory entry flushed too;
+    // failure here is not a torn file, so it stays best-effort.
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Parses the pid out of a `*.tmp.<pid>` file name.
+fn stale_tmp_pid(name: &str) -> Option<u32> {
+    let (stem, pid) = name.rsplit_once('.')?;
+    if !stem.ends_with(".tmp") {
+        return None;
+    }
+    pid.parse().ok()
+}
+
+/// Whether `pid` names a live process. Conservative on platforms
+/// without `/proc`: every foreign pid is presumed alive, so nothing is
+/// swept there and the leak (bounded, tiny JSON files) persists rather
+/// than risking a racing writer's staging file.
+fn process_alive(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        Path::new(&format!("/proc/{pid}")).exists()
+    } else {
+        true
+    }
+}
+
+/// Deletes orphaned `*.tmp.<pid>` staging files in `dir` — leftovers
+/// from a process that died between `write_atomic`'s write and rename.
+/// Only files whose embedded pid is provably dead are removed; our own
+/// and live processes' staging files are untouched. A missing `dir` is
+/// a no-op. When anything is swept, one `stale_tmp` telemetry warning
+/// reports the count (falling back to stderr without a subscriber).
+///
+/// # Errors
+///
+/// Returns directory-enumeration errors; individual remove failures
+/// (a racing sweeper) are ignored.
+pub fn sweep_stale_tmp(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut removed = Vec::new();
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(pid) = name.to_str().and_then(stale_tmp_pid) else { continue };
+        if pid == std::process::id() || process_alive(pid) {
+            continue;
+        }
+        if fs::remove_file(entry.path()).is_ok() {
+            removed.push(entry.path());
+        }
+    }
+    if !removed.is_empty() {
+        ltc_telemetry::warning(
+            "stale_tmp",
+            &format!(
+                "swept {} orphaned tmp file(s) from {} (a previous process died mid-write)",
+                removed.len(),
+                dir.display()
+            ),
+            vec![
+                ("dir".to_string(), dir.display().to_string().into()),
+                ("count".to_string(), (removed.len() as u64).into()),
+            ],
+        );
+    }
+    Ok(removed)
+}
+
+/// Runs [`sweep_stale_tmp`] at most once per directory per process —
+/// store lookups call this on their hot paths, so repeat calls must be
+/// one lock + hash probe. Sweep errors are swallowed: reclaiming leaked
+/// tmp files must never fail a run.
+pub fn sweep_once(dir: &Path) {
+    static SWEPT: OnceLock<Mutex<HashSet<PathBuf>>> = OnceLock::new();
+    let mut swept =
+        SWEPT.get_or_init(Mutex::default).lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    if swept.insert(dir.to_path_buf()) {
+        let _ = sweep_stale_tmp(dir);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ltc-fsutil-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_atomic_round_trips_and_overwrites() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join("a.json");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second");
+        // No staging file survives a successful write.
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sweep_removes_only_dead_pid_tmp_files() {
+        let dir = tmp_dir("sweep");
+        // No pid this large exists (kernel pid_max caps well below u32::MAX).
+        fs::write(dir.join("a.json.tmp.4294000000"), b"orphan").unwrap();
+        fs::write(dir.join(format!("b.json.tmp.{}", std::process::id())), b"ours").unwrap();
+        fs::write(dir.join("c.json.tmp.1"), b"init is alive").unwrap();
+        fs::write(dir.join("d.json"), b"real artifact").unwrap();
+        let removed = sweep_stale_tmp(&dir).unwrap();
+        assert_eq!(removed.len(), 1);
+        assert!(removed[0].ends_with("a.json.tmp.4294000000"));
+        assert!(!dir.join("a.json.tmp.4294000000").exists());
+        assert!(dir.join(format!("b.json.tmp.{}", std::process::id())).exists());
+        assert!(dir.join("c.json.tmp.1").exists());
+        assert!(dir.join("d.json").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sweep_emits_a_stale_tmp_warning() {
+        let dir = tmp_dir("warn");
+        fs::write(dir.join("x.json.tmp.4294000001"), b"orphan").unwrap();
+        let capture = std::sync::Arc::new(ltc_telemetry::Capture::new());
+        ltc_telemetry::with_subscriber(capture.clone(), || {
+            sweep_stale_tmp(&dir).unwrap();
+        });
+        let warnings: Vec<_> =
+            capture.events().into_iter().filter(|e| e.name == "stale_tmp").collect();
+        assert_eq!(warnings.len(), 1);
+        assert_eq!(
+            warnings[0].field("count"),
+            Some(&ltc_telemetry::FieldValue::U64(1)),
+            "{warnings:?}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_directory_is_a_noop() {
+        let dir = tmp_dir("missing");
+        fs::remove_dir_all(&dir).unwrap();
+        assert!(sweep_stale_tmp(&dir).unwrap().is_empty());
+        sweep_once(&dir);
+    }
+
+    #[test]
+    fn tmp_names_parse_back_to_pids() {
+        assert_eq!(stale_tmp_pid("a.json.tmp.123"), Some(123));
+        assert_eq!(stale_tmp_pid("ckpt_gzip_1.tmp.7"), Some(7));
+        assert_eq!(stale_tmp_pid("a.json"), None);
+        assert_eq!(stale_tmp_pid("a.tmp.notapid"), None);
+        assert_eq!(stale_tmp_pid("tmp.9"), None);
+    }
+}

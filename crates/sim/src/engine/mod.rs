@@ -35,6 +35,21 @@
 //!    `(benchmark, seed)` so workers restore a snapshot instead of
 //!    regenerating an O(start) prefix (on-disk hand-off to subprocess
 //!    workers via `LTC_CHECKPOINT_DIR`).
+//! 9. [`fsutil`] — crash-safe persistence shared by the stores above:
+//!    every on-disk write stages into a pid-suffixed tmp file, fsyncs,
+//!    and renames; startup sweeps staging files leaked by dead
+//!    processes.
+//!
+//! Execution is *supervised*: every backend runs under a [`FaultPolicy`]
+//! (retry budget, per-spec timeout, respawn backoff, and the
+//! `LTC_FAULT_INJECT` chaos knob). A panicking worker thread or a dead
+//! `ltsim worker` child costs the in-flight spec one attempt and
+//! requeues it onto a surviving worker; dead children are respawned
+//! with exponential backoff. Since artifacts persist as each spec
+//! completes and segment partials are mergeable, re-execution is
+//! idempotent — a fault-injected run produces byte-identical artifacts
+//! to a clean one. Exhausted budgets surface as typed [`BackendError`]s
+//! naming the specs involved instead of panicking the pool.
 //!
 //! The whole pipeline is instrumented with `ltc_telemetry`: the
 //! scheduler emits planning spans, dedup/cache counters, and per-spec
@@ -65,6 +80,7 @@
 pub mod artifact;
 pub mod backend;
 pub mod checkpoints;
+pub mod fsutil;
 pub mod progress;
 pub mod result;
 pub mod scheduler;
@@ -72,8 +88,8 @@ pub mod segmented;
 pub mod spec;
 
 pub use backend::{
-    BackendKind, ExecutionBackend, NullObserver, RunObserver, ShardedBackend, SubprocessBackend,
-    ThreadPoolBackend,
+    BackendError, BackendKind, ExecutionBackend, FaultInject, FaultPolicy, NullObserver,
+    RunObserver, ShardedBackend, SubprocessBackend, ThreadPoolBackend, FAULT_INJECT_ENV,
 };
 pub use progress::{NullProgress, ProgressMode, ProgressSink, ProgressSubscriber, TextProgress};
 pub use result::{ResultSet, RunResult};

@@ -234,6 +234,12 @@ impl ltc_telemetry::Subscriber for ProgressSubscriber {
                 text.begin_total(total as usize);
             }
             (EventKind::SpanEnd, "spec") => {
+                // A failed attempt closes its span too (so begin/end
+                // stays balanced) but tags it with `outcome`; only the
+                // untagged completion advances the [k/N] counter.
+                if event.field("outcome").is_some() {
+                    return;
+                }
                 let Some(label) = event.field("label").and_then(|f| f.as_str()) else { return };
                 let run_us = event
                     .field("run_us")
@@ -427,6 +433,26 @@ mod tests {
         assert_eq!(buf.contents(), "", "unrelated events render nothing");
         sub.event(&spec_end("x", 10_000));
         assert!(buf.contents().starts_with("[1/1] x  0.01s"));
+    }
+
+    #[test]
+    fn failed_attempts_do_not_advance_the_counter() {
+        use ltc_telemetry::Subscriber;
+        let buf = SharedBuf::default();
+        let sub =
+            ProgressSubscriber::with_text(TextProgress::with_writer(false, Box::new(buf.clone())));
+        sub.event(&run_begin(2));
+        // A retried attempt ends its span with an outcome tag: rendered
+        // nothing, counted nothing.
+        let mut failed = spec_end("coverage/gzip/baseline/1000k/s1", 9_000);
+        failed.fields.push(("outcome".to_string(), "retry".into()));
+        sub.event(&failed);
+        assert_eq!(buf.contents(), "");
+        sub.event(&spec_end("coverage/gzip/baseline/1000k/s1", 11_000));
+        sub.event(&spec_end("coverage/mcf/baseline/1000k/s1", 12_000));
+        let out = buf.contents();
+        assert!(out.starts_with("[1/2] coverage/gzip"), "{out}");
+        assert!(out.contains("[2/2] coverage/mcf"), "{out}");
     }
 
     #[test]

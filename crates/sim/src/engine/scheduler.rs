@@ -15,8 +15,9 @@ use std::time::Duration;
 use std::collections::HashMap;
 
 use crate::engine::artifact;
-use crate::engine::backend::{BackendKind, RunObserver};
+use crate::engine::backend::{BackendKind, FaultPolicy, RunObserver};
 use crate::engine::checkpoints;
+use crate::engine::fsutil;
 use crate::engine::progress::{ProgressMode, ProgressSink};
 use crate::engine::result::{ResultSet, RunResult};
 use crate::engine::segmented;
@@ -36,6 +37,9 @@ pub struct EngineOptions {
     pub backend: BackendKind,
     /// How execution progress is reported (stderr).
     pub progress: ProgressMode,
+    /// How worker faults are handled: retry budget, per-spec timeout,
+    /// respawn backoff (see [`FaultPolicy`]).
+    pub fault: FaultPolicy,
 }
 
 impl Default for EngineOptions {
@@ -47,6 +51,7 @@ impl Default for EngineOptions {
             force: false,
             backend: BackendKind::default(),
             progress: ProgressMode::default(),
+            fault: FaultPolicy::default(),
         }
     }
 }
@@ -65,6 +70,11 @@ impl EngineOptions {
     /// The same options running on `backend`.
     pub fn with_backend(self, backend: BackendKind) -> Self {
         EngineOptions { backend, ..self }
+    }
+
+    /// The same options supervised under `fault`.
+    pub fn with_fault(self, fault: FaultPolicy) -> Self {
+        EngineOptions { fault, ..self }
     }
 }
 
@@ -270,8 +280,11 @@ impl Scheduler {
         // collected.
         if let Some(dir) = &opts.cache_dir {
             std::fs::create_dir_all(dir)?;
+            // Reclaim staging files leaked by a previous process that
+            // died between write and rename (once per dir per process).
+            fsutil::sweep_once(dir);
         }
-        let backend = opts.backend.build(opts.threads);
+        let backend = opts.backend.build(opts.threads, &opts.fault);
         ltc_telemetry::point(
             "run_begin",
             vec![
@@ -291,7 +304,7 @@ impl Scheduler {
         let outcomes = backend.execute(&to_run, &observer);
         sink.end();
         execute_span.end_with(vec![("specs".to_string(), (to_run.len() as u64).into())]);
-        let outcomes = outcomes?;
+        let outcomes = outcomes.map_err(io::Error::from)?;
         ltc_telemetry::point(
             "run_end",
             vec![("completed".to_string(), (to_run.len() as u64).into())],
